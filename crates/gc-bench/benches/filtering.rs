@@ -1,0 +1,54 @@
+//! Microbenchmarks of the FTV filtering indexes: build time and per-query
+//! filtering time (GGSX vs Grapes vs CT-Index) on an AIDS-shaped dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_graph::LabeledGraph;
+use gc_index::{
+    CtConfig, CtIndex, FilterIndex, GgsxConfig, GrapesConfig, GrapesIndex, PathTrie,
+};
+use gc_workload::{datasets, generate_type_a, TypeAConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let d = datasets::aids_like(0.05, 5);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("GGSX", |b| {
+        b.iter(|| PathTrie::build(&d, GgsxConfig::default()).graph_count())
+    });
+    group.bench_function("Grapes", |b| {
+        b.iter(|| GrapesIndex::build(&d, GrapesConfig::default()).graph_count())
+    });
+    group.bench_function("CT-Index", |b| {
+        b.iter(|| CtIndex::build(&d, CtConfig::default()).graph_count())
+    });
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let d = datasets::aids_like(0.2, 5);
+    let queries: Vec<LabeledGraph> = generate_type_a(&d, &TypeAConfig::uu().count(32).seed(3))
+        .queries
+        .into_iter()
+        .map(|q| q.graph)
+        .collect();
+    let ggsx = PathTrie::build(&d, GgsxConfig::default());
+    let grapes = GrapesIndex::build(&d, GrapesConfig::default());
+    let ct = CtIndex::build(&d, CtConfig::default());
+
+    let mut group = c.benchmark_group("filter");
+    let filters: [(&str, &dyn FilterIndex); 3] =
+        [("GGSX", &ggsx), ("Grapes", &grapes), ("CT-Index", &ct)];
+    for (name, idx) in filters {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| idx.filter(q).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_filter
+}
+criterion_main!(benches);

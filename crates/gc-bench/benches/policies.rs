@@ -1,0 +1,37 @@
+//! Microbenchmarks of replacement-policy victim selection at various cache
+//! sizes (the Window Manager invokes this once per full window).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::policy::{PolicyKind, PolicyRow};
+
+fn rows(n: usize) -> Vec<PolicyRow> {
+    (0..n as u64)
+        .map(|i| PolicyRow {
+            serial: i + 1,
+            last_hit: i + 1 + (i * 7) % 90,
+            hits: (i * 13) % 40,
+            r_total: (i * 31) % 500,
+            c_total: ((i * 17) % 1000) as f64,
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    for n in [100usize, 500, 5000] {
+        let table = rows(n);
+        for kind in PolicyKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &table,
+                |b, table| {
+                    b.iter(|| kind.select_victims(table, 20, n as u64 + 100).len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the four sub-iso matchers on AIDS-shaped instances:
+//! positive (extracted subgraph) and negative (relabelled) decision tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_graph::random::bfs_edge_subgraph;
+use gc_graph::LabeledGraph;
+use gc_subiso::MatcherKind;
+use gc_workload::datasets;
+
+type Cases = Vec<(LabeledGraph, LabeledGraph)>;
+
+fn instances() -> (Cases, Cases) {
+    let d = datasets::aids_like(0.05, 77);
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for (i, g) in d.graphs().iter().enumerate().take(16) {
+        if let Some(q) = bfs_edge_subgraph(g, (i % 3) as u32, 12) {
+            // Negative twin: shift every label out of range.
+            let neg = q.relabeled(|_, l| l + 1000);
+            positive.push((q, g.clone()));
+            negative.push((neg, g.clone()));
+        }
+    }
+    (positive, negative)
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let (positive, negative) = instances();
+    let mut group = c.benchmark_group("subiso");
+    for kind in MatcherKind::ALL {
+        let matcher = kind.build();
+        group.bench_with_input(
+            BenchmarkId::new("positive", kind.name()),
+            &positive,
+            |b, cases| {
+                b.iter(|| {
+                    cases
+                        .iter()
+                        .filter(|(q, g)| matcher.contains(q, g))
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("negative", kind.name()),
+            &negative,
+            |b, cases| {
+                b.iter(|| {
+                    cases
+                        .iter()
+                        .filter(|(q, g)| matcher.contains(q, g))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matchers
+}
+criterion_main!(benches);

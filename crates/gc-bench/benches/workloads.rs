@@ -1,0 +1,57 @@
+//! Microbenchmarks of the workload machinery: Zipf sampling, Type A
+//! generation, and path-feature enumeration (the shared filtering
+//! primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_graph::zipf::ZipfSampler;
+use gc_index::paths::enumerate_paths;
+use gc_workload::{datasets, generate_type_a, TypeAConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    for n in [100usize, 10_000] {
+        let z = ZipfSampler::new(n, 1.4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &z, |b, z| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| z.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_type_a(c: &mut Criterion) {
+    let d = datasets::aids_like(0.05, 3);
+    c.bench_function("type_a_generate_100", |b| {
+        b.iter(|| generate_type_a(&d, &TypeAConfig::zz(1.4).count(100).seed(9)).len())
+    });
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let d = datasets::aids_like(0.05, 3);
+    let graphs = d.graphs();
+    let mut group = c.benchmark_group("enumerate_paths");
+    for len in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                graphs
+                    .iter()
+                    .take(20)
+                    .map(|g| match enumerate_paths(g, len, u64::MAX) {
+                        gc_index::paths::PathProfile::Counts(c) => c.len(),
+                        gc_index::paths::PathProfile::Overflow => 0,
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_zipf, bench_type_a, bench_path_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §7.3 feature-size ablation: bump every FTV method's feature size by one
+//! (paths ≤ 5 for GGSX/Grapes; trees ≤ 7, cycles ≤ 9, 8192-bit maps for
+//! CT-Index). Paper findings: ~10% lower average query time, but nearly 2×
+//! the index space — while GraphCache achieves its speedup "for a
+//! negligible space overhead".
+//!
+//! Run with: `cargo run --release -p gc-bench --bin ablation_feature_size`
+
+use gc_bench::runner::*;
+use gc_index::{CtConfig, GgsxConfig};
+use gc_methods::{MethodBuilder, QueryKind};
+use gc_workload::datasets;
+
+fn main() {
+    let exp = Experiment::from_args(400);
+    let dataset = datasets::aids_like(exp.scale, exp.seed);
+    eprintln!("[ablation] AIDS: {}", dataset.stats());
+    let sizes = vec![4usize, 8, 12, 16, 20];
+    let workload = WorkloadSpec::TypeB {
+        no_answer: 0.2,
+        alpha: 1.4,
+    }
+    .generate(&dataset, &sizes, &exp);
+
+    println!("\n=== §7.3 ablation — FTV feature size +1 (AIDS, 20% workload) ===");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>10}",
+        "method", "avg query", "avg sub-iso", "index KiB", "Δtime"
+    );
+
+    let mut base_time = 0.0f64;
+    for (name, method) in [
+        ("GGSX len4 (default)", MethodBuilder::ggsx().build(&dataset)),
+        (
+            "GGSX len5 (+1)",
+            MethodBuilder::ggsx_with(GgsxConfig::with_path_len(5)).build(&dataset),
+        ),
+        ("CT-Index 6/8/4096", MethodBuilder::ct_index().build(&dataset)),
+        (
+            "CT-Index 7/9/8192",
+            MethodBuilder::ct_index_with(CtConfig::enlarged()).build(&dataset),
+        ),
+    ] {
+        let s = summarize(&baseline_records(&method, &workload, QueryKind::Subgraph));
+        let delta = if name.ends_with("(+1)") || name.ends_with("8192") {
+            format!("{:+.1}%", (s.avg_query_time_us / base_time - 1.0) * 100.0)
+        } else {
+            base_time = s.avg_query_time_us;
+            "—".to_string()
+        };
+        println!(
+            "{:<22} {:>11.0} µs {:>14.1} {:>12.0} {:>10}",
+            name,
+            s.avg_query_time_us,
+            s.avg_subiso_tests,
+            method.index_memory_bytes().unwrap_or(0) as f64 / 1024.0,
+            delta
+        );
+        eprintln!("[ablation] {name} done");
+    }
+    println!(
+        "\nPaper reference: +1 feature size ⇒ ≈10% lower query time but\n\
+         ≈2× index space, across all FTV methods."
+    );
+}

@@ -1,0 +1,75 @@
+//! Diagnostic: per-query time breakdown for GraphCache vs baseline.
+//!
+//! Env knobs: `GC_METHOD` = ggsx|grapes1|grapes6|ct|vf2|vf2plus|gql,
+//! `GC_WL` = zz|zu|uu|b0|b20|b50, `GC_DATASET` = aids|pdbs|pcm|synthetic,
+//! plus the usual GC_SCALE / GC_QUERIES / GC_SEED.
+
+use gc_bench::runner::*;
+use gc_core::GraphCache;
+use gc_methods::{MethodKind, QueryKind};
+use gc_workload::datasets;
+
+fn main() {
+    let exp = Experiment::from_args(300);
+    let method_name = std::env::var("GC_METHOD").unwrap_or_else(|_| "ggsx".into());
+    let wl_name = std::env::var("GC_WL").unwrap_or_else(|_| "zz".into());
+    let ds_name = std::env::var("GC_DATASET").unwrap_or_else(|_| "aids".into());
+
+    let (d, sizes) = match ds_name.as_str() {
+        "pdbs" => (datasets::pdbs_like(exp.scale, exp.seed), vec![4, 8, 12, 16, 20]),
+        "pcm" => (datasets::pcm_like(exp.scale, exp.seed), vec![20, 25, 30, 35, 40]),
+        "synthetic" => (
+            datasets::synthetic_like(exp.scale, exp.seed),
+            vec![20, 25, 30, 35, 40],
+        ),
+        _ => (datasets::aids_like(exp.scale, exp.seed), vec![4, 8, 12, 16, 20]),
+    };
+    let spec = match wl_name.as_str() {
+        "zu" => WorkloadSpec::Zu(1.4),
+        "uu" => WorkloadSpec::Uu,
+        "b0" => WorkloadSpec::TypeB { no_answer: 0.0, alpha: 1.4 },
+        "b20" => WorkloadSpec::TypeB { no_answer: 0.2, alpha: 1.4 },
+        "b50" => WorkloadSpec::TypeB { no_answer: 0.5, alpha: 1.4 },
+        _ => WorkloadSpec::Zz(1.4),
+    };
+    let kind = match method_name.as_str() {
+        "grapes1" => MethodKind::Grapes1,
+        "grapes6" => MethodKind::Grapes6,
+        "ct" => MethodKind::CtIndex,
+        "vf2" => MethodKind::SiVf2,
+        "vf2plus" => MethodKind::SiVf2Plus,
+        "gql" => MethodKind::SiGraphQl,
+        _ => MethodKind::Ggsx,
+    };
+    eprintln!("[profile] {} / {} / {}", ds_name, kind.name(), spec.name());
+
+    let w = spec.generate(&d, &sizes, &exp);
+    let method = kind.build(&d);
+    let baseline = kind.build(&d);
+    let mut cache = GraphCache::builder().capacity(100).window(20).build(method);
+
+    let base = baseline_records(&baseline, &w, QueryKind::Subgraph);
+    let gc = gc_records(&mut cache, &w);
+    let avg = |f: &dyn Fn(&gc_core::QueryRecord) -> f64, rs: &[gc_core::QueryRecord]| {
+        rs.iter().map(f).sum::<f64>() / rs.len() as f64
+    };
+    println!(
+        "baseline: m_filter {:.0}us verify {:.0}us tests {:.1} cs {:.1}",
+        avg(&|r| r.m_filter.as_secs_f64() * 1e6, &base),
+        avg(&|r| r.verify.as_secs_f64() * 1e6, &base),
+        avg(&|r| r.subiso_tests as f64, &base),
+        avg(&|r| r.cs_m_size as f64, &base)
+    );
+    println!(
+        "gc:       m_filter {:.0}us gc_filter {:.0}us verify {:.0}us maint {:.0}us tests {:.1} cs_gc {:.1} hits(sub {:.2} super {:.2} exact {:.2})",
+        avg(&|r| r.m_filter.as_secs_f64() * 1e6, &gc),
+        avg(&|r| r.gc_filter.as_secs_f64() * 1e6, &gc),
+        avg(&|r| r.verify.as_secs_f64() * 1e6, &gc),
+        avg(&|r| r.maintenance.as_secs_f64() * 1e6, &gc),
+        avg(&|r| r.subiso_tests as f64, &gc),
+        avg(&|r| r.cs_gc_size as f64, &gc),
+        avg(&|r| r.sub_hits as f64, &gc),
+        avg(&|r| r.super_hits as f64, &gc),
+        avg(&|r| r.exact_hit as u8 as f64, &gc)
+    );
+}

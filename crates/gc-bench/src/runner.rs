@@ -1,0 +1,257 @@
+//! Shared experiment plumbing: scale knobs, workload specs, baseline/GC
+//! runners and table printing.
+
+use gc_core::{GraphCache, QueryRecord, RunSummary};
+use gc_graph::GraphDataset;
+use gc_methods::{Method, QueryKind};
+use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
+
+/// The paper measures after letting one window pass (§7.2: "We only allow
+/// one Window (i.e., 20 queries) before starting measuring").
+pub const WARMUP: usize = 20;
+
+/// Experiment-wide knobs, parsed from argv and the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Dataset scale multiplier (`--scale`, `GC_SCALE`; default 1.0 =
+    /// bench-scale profiles from `gc_workload::datasets`).
+    pub scale: f64,
+    /// Queries per workload (`--queries`, `GC_QUERIES`).
+    pub queries: usize,
+    /// Master seed (`--seed`, `GC_SEED`).
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Parses knobs with a figure-specific default query count.
+    pub fn from_args(default_queries: usize) -> Self {
+        let mut exp = Experiment {
+            scale: std::env::var("GC_SCALE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1.0),
+            queries: std::env::var("GC_QUERIES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_queries),
+            seed: std::env::var("GC_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(42),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--scale" => exp.scale = args[i + 1].parse().expect("--scale <f64>"),
+                "--queries" => exp.queries = args[i + 1].parse().expect("--queries <usize>"),
+                "--seed" => exp.seed = args[i + 1].parse().expect("--seed <u64>"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        exp
+    }
+}
+
+/// The paper's six workload categories (§7.2), parameterised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// Type A with Zipf graph + Zipf node selection.
+    Zz(f64),
+    /// Type A with Zipf graph + uniform node selection.
+    Zu(f64),
+    /// Type A, uniform at both levels.
+    Uu,
+    /// Type B with the given no-answer probability and Zipf α.
+    TypeB {
+        /// No-answer pool probability (0.0 / 0.2 / 0.5).
+        no_answer: f64,
+        /// Within-pool Zipf α.
+        alpha: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The six default categories in the paper's figure order.
+    pub fn paper_six() -> [WorkloadSpec; 6] {
+        [
+            WorkloadSpec::Zz(1.4),
+            WorkloadSpec::Zu(1.4),
+            WorkloadSpec::Uu,
+            WorkloadSpec::TypeB {
+                no_answer: 0.0,
+                alpha: 1.4,
+            },
+            WorkloadSpec::TypeB {
+                no_answer: 0.2,
+                alpha: 1.4,
+            },
+            WorkloadSpec::TypeB {
+                no_answer: 0.5,
+                alpha: 1.4,
+            },
+        ]
+    }
+
+    /// Display name ("ZZ", "UU", "20%", …).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Zz(_) => "ZZ".into(),
+            WorkloadSpec::Zu(_) => "ZU".into(),
+            WorkloadSpec::Uu => "UU".into(),
+            WorkloadSpec::TypeB { no_answer, .. } => {
+                format!("{}%", (no_answer * 100.0).round() as u32)
+            }
+        }
+    }
+
+    /// Generates the workload over a dataset with the paper's query sizes
+    /// for that dataset family (`sizes`).
+    pub fn generate(
+        &self,
+        dataset: &GraphDataset,
+        sizes: &[usize],
+        exp: &Experiment,
+    ) -> Workload {
+        match *self {
+            WorkloadSpec::Zz(a) => generate_type_a(
+                dataset,
+                &TypeAConfig::zz(a)
+                    .sizes(sizes.to_vec())
+                    .count(exp.queries)
+                    .seed(exp.seed ^ 0x5a5a),
+            ),
+            WorkloadSpec::Zu(a) => generate_type_a(
+                dataset,
+                &TypeAConfig::zu(a)
+                    .sizes(sizes.to_vec())
+                    .count(exp.queries)
+                    .seed(exp.seed ^ 0x5a50),
+            ),
+            WorkloadSpec::Uu => generate_type_a(
+                dataset,
+                &TypeAConfig::uu()
+                    .sizes(sizes.to_vec())
+                    .count(exp.queries)
+                    .seed(exp.seed ^ 0x5055),
+            ),
+            WorkloadSpec::TypeB { no_answer, alpha } => generate_type_b(
+                dataset,
+                &TypeBConfig::with_no_answer_prob(no_answer)
+                    .zipf(alpha)
+                    .sizes(sizes.to_vec())
+                    .pools(
+                        (exp.queries / 5).clamp(30, 400),
+                        (exp.queries / 15).clamp(10, 120),
+                    )
+                    .count(exp.queries)
+                    .seed(exp.seed ^ 0xb0b0),
+            ),
+        }
+    }
+}
+
+/// Runs the uncached Method M over a workload, returning per-query records.
+pub fn baseline_records(method: &Method, workload: &Workload, kind: QueryKind) -> Vec<QueryRecord> {
+    workload
+        .graphs()
+        .map(|q| {
+            let r = method.run_directed(q, kind);
+            QueryRecord {
+                m_filter: r.filter.duration,
+                verify: r.verify.duration,
+                subiso_tests: r.verify.stats.tests,
+                verify_work: r.verify.stats.nodes_expanded,
+                cs_m_size: r.filter.candidates.len(),
+                cs_gc_size: r.filter.candidates.len(),
+                answer_size: r.answer.len(),
+                ..Default::default()
+            }
+        })
+        .collect()
+}
+
+/// Replays a workload through a GraphCache, returning per-query records.
+pub fn gc_records(cache: &mut GraphCache, workload: &Workload) -> Vec<QueryRecord> {
+    workload.graphs().map(|q| cache.run(q).record).collect()
+}
+
+/// One printed series: a label, the paper's numbers, and ours.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Row label (e.g. a policy or method name).
+    pub label: String,
+    /// Values per column.
+    pub values: Vec<f64>,
+}
+
+/// Prints a figure-style table: one column per workload/parameter, one row
+/// per series, with the paper's reference row(s) above.
+pub fn print_series(title: &str, columns: &[String], paper: &[Series], measured: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{:<26}", "");
+    for c in columns {
+        print!("{c:>9}");
+    }
+    println!();
+    for s in paper {
+        print!("{:<26}", format!("paper {}", s.label));
+        for v in &s.values {
+            print!("{v:>9.2}");
+        }
+        println!();
+    }
+    for s in measured {
+        print!("{:<26}", format!("measured {}", s.label));
+        for v in &s.values {
+            print!("{v:>9.2}");
+        }
+        println!();
+    }
+}
+
+/// Convenience: builds the run summary with the paper's warm-up skip.
+pub fn summarize(records: &[QueryRecord]) -> RunSummary {
+    RunSummary::from_records(records, WARMUP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_methods::MethodBuilder;
+    use gc_workload::datasets;
+
+    #[test]
+    fn spec_names() {
+        let names: Vec<String> = WorkloadSpec::paper_six().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["ZZ", "ZU", "UU", "0%", "20%", "50%"]);
+    }
+
+    #[test]
+    fn runners_produce_matching_record_counts() {
+        let d = datasets::aids_like(0.04, 3);
+        let exp = Experiment {
+            scale: 1.0,
+            queries: 30,
+            seed: 9,
+        };
+        let w = WorkloadSpec::Zz(1.4).generate(&d, &[4, 8], &exp);
+        assert_eq!(w.len(), 30);
+        let m = MethodBuilder::ggsx().build(&d);
+        let base = baseline_records(&m, &w, QueryKind::Subgraph);
+        assert_eq!(base.len(), 30);
+        let mut cache = gc_core::GraphCache::builder()
+            .capacity(10)
+            .window(5)
+            .build(MethodBuilder::ggsx().build(&d));
+        let gc = gc_records(&mut cache, &w);
+        assert_eq!(gc.len(), 30);
+        // Answers agree (summaries exist).
+        let _ = summarize(&base);
+        let _ = summarize(&gc);
+    }
+}

@@ -1,0 +1,801 @@
+//! The GraphCache system: query execution front end (paper §4, Fig. 2).
+
+use crate::admission::{AdmissionConfig, AdmissionControl, CostModel};
+use crate::metrics::QueryRecord;
+use crate::policy::PolicyKind;
+use crate::processors;
+use crate::pruner::{self, HitAnswer, PruneOutcome};
+use crate::query_index::QueryIndexConfig;
+use crate::stats::{columns, QuerySerial, StatsStore};
+use crate::window::{self, MaintMsg, MaintenanceConfig, Shared, WindowEntry};
+use gc_graph::{idset, GraphId, LabeledGraph};
+use gc_methods::{Method, QueryKind};
+use gc_subiso::{cost, MatchConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunable parameters of a [`GraphCache`] instance. Defaults mirror the
+/// paper's evaluation setup (§7.1): C = 100, W = 20, HD replacement,
+/// admission control off.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Cache capacity C in entries (paper default: 100).
+    pub capacity: usize,
+    /// Window size W in queries (paper default: 20).
+    pub window: usize,
+    /// Replacement policy (paper recommendation: HD).
+    pub policy: PolicyKind,
+    /// Admission control configuration (paper default: disabled).
+    pub admission: AdmissionConfig,
+    /// Subgraph or supergraph query semantics.
+    pub query_kind: QueryKind,
+    /// How expensiveness is computed (wall time vs deterministic work).
+    pub cost_model: CostModel,
+    /// Query index configuration.
+    pub index: QueryIndexConfig,
+    /// Search limits for cache-hit verification tests.
+    pub hit_match: MatchConfig,
+    /// Run the Window Manager on a background thread (the paper's design);
+    /// `false` runs maintenance inline for deterministic tests.
+    pub background: bool,
+    /// Dispatch Method M's filter and GC's processors concurrently, as in
+    /// the paper's Fig. 2 (step 2 sends the query to both in parallel).
+    /// Answers are identical either way; only latency changes.
+    pub parallel_dispatch: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            capacity: 100,
+            window: 20,
+            policy: PolicyKind::Hd,
+            admission: AdmissionConfig::default(),
+            query_kind: QueryKind::Subgraph,
+            cost_model: CostModel::WallTime,
+            index: QueryIndexConfig::default(),
+            hit_match: MatchConfig::UNBOUNDED,
+            background: false,
+            parallel_dispatch: false,
+        }
+    }
+}
+
+/// Builder for [`GraphCache`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphCacheBuilder {
+    cfg: GcConfig,
+}
+
+impl GraphCacheBuilder {
+    /// Cache capacity C (entries).
+    pub fn capacity(mut self, c: usize) -> Self {
+        self.cfg.capacity = c.max(1);
+        self
+    }
+
+    /// Window size W (queries per maintenance round).
+    pub fn window(mut self, w: usize) -> Self {
+        self.cfg.window = w.max(1);
+        self
+    }
+
+    /// Replacement policy.
+    pub fn policy(mut self, p: PolicyKind) -> Self {
+        self.cfg.policy = p;
+        self
+    }
+
+    /// Admission control configuration.
+    pub fn admission(mut self, a: AdmissionConfig) -> Self {
+        self.cfg.admission = a;
+        self
+    }
+
+    /// Query semantics (subgraph vs supergraph).
+    pub fn query_kind(mut self, k: QueryKind) -> Self {
+        self.cfg.query_kind = k;
+        self
+    }
+
+    /// Expensiveness cost model.
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cfg.cost_model = m;
+        self
+    }
+
+    /// Query-index configuration.
+    pub fn index(mut self, cfg: QueryIndexConfig) -> Self {
+        self.cfg.index = cfg;
+        self
+    }
+
+    /// Budget for cache-hit verification tests.
+    pub fn hit_match(mut self, cfg: MatchConfig) -> Self {
+        self.cfg.hit_match = cfg;
+        self
+    }
+
+    /// Background (true) vs inline (false) window maintenance.
+    pub fn background(mut self, bg: bool) -> Self {
+        self.cfg.background = bg;
+        self
+    }
+
+    /// Concurrent (true) vs sequential (false) dispatch of Method M's
+    /// filter and GC's processors.
+    pub fn parallel_dispatch(mut self, on: bool) -> Self {
+        self.cfg.parallel_dispatch = on;
+        self
+    }
+
+    /// Builds the cache in front of `method`.
+    pub fn build(self, method: Method) -> GraphCache {
+        GraphCache::with_config(method, self.cfg)
+    }
+}
+
+/// Outcome of one query through GraphCache.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The query's serial number.
+    pub serial: QuerySerial,
+    /// The answer set (sorted dataset graph ids).
+    pub answer: Vec<GraphId>,
+    /// Everything measured about the execution.
+    pub record: QueryRecord,
+}
+
+/// The GraphCache system: a semantic cache wrapped around a Method M.
+///
+/// See the crate docs for an end-to-end example. `run` executes queries
+/// one at a time (the paper sets every thread pool to 1 "so as to show just
+/// the benefits of using a graph query cache"); the Window Manager may run
+/// on a background thread.
+pub struct GraphCache {
+    method: Arc<Method>,
+    cfg: GcConfig,
+    shared: Arc<Shared>,
+    window: Vec<WindowEntry>,
+    serial: QuerySerial,
+    worker: Option<(
+        crossbeam::channel::Sender<MaintMsg>,
+        std::thread::JoinHandle<()>,
+    )>,
+    filter_worker: Option<FilterWorker>,
+}
+
+/// Persistent thread running Method M's filter concurrently with the GC
+/// processors (Fig. 2, step 2). Requests and responses are strictly 1:1.
+struct FilterWorker {
+    tx: crossbeam::channel::Sender<(LabeledGraph, QueryKind)>,
+    rx: crossbeam::channel::Receiver<gc_methods::FilterOutput>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// A response is still in flight (its query was resolved by an exact
+    /// hit and never needed CS_M); drained before the next request.
+    stale: std::cell::Cell<bool>,
+}
+
+impl FilterWorker {
+    fn spawn(method: Arc<Method>) -> Self {
+        let (tx, req_rx) = crossbeam::channel::unbounded::<(LabeledGraph, QueryKind)>();
+        let (res_tx, rx) = crossbeam::channel::unbounded();
+        let handle = std::thread::Builder::new()
+            .name("gc-mfilter".into())
+            .spawn(move || {
+                while let Ok((query, kind)) = req_rx.recv() {
+                    if res_tx.send(method.filter_directed(&query, kind)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn filter worker");
+        FilterWorker {
+            tx,
+            rx,
+            handle: Some(handle),
+            stale: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Sends a filter request, discarding a stale response first.
+    fn request(&self, query: &LabeledGraph, kind: QueryKind) {
+        if self.stale.replace(false) {
+            let _ = self.rx.recv();
+        }
+        self.tx
+            .send((query.clone(), kind))
+            .expect("filter worker alive");
+    }
+
+    /// Receives the response for the last request.
+    fn receive(&self) -> gc_methods::FilterOutput {
+        self.rx.recv().expect("filter worker alive")
+    }
+
+    /// Marks the last request's response as not needed (exact hit).
+    fn park(&self) {
+        self.stale.set(true);
+    }
+}
+
+impl Drop for FilterWorker {
+    fn drop(&mut self) {
+        // Close the request channel, then join.
+        let (closed_tx, _) = crossbeam::channel::bounded(0);
+        let _ = std::mem::replace(&mut self.tx, closed_tx);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl GraphCache {
+    /// Starts building a cache with the paper's default configuration.
+    pub fn builder() -> GraphCacheBuilder {
+        GraphCacheBuilder::default()
+    }
+
+    /// Creates a cache with an explicit configuration.
+    pub fn with_config(method: Method, cfg: GcConfig) -> Self {
+        let method = Arc::new(method);
+        let shared = Arc::new(Shared::new(
+            cfg.index,
+            AdmissionControl::new(cfg.admission),
+        ));
+        let worker = cfg.background.then(|| {
+            window::spawn_manager(
+                shared.clone(),
+                MaintenanceConfig {
+                    capacity: cfg.capacity,
+                    policy: cfg.policy,
+                    index_cfg: cfg.index,
+                },
+            )
+        });
+        let filter_worker = cfg
+            .parallel_dispatch
+            .then(|| FilterWorker::spawn(method.clone()));
+        GraphCache {
+            method,
+            cfg,
+            shared,
+            window: Vec::new(),
+            serial: 0,
+            worker,
+            filter_worker,
+        }
+    }
+
+    /// The wrapped Method M.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.cfg
+    }
+
+    /// Number of queries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.shared.load_snapshot().len()
+    }
+
+    /// Number of queries waiting in the Window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Total cache maintenance time so far (Fig. 10's overhead metric).
+    pub fn maintenance_total(&self) -> Duration {
+        Duration::from_micros(
+            self.shared
+                .maintenance_us
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Approximate memory footprint of the cache stores (entries + query
+    /// index + statistics), for the §7.3 space-overhead comparison.
+    pub fn memory_bytes(&self) -> usize {
+        self.shared.load_snapshot().memory_bytes() + self.shared.stats.lock().memory_bytes()
+    }
+
+    /// Reads a statistics cell of a cached query (testing/diagnostics).
+    pub fn stat(&self, serial: QuerySerial, column: &str) -> Option<f64> {
+        self.shared.stats.lock().get(serial, column).map(|v| v.as_f64())
+    }
+
+    /// Runs all statistics rows through a visitor (diagnostics).
+    pub fn with_stats<R>(&self, f: impl FnOnce(&StatsStore) -> R) -> R {
+        f(&self.shared.stats.lock())
+    }
+
+    /// Persists the cache contents and statistics to a directory (paper
+    /// §6.1: stores are "written back to disk on shutdown of the Cache
+    /// Manager subsystem"). Pending background maintenance is flushed
+    /// first; the Window's not-yet-admitted queries are not persisted
+    /// (they never reached the cache stores).
+    pub fn save(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.flush_pending();
+        let snapshot = self.shared.load_snapshot();
+        let persisted = crate::persist::PersistedCache {
+            entries: snapshot
+                .entries
+                .iter()
+                .map(|e| (e.serial, e.graph.clone(), e.answer.clone()))
+                .collect(),
+            stats: self.shared.stats.lock().clone(),
+            next_serial: self.serial + 1,
+        };
+        persisted.save(dir)
+    }
+
+    /// Restores a previously saved cache state into this instance (paper
+    /// §6.1: stores are "loaded from disk on startup"); the query index is
+    /// rebuilt from the loaded entries.
+    pub fn restore(&mut self, dir: impl AsRef<std::path::Path>) -> Result<(), gc_graph::GraphError> {
+        let loaded = crate::persist::PersistedCache::load(dir)?;
+        let (snapshot, stats, next_serial) = loaded.into_snapshot(self.cfg.index);
+        *self.shared.snapshot.write() = Arc::new(snapshot);
+        *self.shared.stats.lock() = stats;
+        self.serial = self.serial.max(next_serial.saturating_sub(1));
+        Ok(())
+    }
+
+    /// Blocks until all queued background maintenance has been applied.
+    /// No-op in inline mode.
+    pub fn flush_pending(&self) {
+        if let Some((tx, _)) = &self.worker {
+            let (rtx, rrx) = crossbeam::channel::bounded(0);
+            if tx.send(MaintMsg::Sync(rtx)).is_ok() {
+                let _ = rrx.recv();
+            }
+        }
+    }
+
+    /// Executes one query through the cache (Fig. 2's data flow) and
+    /// returns the answer with full metrics.
+    pub fn run(&mut self, query: &LabeledGraph) -> QueryResult {
+        self.serial += 1;
+        let serial = self.serial;
+        let kind = self.cfg.query_kind;
+
+        // (2)-(3): Method M filtering and GC processors, dispatched in
+        // parallel when configured (Fig. 2 step 2). In sequential mode the
+        // GC processors run FIRST so an exact hit can skip Mfilter
+        // entirely — the paper's first special case "completely avoid[s]
+        // any further processing".
+        let t_phase = Instant::now();
+        if let Some(w) = &self.filter_worker {
+            w.request(query, kind);
+        }
+
+        let t_gc = Instant::now();
+        let snapshot = self.shared.load_snapshot();
+        // The query's feature profile is computed once here and reused for
+        // candidate probing now and for index (re)building if the query is
+        // later admitted to the cache.
+        let profile = snapshot.index.profile_of(query);
+        let hits = processors::find_hits_with_profile(
+            &snapshot,
+            query,
+            &profile,
+            self.method.matcher().as_ref(),
+            &self.cfg.hit_match,
+        );
+        let gc_filter = t_gc.elapsed();
+
+        let mut record = QueryRecord {
+            serial,
+            gc_filter,
+            sub_hits: hits.sub.len(),
+            super_hits: hits.super_.len(),
+            ..Default::default()
+        };
+
+        // First special case: an isomorphic cached query answers instantly,
+        // without waiting for (or even running) Method M's filter.
+        if let Some(source) = hits.exact {
+            if let Some(w) = &self.filter_worker {
+                w.park();
+            }
+            let answer = snapshot
+                .entry(source)
+                .map(|e| e.answer.clone())
+                .unwrap_or_default();
+            record.exact_hit = true;
+            record.cs_gc_size = 0;
+            record.answer_size = answer.len();
+            self.credit_exact(source, serial, query, &answer);
+            let maintenance = self.push_window(query, profile, &answer, &record);
+            record.maintenance = maintenance;
+            return QueryResult {
+                serial,
+                answer,
+                record,
+            };
+        }
+
+        let (m_out, m_charge) = match &self.filter_worker {
+            None => {
+                let out = self.method.filter_directed(query, kind);
+                let d = out.duration;
+                (out, d)
+            }
+            Some(w) => {
+                let out = w.receive();
+                // With parallel dispatch the filtering phase's wall time is
+                // the slower of the two legs; charge M only the latency it
+                // added beyond the GC processors.
+                (out, t_phase.elapsed().saturating_sub(gc_filter))
+            }
+        };
+        record.m_filter = m_charge;
+        record.cs_m_size = m_out.candidates.len();
+
+        // (4): candidate set pruning via equations (1) and (2).
+        let (expanding, restricting) = match kind {
+            QueryKind::Subgraph => (&hits.sub, &hits.super_),
+            QueryKind::Supergraph => (&hits.super_, &hits.sub),
+        };
+        let expanding_answers: Vec<HitAnswer<'_>> = expanding
+            .iter()
+            .filter_map(|s| {
+                snapshot.entry(*s).map(|e| HitAnswer {
+                    serial: *s,
+                    answer: &e.answer,
+                })
+            })
+            .collect();
+        let restricting_answers: Vec<HitAnswer<'_>> = restricting
+            .iter()
+            .filter_map(|s| {
+                snapshot.entry(*s).map(|e| HitAnswer {
+                    serial: *s,
+                    answer: &e.answer,
+                })
+            })
+            .collect();
+        let pruned = pruner::prune(&m_out.candidates, &expanding_answers, &restricting_answers);
+        record.cs_gc_size = pruned.remaining.len();
+
+        // (5): verification of the reduced candidate set by Mverifier.
+        let (answer, verify_duration) = match pruned.outcome {
+            PruneOutcome::EmptyShortcut(_) => {
+                record.empty_shortcut = true;
+                (Vec::new(), Duration::ZERO)
+            }
+            PruneOutcome::Pruned => {
+                let v = self.method.verify_directed(query, &pruned.remaining, kind);
+                record.subiso_tests = v.stats.tests;
+                record.verify_work = v.stats.nodes_expanded;
+                let answer = idset::union(&pruned.direct_answer, &v.answer);
+                (answer, v.duration)
+            }
+        };
+        record.verify = verify_duration;
+        record.answer_size = answer.len();
+
+        // Statistics Manager updates (hit credit per contribution).
+        self.credit_contributions(serial, query, &pruned);
+
+        // (6)-(7): window admission and batched cache maintenance.
+        let maintenance = self.push_window(query, profile, &answer, &record);
+        record.maintenance = maintenance;
+
+        QueryResult {
+            serial,
+            answer,
+            record,
+        }
+    }
+
+    /// Credits an exact hit. The entire candidate set is avoided, but it is
+    /// never computed on this path (that is the point of the special case),
+    /// so the contribution is estimated from the cached answer set — the
+    /// sub-iso tests that would certainly have run.
+    fn credit_exact(
+        &self,
+        source: QuerySerial,
+        now: QuerySerial,
+        query: &LabeledGraph,
+        answer: &[GraphId],
+    ) {
+        let saved_cost: f64 = answer
+            .iter()
+            .map(|&id| cost::estimate(query, self.method.dataset().graph(id)))
+            .sum();
+        let mut stats = self.shared.stats.lock();
+        stats.add_int(source, columns::HITS, 1);
+        stats.add_int(source, columns::SPECIAL_HITS, 1);
+        stats.set(source, columns::LAST_HIT, now as i64);
+        stats.add_int(source, columns::R_TOTAL, answer.len().max(1) as i64);
+        stats.add_float(source, columns::C_TOTAL, saved_cost.max(1.0));
+    }
+
+    /// Credits every pruning contribution (paper §5.2: hit count, last-hit
+    /// serial, candidate-set reduction R, estimated time saving C).
+    fn credit_contributions(
+        &self,
+        now: QuerySerial,
+        query: &LabeledGraph,
+        pruned: &pruner::PruneResult,
+    ) {
+        if pruned.contributions.is_empty() {
+            return;
+        }
+        let dataset = self.method.dataset();
+        let mut stats = self.shared.stats.lock();
+        for c in &pruned.contributions {
+            stats.add_int(c.serial, columns::HITS, 1);
+            stats.set(c.serial, columns::LAST_HIT, now as i64);
+            if matches!(pruned.outcome, PruneOutcome::EmptyShortcut(_)) {
+                stats.add_int(c.serial, columns::SPECIAL_HITS, 1);
+            }
+            if !c.removed.is_empty() {
+                let saved: f64 = c
+                    .removed
+                    .iter()
+                    .map(|&id| cost::estimate(query, dataset.graph(id)))
+                    .sum();
+                stats.add_int(c.serial, columns::R_TOTAL, c.removed.len() as i64);
+                stats.add_float(c.serial, columns::C_TOTAL, saved);
+            }
+        }
+    }
+
+    /// Adds the executed query to the Window; flushes when full. Returns
+    /// inline maintenance time (zero in background mode).
+    fn push_window(
+        &mut self,
+        query: &LabeledGraph,
+        profile: gc_index::paths::PathProfile,
+        answer: &[GraphId],
+        record: &QueryRecord,
+    ) -> Duration {
+        let filter_us = (record.m_filter + record.gc_filter).as_secs_f64() * 1e6;
+        let verify_us = record.verify.as_secs_f64() * 1e6;
+        let expensiveness =
+            self.cfg
+                .cost_model
+                .expensiveness(filter_us, verify_us, record.verify_work);
+        self.shared.admission.lock().observe(expensiveness);
+        self.window.push(WindowEntry {
+            serial: record.serial,
+            graph: query.clone(),
+            answer: answer.to_vec(),
+            profile,
+            filter_us,
+            verify_us,
+            expensiveness,
+        });
+        if self.window.len() < self.cfg.window {
+            return Duration::ZERO;
+        }
+        let batch = std::mem::take(&mut self.window);
+        let now = self.serial;
+        match &self.worker {
+            Some((tx, _)) => {
+                let _ = tx.send(MaintMsg::Batch(batch, now));
+                Duration::ZERO
+            }
+            None => {
+                let cfg = MaintenanceConfig {
+                    capacity: self.cfg.capacity,
+                    policy: self.cfg.policy,
+                    index_cfg: self.cfg.index,
+                };
+                window::maintain(&self.shared, &cfg, batch, now)
+            }
+        }
+    }
+}
+
+impl Drop for GraphCache {
+    fn drop(&mut self) {
+        if let Some((tx, handle)) = self.worker.take() {
+            drop(tx);
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::GraphDataset;
+    use gc_methods::MethodBuilder;
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(labels.to_vec(), &edges)
+    }
+
+    fn dataset() -> GraphDataset {
+        GraphDataset::new(vec![
+            path_graph(&[0, 1, 0, 1, 0]),
+            path_graph(&[0, 1, 2, 1, 0]),
+            LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+            path_graph(&[3, 3]),
+        ])
+    }
+
+    fn cache() -> GraphCache {
+        let method = MethodBuilder::ggsx().build(&dataset());
+        GraphCache::builder()
+            .capacity(10)
+            .window(2)
+            .cost_model(CostModel::Work)
+            .build(method)
+    }
+
+    #[test]
+    fn answers_match_baseline() {
+        let d = dataset();
+        let method = MethodBuilder::ggsx().build(&d);
+        let mut gc = cache();
+        let queries = [
+            path_graph(&[0, 1]),
+            path_graph(&[0, 1, 0]),
+            path_graph(&[0, 1]), // exact repeat
+            path_graph(&[1, 0, 1]),
+            path_graph(&[9, 9]),
+            path_graph(&[0, 1, 2]),
+        ];
+        for q in &queries {
+            let expected = method.run(q).answer;
+            let got = gc.run(q).answer;
+            assert_eq!(got, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exact_hit_skips_verification() {
+        let mut gc = cache();
+        let q = path_graph(&[0, 1, 0]);
+        let first = gc.run(&q);
+        assert!(!first.record.exact_hit);
+        assert!(first.record.subiso_tests > 0);
+        // Window flushes after 2 queries; run one filler then repeat.
+        gc.run(&path_graph(&[0, 1]));
+        let repeat = gc.run(&q);
+        assert!(repeat.record.exact_hit, "second run must be an exact hit");
+        assert_eq!(repeat.record.subiso_tests, 0);
+        assert_eq!(repeat.answer, first.answer);
+    }
+
+    #[test]
+    fn empty_shortcut_fires() {
+        let mut gc = cache();
+        // Query with empty answer: path 3-3-3 (dataset has only edge 3-3).
+        let empty_q = path_graph(&[3, 3, 3]);
+        let r1 = gc.run(&empty_q);
+        assert!(r1.answer.is_empty());
+        gc.run(&path_graph(&[0, 1])); // flush window → cache the empty query
+        // A superset query must terminate via the empty shortcut.
+        let superset = path_graph(&[3, 3, 3, 3]);
+        let r2 = gc.run(&superset);
+        assert!(r2.answer.is_empty());
+        assert!(r2.record.empty_shortcut, "second special case must fire");
+        assert_eq!(r2.record.subiso_tests, 0);
+    }
+
+    #[test]
+    fn sub_hit_prunes_candidates() {
+        let mut gc = cache();
+        // Cache a large query first.
+        let big = path_graph(&[0, 1, 0, 1]);
+        gc.run(&big);
+        gc.run(&path_graph(&[2, 1])); // flush window
+        assert_eq!(gc.cache_len(), 2);
+        // Smaller query contained in the cached one.
+        let small = path_graph(&[0, 1, 0]);
+        let r = gc.run(&small);
+        assert!(r.record.sub_hits > 0, "cached superset must be found");
+        assert!(
+            r.record.cs_gc_size < r.record.cs_m_size,
+            "pruning must shrink the candidate set"
+        );
+    }
+
+    #[test]
+    fn cache_capacity_bounded() {
+        let method = MethodBuilder::ggsx().build(&dataset());
+        let mut gc = GraphCache::builder()
+            .capacity(3)
+            .window(1)
+            .cost_model(CostModel::Work)
+            .build(method);
+        for i in 0..10u32 {
+            // Distinct queries (varying labels) to avoid exact hits.
+            let q = path_graph(&[i % 4, (i + 1) % 4]);
+            gc.run(&q);
+        }
+        assert!(gc.cache_len() <= 3);
+    }
+
+    #[test]
+    fn stats_credited_on_hits() {
+        let mut gc = cache();
+        let big = path_graph(&[0, 1, 0, 1]);
+        let r_big = gc.run(&big);
+        gc.run(&path_graph(&[2, 1]));
+        let small = path_graph(&[0, 1, 0]);
+        gc.run(&small);
+        let hits = gc.stat(r_big.serial, columns::HITS).unwrap_or(0.0);
+        assert!(hits >= 1.0, "cached query must be credited");
+        assert!(gc.stat(r_big.serial, columns::R_TOTAL).unwrap_or(0.0) >= 1.0);
+        assert!(gc.stat(r_big.serial, columns::C_TOTAL).unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn background_mode_matches_inline_answers() {
+        let d = dataset();
+        let queries: Vec<LabeledGraph> = (0..20)
+            .map(|i| match i % 4 {
+                0 => path_graph(&[0, 1]),
+                1 => path_graph(&[0, 1, 0]),
+                2 => path_graph(&[1, 2]),
+                _ => path_graph(&[0, 1, 2]),
+            })
+            .collect();
+        let mut inline = GraphCache::builder()
+            .capacity(5)
+            .window(2)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::ggsx().build(&d));
+        let mut bg = GraphCache::builder()
+            .capacity(5)
+            .window(2)
+            .cost_model(CostModel::Work)
+            .background(true)
+            .build(MethodBuilder::ggsx().build(&d));
+        for q in &queries {
+            let a = inline.run(q).answer;
+            let b = bg.run(q).answer;
+            assert_eq!(a, b);
+        }
+        bg.flush_pending();
+        assert!(bg.cache_len() <= 5);
+        assert!(bg.maintenance_total() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn supergraph_mode_answers() {
+        let d = dataset();
+        let method = MethodBuilder::si_vf2().build(&d);
+        let baseline = MethodBuilder::si_vf2().build(&d);
+        let mut gc = GraphCache::builder()
+            .capacity(10)
+            .window(2)
+            .query_kind(QueryKind::Supergraph)
+            .cost_model(CostModel::Work)
+            .build(method);
+        // Big query containing the 3-3 edge graph (graph id 3).
+        let queries = [
+            path_graph(&[3, 3, 3, 3]),
+            path_graph(&[3, 3, 3]),
+            path_graph(&[3, 3]),
+            path_graph(&[0, 1, 0, 1, 0]),
+            path_graph(&[3, 3, 3, 3]),
+        ];
+        for q in &queries {
+            let expected = baseline.run_directed(q, QueryKind::Supergraph).answer;
+            let got = gc.run(q).answer;
+            assert_eq!(got, expected, "supergraph query {q:?}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut gc = cache();
+        gc.run(&path_graph(&[0, 1]));
+        gc.run(&path_graph(&[0, 1, 0]));
+        assert!(gc.memory_bytes() > 0);
+        assert_eq!(gc.window_len(), 0, "window flushed at W=2");
+        assert!(gc.config().capacity == 10);
+        assert_eq!(gc.method().name(), "GGSX");
+    }
+}

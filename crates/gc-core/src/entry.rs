@@ -1,0 +1,124 @@
+//! Cache entries and immutable cache snapshots.
+
+use crate::query_index::{QueryIndex, QueryIndexConfig};
+use crate::stats::QuerySerial;
+use gc_graph::{GraphId, LabeledGraph};
+use gc_index::paths::PathProfile;
+use std::sync::Arc;
+
+/// One cached query: the query graph and its full answer set (paper §6.1,
+/// first Cache store component).
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The query's serial number (the store key).
+    pub serial: QuerySerial,
+    /// The query graph as submitted.
+    pub graph: LabeledGraph,
+    /// The query's answer set: sorted ids of dataset graphs containing it
+    /// (subgraph mode) or contained in it (supergraph mode).
+    pub answer: Vec<GraphId>,
+    /// The query's path-feature profile, computed once at execution time so
+    /// index rebuilds never re-enumerate cached graphs.
+    pub profile: PathProfile,
+}
+
+impl CacheEntry {
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.answer.len() * std::mem::size_of::<GraphId>() + 24
+    }
+}
+
+/// An immutable snapshot of the cache contents plus the query index built
+/// over them. The Window Manager builds a *new* snapshot off the hot path
+/// and swaps it in with a single pointer store (paper §6.2: "implemented as
+/// simple in-memory reference (pointer) swaps").
+#[derive(Debug)]
+pub struct CacheSnapshot {
+    /// Cached entries; the query index's slots are positions in this vector.
+    pub entries: Vec<Arc<CacheEntry>>,
+    /// The combined subgraph/supergraph index over the cached query graphs.
+    pub index: QueryIndex,
+}
+
+impl CacheSnapshot {
+    /// An empty snapshot (system start: "GraphCache's data stores are
+    /// initially all empty", §5.1).
+    pub fn empty(cfg: QueryIndexConfig) -> Self {
+        CacheSnapshot {
+            entries: Vec::new(),
+            index: QueryIndex::build(cfg, std::iter::empty()),
+        }
+    }
+
+    /// Builds a snapshot (and its index) from a set of entries, reusing
+    /// each entry's stored feature profile.
+    pub fn build(cfg: QueryIndexConfig, entries: Vec<Arc<CacheEntry>>) -> Self {
+        let index = QueryIndex::build_from_profiles(
+            cfg,
+            entries.iter().map(|e| {
+                (
+                    e.serial,
+                    (e.graph.node_count() as u32, e.graph.edge_count() as u32),
+                    &e.profile,
+                )
+            }),
+        );
+        CacheSnapshot { entries, index }
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by serial (linear scan; snapshots are small —
+    /// C ≤ a few hundred in all the paper's configurations).
+    pub fn entry(&self, serial: QuerySerial) -> Option<&Arc<CacheEntry>> {
+        self.entries.iter().find(|e| e.serial == serial)
+    }
+
+    /// Approximate memory footprint of entries + index, in bytes (the space
+    /// overhead the paper compares against FTV index sizes, §7.3).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.memory_bytes()).sum::<usize>() + self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(serial: QuerySerial) -> Arc<CacheEntry> {
+        let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
+        Arc::new(CacheEntry {
+            serial,
+            graph,
+            answer: vec![GraphId(0), GraphId(2)],
+            profile,
+        })
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = CacheSnapshot::empty(QueryIndexConfig::default());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.entry(1).is_none());
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let s = CacheSnapshot::build(QueryIndexConfig::default(), vec![entry(5), entry(9)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entry(9).unwrap().serial, 9);
+        assert!(s.entry(7).is_none());
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! GraphCache — the first full-fledged caching system for general
+//! subgraph/supergraph queries (EDBT 2017).
+//!
+//! GraphCache (GC) sits in front of any graph query processing method
+//! ("Method M", see [`gc_methods`]) and exploits subgraph/supergraph/exact
+//! relations between new queries and previously executed ones to prune the
+//! candidate sets that Method M would otherwise have to verify with
+//! NP-complete sub-iso tests.
+//!
+//! # Architecture (paper §4)
+//!
+//! * **Query Processing Runtime** — [`GraphCache::run`] dispatches a query
+//!   to Method M's filter and GC's own processors ([`processors`]), prunes
+//!   the candidate set ([`pruner`], equations (1)/(2) + both special
+//!   cases), verifies the remainder with M's verifier, and records
+//!   statistics ([`metrics`], [`stats`]).
+//! * **Cache Manager** — entries + the combined sub/supergraph query index
+//!   ([`query_index`]) live in an immutable snapshot ([`entry`]); the
+//!   Window Manager ([`window`]) batches admissions through a Window,
+//!   consults the admission controller ([`admission`]) and the replacement
+//!   policy ([`policy`]), rebuilds the index off the hot path and swaps it
+//!   in atomically.
+//!
+//! # Example
+//!
+//! ```
+//! use gc_core::{GraphCache, PolicyKind};
+//! use gc_graph::{GraphDataset, LabeledGraph};
+//! use gc_methods::MethodBuilder;
+//!
+//! let dataset = GraphDataset::new(vec![
+//!     LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]),
+//!     LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]),
+//! ]);
+//! let method = MethodBuilder::ggsx().build(&dataset);
+//! let mut cache = GraphCache::builder()
+//!     .capacity(100)
+//!     .window(20)
+//!     .policy(PolicyKind::Hd)
+//!     .build(method);
+//!
+//! let query = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+//! let first = cache.run(&query);
+//! let second = cache.run(&query); // may be served from the Window/cache
+//! assert_eq!(first.answer, second.answer);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod cache;
+pub mod entry;
+pub mod metrics;
+pub mod persist;
+pub mod policy;
+pub mod processors;
+pub mod pruner;
+pub mod query_index;
+pub mod stats;
+pub mod window;
+
+pub use admission::{AdaptiveAdmission, AdmissionConfig, AdmissionControl, CostModel};
+pub use cache::{GcConfig, GraphCache, GraphCacheBuilder, QueryResult};
+pub use entry::{CacheEntry, CacheSnapshot};
+pub use persist::PersistedCache;
+pub use gc_methods::QueryKind;
+pub use metrics::{QueryRecord, RunSummary};
+pub use policy::{PolicyKind, PolicyRow};
+pub use query_index::{QueryIndex, QueryIndexConfig};
+pub use stats::{QuerySerial, StatsStore};
+pub use window::WindowEntry;

@@ -1,0 +1,225 @@
+//! Per-query records and run-level aggregates — what the Statistics Monitor
+//! observes (paper §5.2) and what the evaluation figures are computed from.
+
+use crate::stats::QuerySerial;
+use std::time::Duration;
+
+/// Everything measured about one query's execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRecord {
+    /// Query serial.
+    pub serial: QuerySerial,
+    /// Method M filtering time.
+    pub m_filter: Duration,
+    /// GraphCache processor time (index probe + hit verification).
+    pub gc_filter: Duration,
+    /// Verification time over the pruned candidate set.
+    pub verify: Duration,
+    /// Cache maintenance time attributed to this query (window flush /
+    /// re-indexing executed inline; zero in background mode).
+    pub maintenance: Duration,
+    /// Sub-iso tests executed against dataset graphs.
+    pub subiso_tests: u64,
+    /// Matcher work (recursion steps) spent on dataset verification.
+    pub verify_work: u64,
+    /// |CS_M(g)| — Method M's candidate set size.
+    pub cs_m_size: usize,
+    /// |CS_GC(g)| — candidate set size after GraphCache pruning.
+    pub cs_gc_size: usize,
+    /// Number of verified sub-direction hits (`g ⊆ cached`).
+    pub sub_hits: usize,
+    /// Number of verified super-direction hits (`cached ⊆ g`).
+    pub super_hits: usize,
+    /// The query hit an isomorphic cached query (first special case).
+    pub exact_hit: bool,
+    /// The query was answered empty via the second special case.
+    pub empty_shortcut: bool,
+    /// Final answer size.
+    pub answer_size: usize,
+}
+
+impl QueryRecord {
+    /// Total query latency: filtering (M + GC) + verification +
+    /// inline maintenance.
+    pub fn total(&self) -> Duration {
+        self.m_filter + self.gc_filter + self.verify + self.maintenance
+    }
+
+    /// Query time excluding maintenance (the per-query cost the paper plots
+    /// next to the overhead bars in Fig. 10).
+    pub fn query_time(&self) -> Duration {
+        self.m_filter + self.gc_filter + self.verify
+    }
+
+    /// Whether any kind of cache hit helped this query.
+    pub fn any_hit(&self) -> bool {
+        self.exact_hit || self.empty_shortcut || self.sub_hits > 0 || self.super_hits > 0
+    }
+}
+
+/// Aggregates over a run of queries; the paper's reported metrics are
+/// "query time and number of sub-iso tests per query, along with the
+/// speedups introduced by GC" (§7.2).
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Number of queries.
+    pub queries: usize,
+    /// Mean query time (µs), excluding maintenance.
+    pub avg_query_time_us: f64,
+    /// Mean sub-iso tests per query.
+    pub avg_subiso_tests: f64,
+    /// Mean |CS_M|.
+    pub avg_cs_m: f64,
+    /// Mean |CS_GC|.
+    pub avg_cs_gc: f64,
+    /// Mean maintenance time per query (µs) — the Fig. 10 overhead bars.
+    pub avg_maintenance_us: f64,
+    /// Fraction of queries with any cache hit.
+    pub hit_rate: f64,
+    /// Number of exact-match special cases.
+    pub exact_hits: usize,
+    /// Number of empty-shortcut special cases.
+    pub empty_shortcuts: usize,
+    /// Total wall time of the run (µs), queries only.
+    pub total_query_time_us: f64,
+    /// Total sub-iso tests.
+    pub total_subiso_tests: u64,
+}
+
+impl RunSummary {
+    /// Builds the aggregate from per-query records, skipping the first
+    /// `warmup` queries (the paper allows one window before measuring).
+    pub fn from_records(records: &[QueryRecord], warmup: usize) -> Self {
+        let measured = &records[warmup.min(records.len())..];
+        let n = measured.len();
+        if n == 0 {
+            return RunSummary::default();
+        }
+        let mut s = RunSummary {
+            queries: n,
+            ..Default::default()
+        };
+        for r in measured {
+            s.avg_query_time_us += r.query_time().as_secs_f64() * 1e6;
+            s.avg_subiso_tests += r.subiso_tests as f64;
+            s.avg_cs_m += r.cs_m_size as f64;
+            s.avg_cs_gc += r.cs_gc_size as f64;
+            s.avg_maintenance_us += r.maintenance.as_secs_f64() * 1e6;
+            s.hit_rate += r.any_hit() as u64 as f64;
+            s.exact_hits += r.exact_hit as usize;
+            s.empty_shortcuts += r.empty_shortcut as usize;
+            s.total_subiso_tests += r.subiso_tests;
+        }
+        s.total_query_time_us = s.avg_query_time_us;
+        s.avg_query_time_us /= n as f64;
+        s.avg_subiso_tests /= n as f64;
+        s.avg_cs_m /= n as f64;
+        s.avg_cs_gc /= n as f64;
+        s.avg_maintenance_us /= n as f64;
+        s.hit_rate /= n as f64;
+        s
+    }
+
+    /// Query-time speedup of `self` (GraphCache) relative to `baseline`
+    /// (Method M alone): `baseline.avg / self.avg` — values > 1 are
+    /// improvements, exactly as the paper defines speedup (§7.2).
+    pub fn time_speedup_vs(&self, baseline: &RunSummary) -> f64 {
+        if self.avg_query_time_us <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.avg_query_time_us / self.avg_query_time_us
+    }
+
+    /// Sub-iso-test speedup relative to `baseline`.
+    pub fn subiso_speedup_vs(&self, baseline: &RunSummary) -> f64 {
+        if self.avg_subiso_tests <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.avg_subiso_tests / self.avg_subiso_tests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(us: u64, tests: u64, hit: bool) -> QueryRecord {
+        QueryRecord {
+            verify: Duration::from_micros(us),
+            subiso_tests: tests,
+            sub_hits: hit as usize,
+            cs_m_size: 10,
+            cs_gc_size: 10usize.saturating_sub(tests as usize),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_and_averages() {
+        let recs = vec![record(100, 4, true), record(300, 8, false)];
+        let s = RunSummary::from_records(&recs, 0);
+        assert_eq!(s.queries, 2);
+        assert!((s.avg_query_time_us - 200.0).abs() < 1.0);
+        assert!((s.avg_subiso_tests - 6.0).abs() < 1e-9);
+        assert!((s.hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(s.total_subiso_tests, 12);
+    }
+
+    #[test]
+    fn warmup_skipped() {
+        let recs = vec![record(1_000_000, 100, false), record(100, 2, false)];
+        let s = RunSummary::from_records(&recs, 1);
+        assert_eq!(s.queries, 1);
+        assert!((s.avg_subiso_tests - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        let base = RunSummary {
+            avg_query_time_us: 400.0,
+            avg_subiso_tests: 20.0,
+            ..Default::default()
+        };
+        let gc = RunSummary {
+            avg_query_time_us: 100.0,
+            avg_subiso_tests: 5.0,
+            ..Default::default()
+        };
+        assert!((gc.time_speedup_vs(&base) - 4.0).abs() < 1e-9);
+        assert!((gc.subiso_speedup_vs(&base) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records() {
+        let s = RunSummary::from_records(&[], 0);
+        assert_eq!(s.queries, 0);
+        let s2 = RunSummary::from_records(&[record(1, 1, false)], 5);
+        assert_eq!(s2.queries, 0);
+    }
+
+    #[test]
+    fn record_totals() {
+        let r = QueryRecord {
+            m_filter: Duration::from_micros(10),
+            gc_filter: Duration::from_micros(20),
+            verify: Duration::from_micros(30),
+            maintenance: Duration::from_micros(40),
+            ..Default::default()
+        };
+        assert_eq!(r.total(), Duration::from_micros(100));
+        assert_eq!(r.query_time(), Duration::from_micros(60));
+        assert!(!r.any_hit());
+    }
+
+    #[test]
+    fn zero_time_speedup_is_infinite() {
+        let base = RunSummary {
+            avg_query_time_us: 10.0,
+            avg_subiso_tests: 1.0,
+            ..Default::default()
+        };
+        let zero = RunSummary::default();
+        assert!(zero.time_speedup_vs(&base).is_infinite());
+        assert!(zero.subiso_speedup_vs(&base).is_infinite());
+    }
+}

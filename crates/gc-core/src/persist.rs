@@ -1,0 +1,334 @@
+//! Cache persistence (paper §6.1): the cached-queries store and the
+//! statistics store are "loaded from disk on startup and written back to
+//! disk on shutdown"; the query index is rebuilt from the loaded entries.
+//!
+//! Format: a directory with two line-oriented text files —
+//!
+//! * `entries.txt` — for each cached query: an `@entry <serial>` header,
+//!   the query graph in the `gc_graph::io` record format, then an
+//!   `answers: <id> <id> …` line;
+//! * `stats.txt` — one `row <serial>` line per statistics row followed by
+//!   `  <column> <int|float> <value>` lines.
+//!
+//! Loading is strict: malformed input yields an error rather than a
+//! silently truncated cache.
+
+use crate::entry::{CacheEntry, CacheSnapshot};
+use crate::query_index::QueryIndexConfig;
+use crate::stats::{QuerySerial, StatsStore, Value};
+use gc_graph::{io, GraphError, GraphId};
+use gc_index::paths::enumerate_paths;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Serialisable cache state: entries plus their statistics rows.
+#[derive(Debug, Default)]
+pub struct PersistedCache {
+    /// The cached queries with serials and answer sets.
+    pub entries: Vec<(QuerySerial, gc_graph::LabeledGraph, Vec<GraphId>)>,
+    /// The statistics rows.
+    pub stats: StatsStore,
+    /// The serial counter at shutdown (so a restarted cache continues
+    /// numbering without collisions).
+    pub next_serial: QuerySerial,
+}
+
+impl PersistedCache {
+    /// Writes the state into `dir` (created if missing).
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut ef = BufWriter::new(std::fs::File::create(dir.join("entries.txt"))?);
+        writeln!(ef, "next_serial {}", self.next_serial)?;
+        for (serial, graph, answer) in &self.entries {
+            writeln!(ef, "@entry {serial}")?;
+            io::write_graph(&mut ef, &format!("q{serial}"), graph)?;
+            write!(ef, "answers:")?;
+            for id in answer {
+                write!(ef, " {}", id.0)?;
+            }
+            writeln!(ef)?;
+        }
+        ef.flush()?;
+
+        let mut sf = BufWriter::new(std::fs::File::create(dir.join("stats.txt"))?);
+        let mut keys: Vec<QuerySerial> = self.stats.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            writeln!(sf, "row {key}")?;
+            if let Some(row) = self.stats.row(key) {
+                for (col, val) in row {
+                    match val {
+                        Value::Int(i) => writeln!(sf, "  {col} int {i}")?,
+                        Value::Float(f) => writeln!(sf, "  {col} float {f}")?,
+                    }
+                }
+            }
+        }
+        sf.flush()
+    }
+
+    /// Reads the state back from `dir`.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, GraphError> {
+        let dir = dir.as_ref();
+        let mut out = PersistedCache::default();
+
+        let ef = BufReader::new(std::fs::File::open(dir.join("entries.txt"))?);
+        let mut lines = ef.lines();
+        let first = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| GraphError::parse(1, "missing next_serial header"))?;
+        out.next_serial = first
+            .strip_prefix("next_serial ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| GraphError::parse(1, "malformed next_serial header"))?;
+        // Re-assemble records: delegate graph parsing to gc_graph::io by
+        // buffering each record's lines.
+        let mut pending: Vec<String> = Vec::new();
+        let mut serial: Option<QuerySerial> = None;
+        let mut lineno = 1usize;
+        let finish = |serial: QuerySerial,
+                          pending: &mut Vec<String>,
+                          out: &mut PersistedCache,
+                          lineno: usize|
+         -> Result<(), GraphError> {
+            let answers_line = pending
+                .pop()
+                .ok_or_else(|| GraphError::parse(lineno, "entry missing answers line"))?;
+            let rest = answers_line
+                .strip_prefix("answers:")
+                .ok_or_else(|| GraphError::parse(lineno, "expected 'answers:' line"))?;
+            let mut answer = Vec::new();
+            for tok in rest.split_whitespace() {
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| GraphError::parse(lineno, format!("bad answer id {tok:?}")))?;
+                answer.push(GraphId(id));
+            }
+            let text = pending.join("\n");
+            let ds = io::read_dataset(text.as_bytes())?;
+            if ds.len() != 1 {
+                return Err(GraphError::parse(lineno, "expected exactly one graph record"));
+            }
+            out.entries
+                .push((serial, ds.graph(GraphId(0)).clone(), answer));
+            pending.clear();
+            Ok(())
+        };
+        for line in lines {
+            let line = line?;
+            lineno += 1;
+            if let Some(s) = line.strip_prefix("@entry ") {
+                if let Some(prev) = serial.take() {
+                    finish(prev, &mut pending, &mut out, lineno)?;
+                }
+                serial = Some(
+                    s.trim()
+                        .parse()
+                        .map_err(|_| GraphError::parse(lineno, "bad entry serial"))?,
+                );
+            } else if serial.is_some() {
+                pending.push(line);
+            } else if !line.trim().is_empty() {
+                return Err(GraphError::parse(lineno, "content before first @entry"));
+            }
+        }
+        if let Some(prev) = serial.take() {
+            finish(prev, &mut pending, &mut out, lineno)?;
+        }
+
+        let sf = BufReader::new(std::fs::File::open(dir.join("stats.txt"))?);
+        let mut current: Option<QuerySerial> = None;
+        for (i, line) in sf.lines().enumerate() {
+            let line = line?;
+            let lineno = i + 1;
+            if let Some(k) = line.strip_prefix("row ") {
+                current = Some(
+                    k.trim()
+                        .parse()
+                        .map_err(|_| GraphError::parse(lineno, "bad stats key"))?,
+                );
+            } else if !line.trim().is_empty() {
+                let key = current
+                    .ok_or_else(|| GraphError::parse(lineno, "stats cell before any row"))?;
+                let mut parts = line.split_whitespace();
+                let col = parts
+                    .next()
+                    .ok_or_else(|| GraphError::parse(lineno, "missing column name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| GraphError::parse(lineno, "missing value kind"))?;
+                let raw = parts
+                    .next()
+                    .ok_or_else(|| GraphError::parse(lineno, "missing value"))?;
+                let col = leak_column(col);
+                match kind {
+                    "int" => out.stats.set(
+                        key,
+                        col,
+                        raw.parse::<i64>()
+                            .map_err(|_| GraphError::parse(lineno, "bad int"))?,
+                    ),
+                    "float" => out.stats.set(
+                        key,
+                        col,
+                        raw.parse::<f64>()
+                            .map_err(|_| GraphError::parse(lineno, "bad float"))?,
+                    ),
+                    other => {
+                        return Err(GraphError::parse(
+                            lineno,
+                            format!("unknown value kind {other:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialises a [`CacheSnapshot`] from the loaded entries (the query
+    /// index is rebuilt, exactly as the paper's startup path does).
+    pub fn into_snapshot(self, cfg: QueryIndexConfig) -> (CacheSnapshot, StatsStore, QuerySerial) {
+        let entries: Vec<Arc<CacheEntry>> = self
+            .entries
+            .into_iter()
+            .map(|(serial, graph, answer)| {
+                let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
+                Arc::new(CacheEntry {
+                    serial,
+                    graph,
+                    answer,
+                    profile,
+                })
+            })
+            .collect();
+        (
+            CacheSnapshot::build(cfg, entries),
+            self.stats,
+            self.next_serial,
+        )
+    }
+}
+
+/// Statistics columns are `&'static str`; persisted columns outside the
+/// known set are interned by leaking (bounded by the column vocabulary).
+fn leak_column(name: &str) -> &'static str {
+    use crate::stats::columns as c;
+    for known in [
+        c::NODES,
+        c::EDGES,
+        c::LABELS,
+        c::FILTER_US,
+        c::VERIFY_US,
+        c::HITS,
+        c::SPECIAL_HITS,
+        c::LAST_HIT,
+        c::R_TOTAL,
+        c::C_TOTAL,
+        c::EXPENSIVENESS,
+    ] {
+        if known == name {
+            return known;
+        }
+    }
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::columns;
+    use gc_graph::LabeledGraph;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gc-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> PersistedCache {
+        let mut stats = StatsStore::new();
+        stats.set(3, columns::HITS, 7i64);
+        stats.set(3, columns::C_TOTAL, 12.5);
+        stats.set(9, columns::NODES, 4i64);
+        PersistedCache {
+            entries: vec![
+                (
+                    3,
+                    LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]),
+                    vec![GraphId(0), GraphId(4)],
+                ),
+                (9, LabeledGraph::from_parts(vec![5], &[]), vec![]),
+            ],
+            stats,
+            next_serial: 42,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let orig = sample();
+        orig.save(&dir).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        assert_eq!(back.next_serial, 42);
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries[0].0, 3);
+        assert_eq!(back.entries[0].1.labels(), &[0, 1, 0]);
+        assert_eq!(back.entries[0].2, vec![GraphId(0), GraphId(4)]);
+        assert_eq!(back.entries[1].2, Vec::<GraphId>::new());
+        assert_eq!(back.stats.get(3, columns::HITS), Some(Value::Int(7)));
+        assert_eq!(back.stats.get(3, columns::C_TOTAL), Some(Value::Float(12.5)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_materialisation() {
+        let dir = tmpdir("snapshot");
+        sample().save(&dir).unwrap();
+        let loaded = PersistedCache::load(&dir).unwrap();
+        let (snap, stats, next) = loaded.into_snapshot(QueryIndexConfig::default());
+        assert_eq!(snap.len(), 2);
+        assert_eq!(next, 42);
+        assert_eq!(stats.len(), 2);
+        assert!(snap.entry(3).is_some());
+        // The rebuilt index answers candidate queries over loaded entries.
+        let probe = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let cands = snap.index.candidates(&probe);
+        assert!(!cands.sub.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let dir = tmpdir("malformed");
+        std::fs::write(dir.join("entries.txt"), "garbage\n").unwrap();
+        std::fs::write(dir.join("stats.txt"), "").unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        std::fs::write(dir.join("entries.txt"), "next_serial 1\nstray\n").unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        std::fs::write(dir.join("entries.txt"), "next_serial 1\n").unwrap();
+        std::fs::write(dir.join("stats.txt"), "  orphan int 3\n").unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_cache_roundtrip() {
+        let dir = tmpdir("empty");
+        let empty = PersistedCache {
+            next_serial: 1,
+            ..Default::default()
+        };
+        empty.save(&dir).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        assert!(back.entries.is_empty());
+        assert!(back.stats.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! The GraphCache<sub>sub</sub> / GraphCache<sub>super</sub> processors
+//! (paper §5.1): turn the query index's candidate slots into *verified* hit
+//! sets by running sub-iso tests against the cached query graphs.
+
+use crate::entry::CacheSnapshot;
+use crate::stats::QuerySerial;
+use gc_index::paths::PathProfile;
+use gc_subiso::{MatchConfig, Matcher};
+use gc_graph::LabeledGraph;
+
+/// Verified cache hits for one new query.
+#[derive(Debug, Clone, Default)]
+pub struct HitSet {
+    /// Serials of cached queries `q` with `g ⊆ q` — `Result_sub(g)`.
+    pub sub: Vec<QuerySerial>,
+    /// Serials of cached queries `q` with `q ⊆ g` — `Result_super(g)`.
+    pub super_: Vec<QuerySerial>,
+    /// A cached query isomorphic to `g`, when one exists (the first special
+    /// case of §5.1: containment in either direction + equal node and edge
+    /// counts implies isomorphism).
+    pub exact: Option<QuerySerial>,
+    /// Number of sub-iso tests spent verifying candidates.
+    pub tests: u64,
+    /// Total matcher work (recursion steps) spent verifying candidates.
+    pub work: u64,
+}
+
+/// Runs both processors for `query` against the current cache snapshot.
+pub fn find_hits(
+    snapshot: &CacheSnapshot,
+    query: &LabeledGraph,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+) -> HitSet {
+    let profile = snapshot.index.profile_of(query);
+    find_hits_with_profile(snapshot, query, &profile, matcher, cfg)
+}
+
+/// Like [`find_hits`] but reuses the query's precomputed feature profile.
+pub fn find_hits_with_profile(
+    snapshot: &CacheSnapshot,
+    query: &LabeledGraph,
+    profile: &PathProfile,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+) -> HitSet {
+    let mut hits = HitSet::default();
+    let qn = query.node_count();
+    let qm = query.edge_count();
+    let candidates = snapshot
+        .index
+        .candidates_from_profile(profile, qn as u32, qm as u32);
+
+    for &slot in &candidates.sub {
+        let entry = &snapshot.entries[slot as usize];
+        let out = matcher.contains_with(query, &entry.graph, cfg);
+        hits.tests += 1;
+        hits.work += out.nodes_expanded;
+        if out.found {
+            hits.sub.push(entry.serial);
+            if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
+                hits.exact.get_or_insert(entry.serial);
+            }
+        }
+    }
+    for &slot in &candidates.super_ {
+        let entry = &snapshot.entries[slot as usize];
+        // Same-size slots were already decided by the sub pass: containment
+        // in either direction at equal size is isomorphism.
+        let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
+        if same_size {
+            if hits.sub.contains(&entry.serial) {
+                hits.super_.push(entry.serial);
+            }
+            continue;
+        }
+        let out = matcher.contains_with(&entry.graph, query, cfg);
+        hits.tests += 1;
+        hits.work += out.nodes_expanded;
+        if out.found {
+            hits.super_.push(entry.serial);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::CacheEntry;
+    use crate::query_index::QueryIndexConfig;
+    use gc_graph::GraphId;
+    use gc_subiso::Vf2;
+    use std::sync::Arc;
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(labels.to_vec(), &edges)
+    }
+
+    fn snapshot(graphs: Vec<LabeledGraph>) -> CacheSnapshot {
+        let entries = graphs
+            .into_iter()
+            .enumerate()
+            .map(|(i, graph)| {
+                Arc::new(CacheEntry {
+                    serial: (i as u64 + 1) * 100,
+                    profile: gc_index::paths::enumerate_paths(&graph, 4, u64::MAX),
+                    graph,
+                    answer: vec![GraphId(i as u32)],
+                })
+            })
+            .collect();
+        CacheSnapshot::build(QueryIndexConfig::default(), entries)
+    }
+
+    #[test]
+    fn sub_and_super_hits_verified() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0, 1]), // 100: g ⊆ this
+            path_graph(&[0, 1]),       // 200: this ⊆ g
+            path_graph(&[7, 7, 7]),    // 300: unrelated
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        assert_eq!(hits.sub, vec![100]);
+        assert_eq!(hits.super_, vec![200]);
+        assert!(hits.exact.is_none());
+        assert!(hits.tests >= 2);
+    }
+
+    #[test]
+    fn exact_hit_detected() {
+        let snap = snapshot(vec![path_graph(&[0, 1, 0])]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        assert_eq!(hits.exact, Some(100));
+        assert_eq!(hits.sub, vec![100]);
+        assert_eq!(hits.super_, vec![100]);
+    }
+
+    #[test]
+    fn same_size_non_isomorphic_no_exact() {
+        // Same node and edge count, different structure/labels.
+        let snap = snapshot(vec![path_graph(&[0, 1, 2])]);
+        let g = path_graph(&[0, 2, 1]);
+        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        assert!(hits.exact.is_none());
+        assert!(hits.sub.is_empty());
+        assert!(hits.super_.is_empty());
+    }
+
+    #[test]
+    fn filter_false_positives_rejected_by_verifier() {
+        // Same feature counts up to length 4 may still not contain g; the
+        // verifier must reject. Cycle of 6 vs two triangles sharing labels:
+        let hexagon = LabeledGraph::from_parts(
+            vec![0; 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        let snap = snapshot(vec![hexagon]);
+        let triangle = LabeledGraph::from_parts(vec![0; 3], &[(0, 1), (1, 2), (2, 0)]);
+        let hits = find_hits(&snap, &triangle, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        assert!(hits.sub.is_empty(), "hexagon does not contain a triangle");
+    }
+
+    #[test]
+    fn empty_cache_no_hits() {
+        let snap = snapshot(vec![]);
+        let hits = find_hits(
+            &snap,
+            &path_graph(&[0, 1]),
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
+        assert!(hits.sub.is_empty() && hits.super_.is_empty() && hits.exact.is_none());
+        assert_eq!(hits.tests, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The Candidate Set Pruner (paper §5.1): equations (1) and (2), the two
+//! special cases, and the inverse handling for supergraph queries.
+//!
+//! For a **subgraph** query `g`:
+//!
+//! * *expanding hits* are cached queries `q ⊇ g` (`Result_sub(g)`): every
+//!   graph in `Answer(q) ∩ CS_M(g)` certainly contains `g` and moves
+//!   straight into the answer — equation (1);
+//! * *restricting hits* are cached queries `q ⊆ g` (`Result_super(g)`):
+//!   any graph outside `Answer(q)` cannot contain `g`, so the remaining
+//!   candidate set is intersected with each hit's answer — equation (2);
+//! * if a restricting hit has an **empty answer**, the whole result is
+//!   empty (second special case).
+//!
+//! For a **supergraph** query the roles swap exactly (paper §5.1,
+//! "Supergraph Query Processing"): answers of cached queries contained in
+//! `g` expand the result; answers of cached queries containing `g`
+//! restrict it; the empty-answer shortcut moves to the restricting side —
+//! which is again handled by the same code path, with the hit sets swapped
+//! by the caller.
+
+use crate::stats::QuerySerial;
+use gc_graph::{idset, GraphId};
+
+/// How a query was resolved by the pruner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneOutcome {
+    /// No special case: `direct_answer` comes from cache, `remaining` still
+    /// needs verification.
+    Pruned,
+    /// A restricting hit had an empty answer — the result is necessarily
+    /// empty and verification is skipped entirely (greatest possible gain).
+    EmptyShortcut(QuerySerial),
+}
+
+/// A cached query's contribution to pruning one new query — feeds the
+/// statistics monitor ("the Candidate Set Pruner knows exactly which graphs
+/// from the answer set of each matched cached query were removed", §5.2).
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// The cached query's serial.
+    pub serial: QuerySerial,
+    /// Dataset graphs this hit removed from the candidate set.
+    pub removed: Vec<GraphId>,
+}
+
+/// Result of pruning one candidate set.
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// Outcome kind.
+    pub outcome: PruneOutcome,
+    /// Graphs answered directly from the cache (already known positive).
+    pub direct_answer: Vec<GraphId>,
+    /// Candidates that still need sub-iso verification.
+    pub remaining: Vec<GraphId>,
+    /// Per-hit removal attribution.
+    pub contributions: Vec<Contribution>,
+}
+
+/// One hit as seen by the pruner: the cached query's serial and its answer.
+#[derive(Debug, Clone, Copy)]
+pub struct HitAnswer<'a> {
+    /// Serial of the cached query.
+    pub serial: QuerySerial,
+    /// Its cached (sorted) answer set.
+    pub answer: &'a [GraphId],
+}
+
+/// Applies equations (1) and (2) to `cs_m`.
+///
+/// `expanding` are the hits whose answers inject graphs into the result
+/// (for subgraph queries: `Result_sub`); `restricting` are the hits whose
+/// answers bound it (for subgraph queries: `Result_super`). The caller
+/// swaps the two for supergraph queries.
+pub fn prune(
+    cs_m: &[GraphId],
+    expanding: &[HitAnswer<'_>],
+    restricting: &[HitAnswer<'_>],
+) -> PruneResult {
+    // Second special case first: it short-circuits everything.
+    if let Some(hit) = restricting.iter().find(|h| h.answer.is_empty()) {
+        return PruneResult {
+            outcome: PruneOutcome::EmptyShortcut(hit.serial),
+            direct_answer: Vec::new(),
+            remaining: Vec::new(),
+            contributions: vec![Contribution {
+                serial: hit.serial,
+                removed: cs_m.to_vec(),
+            }],
+        };
+    }
+
+    let mut contributions: Vec<Contribution> = Vec::new();
+
+    // Equation (1): remove ∪ Answer(q) from CS_M, moving the intersection
+    // directly into the answer.
+    let mut union_expanding: Vec<GraphId> = Vec::new();
+    for hit in expanding {
+        let removed = idset::intersect(cs_m, hit.answer);
+        if !removed.is_empty() {
+            contributions.push(Contribution {
+                serial: hit.serial,
+                removed,
+            });
+        } else {
+            // A hit with nothing to remove still counts as a hit upstream;
+            // record the empty contribution for bookkeeping.
+            contributions.push(Contribution {
+                serial: hit.serial,
+                removed: Vec::new(),
+            });
+        }
+        union_expanding = idset::union(&union_expanding, hit.answer);
+    }
+    let direct_answer = idset::intersect(cs_m, &union_expanding);
+    let mut remaining = idset::difference(cs_m, &union_expanding);
+
+    // Equation (2): intersect with each restricting hit's answer.
+    for hit in restricting {
+        let removed = idset::difference(&remaining, hit.answer);
+        contributions.push(Contribution {
+            serial: hit.serial,
+            removed: removed.clone(),
+        });
+        if !removed.is_empty() {
+            remaining = idset::intersect(&remaining, hit.answer);
+        }
+    }
+
+    PruneResult {
+        outcome: PruneOutcome::Pruned,
+        direct_answer,
+        remaining,
+        contributions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<GraphId> {
+        v.iter().copied().map(GraphId).collect()
+    }
+
+    /// The worked example of Fig. 3(a): CS_M = {G1..G4}, a sub-hit with
+    /// answer {G1, G2} ⇒ G1, G2 go straight to the answer, G3, G4 remain.
+    #[test]
+    fn paper_figure_3a_subgraph_case() {
+        let cs = ids(&[1, 2, 3, 4]);
+        let answer = ids(&[1, 2]);
+        let hit = HitAnswer {
+            serial: 42,
+            answer: &answer,
+        };
+        let r = prune(&cs, &[hit], &[]);
+        assert_eq!(r.outcome, PruneOutcome::Pruned);
+        assert_eq!(r.direct_answer, ids(&[1, 2]));
+        assert_eq!(r.remaining, ids(&[3, 4]));
+        assert_eq!(r.contributions.len(), 1);
+        assert_eq!(r.contributions[0].removed, ids(&[1, 2]));
+    }
+
+    /// The worked example of Fig. 3(b): CS_M = {G1..G4}, a super-hit with
+    /// answer {G1, G5} ⇒ only G1 can still match; G2, G3, G4 are pruned.
+    #[test]
+    fn paper_figure_3b_supergraph_case() {
+        let cs = ids(&[1, 2, 3, 4]);
+        let answer = ids(&[1, 5]);
+        let hit = HitAnswer {
+            serial: 43,
+            answer: &answer,
+        };
+        let r = prune(&cs, &[], &[hit]);
+        assert_eq!(r.direct_answer, ids(&[]));
+        assert_eq!(r.remaining, ids(&[1]));
+        assert_eq!(r.contributions[0].removed, ids(&[2, 3, 4]));
+    }
+
+    /// Both equations together: (1) first, then (2) on what's left.
+    #[test]
+    fn combined_pruning() {
+        let cs = ids(&[1, 2, 3, 4, 5]);
+        let exp_answer = ids(&[1, 2]);
+        let res_answer = ids(&[2, 3, 9]);
+        let r = prune(
+            &cs,
+            &[HitAnswer {
+                serial: 1,
+                answer: &exp_answer,
+            }],
+            &[HitAnswer {
+                serial: 2,
+                answer: &res_answer,
+            }],
+        );
+        assert_eq!(r.direct_answer, ids(&[1, 2]));
+        // After eq (1): {3,4,5}; eq (2) keeps only those in {2,3,9}: {3}.
+        assert_eq!(r.remaining, ids(&[3]));
+        let removed_by_2: &Contribution =
+            r.contributions.iter().find(|c| c.serial == 2).unwrap();
+        assert_eq!(removed_by_2.removed, ids(&[4, 5]));
+    }
+
+    #[test]
+    fn multiple_expanding_hits_union() {
+        let cs = ids(&[1, 2, 3, 4]);
+        let a1 = ids(&[1]);
+        let a2 = ids(&[2, 9]);
+        let r = prune(
+            &cs,
+            &[
+                HitAnswer {
+                    serial: 1,
+                    answer: &a1,
+                },
+                HitAnswer {
+                    serial: 2,
+                    answer: &a2,
+                },
+            ],
+            &[],
+        );
+        assert_eq!(r.direct_answer, ids(&[1, 2]));
+        assert_eq!(r.remaining, ids(&[3, 4]));
+    }
+
+    #[test]
+    fn multiple_restricting_hits_intersect() {
+        let cs = ids(&[1, 2, 3, 4]);
+        let a1 = ids(&[1, 2, 3]);
+        let a2 = ids(&[2, 3, 4]);
+        let r = prune(
+            &cs,
+            &[],
+            &[
+                HitAnswer {
+                    serial: 1,
+                    answer: &a1,
+                },
+                HitAnswer {
+                    serial: 2,
+                    answer: &a2,
+                },
+            ],
+        );
+        assert_eq!(r.remaining, ids(&[2, 3]));
+    }
+
+    /// Second special case: a restricting hit with an empty answer empties
+    /// the result outright.
+    #[test]
+    fn empty_answer_shortcut() {
+        let cs = ids(&[1, 2, 3]);
+        let empty: Vec<GraphId> = vec![];
+        let full = ids(&[1, 2, 3]);
+        let r = prune(
+            &cs,
+            &[HitAnswer {
+                serial: 9,
+                answer: &full,
+            }],
+            &[HitAnswer {
+                serial: 7,
+                answer: &empty,
+            }],
+        );
+        assert_eq!(r.outcome, PruneOutcome::EmptyShortcut(7));
+        assert!(r.direct_answer.is_empty());
+        assert!(r.remaining.is_empty());
+        assert_eq!(r.contributions[0].serial, 7);
+        assert_eq!(r.contributions[0].removed, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn no_hits_passthrough() {
+        let cs = ids(&[4, 5]);
+        let r = prune(&cs, &[], &[]);
+        assert_eq!(r.outcome, PruneOutcome::Pruned);
+        assert!(r.direct_answer.is_empty());
+        assert_eq!(r.remaining, ids(&[4, 5]));
+        assert!(r.contributions.is_empty());
+    }
+
+    /// Invariants: direct ∪ remaining ⊆ cs, direct ∩ remaining = ∅.
+    #[test]
+    fn partition_invariants() {
+        let cs = ids(&[1, 2, 3, 4, 5, 6]);
+        let a1 = ids(&[2, 4]);
+        let a2 = ids(&[1, 2, 4, 5]);
+        let r = prune(
+            &cs,
+            &[HitAnswer {
+                serial: 1,
+                answer: &a1,
+            }],
+            &[HitAnswer {
+                serial: 2,
+                answer: &a2,
+            }],
+        );
+        assert!(idset::intersect(&r.direct_answer, &r.remaining).is_empty());
+        let both = idset::union(&r.direct_answer, &r.remaining);
+        assert_eq!(idset::intersect(&both, &cs), both);
+    }
+}

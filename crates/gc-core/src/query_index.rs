@@ -1,0 +1,370 @@
+//! GCindex — the combined subgraph/supergraph index over cached queries
+//! (paper §6.1, second Cache store component).
+//!
+//! The design is "loosely based on the GraphGrepSX subgraph query index,
+//! augmented with additional metadata to allow for the processing of
+//! supergraph queries": cached query graphs are decomposed into labelled
+//! path features with occurrence counts, and a single structure answers both
+//! directions for a new query `g`:
+//!
+//! * **sub-candidates** — cached queries `q` that may *contain* `g`
+//!   (`g ⊆ q`): standard GGSX containment filtering — every feature of `g`
+//!   must appear in `q` with at least `g`'s count;
+//! * **super-candidates** — cached queries `q` that may be *contained in*
+//!   `g` (`q ⊆ g`): the augmented direction — every feature of `q` must
+//!   appear in `g` with at least `q`'s count. This is answered in one sweep
+//!   over `g`'s feature multiset by counting, per cached query, how many of
+//!   its distinct features are satisfied.
+//!
+//! Both candidate lists are *sound overapproximations*; the GC processors
+//! verify each candidate with a sub-iso test before it becomes a hit.
+
+use crate::stats::QuerySerial;
+use gc_index::paths::{enumerate_paths, PathFeature, PathProfile};
+use gc_graph::LabeledGraph;
+use gc_index::fx::FxHashMap as HashMap;
+
+/// Configuration of the query index.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryIndexConfig {
+    /// Maximum feature path length in edges (GGSX default: 4).
+    pub max_path_len: usize,
+    /// Per-graph enumeration work cap; overflowing graphs are indexed
+    /// conservatively (always candidates, in both directions).
+    pub work_cap: u64,
+}
+
+impl Default for QueryIndexConfig {
+    fn default() -> Self {
+        QueryIndexConfig {
+            max_path_len: 4,
+            work_cap: 5_000_000,
+        }
+    }
+}
+
+/// Candidate slots for a new query, in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct HitCandidates {
+    /// Slots of cached queries possibly containing the new query (`g ⊆ q`).
+    pub sub: Vec<u32>,
+    /// Slots of cached queries possibly contained in it (`q ⊆ g`).
+    pub super_: Vec<u32>,
+}
+
+/// The combined index. Slots are positions in the entry vector the index
+/// was built from.
+#[derive(Debug)]
+pub struct QueryIndex {
+    cfg: QueryIndexConfig,
+    postings: HashMap<PathFeature, Vec<(u32, u32)>>,
+    /// Per slot: number of distinct features (for super-candidate checks).
+    distinct: Vec<u32>,
+    /// Per slot: (node count, edge count) — cheap containment preconditions.
+    sizes: Vec<(u32, u32)>,
+    /// Per slot: enumeration overflowed, treat conservatively.
+    overflow: Vec<bool>,
+    serials: Vec<QuerySerial>,
+}
+
+impl QueryIndex {
+    /// Builds the index over `(serial, graph)` pairs, in slot order,
+    /// enumerating each graph's features.
+    pub fn build<'a>(
+        cfg: QueryIndexConfig,
+        entries: impl Iterator<Item = (QuerySerial, &'a LabeledGraph)>,
+    ) -> Self {
+        let materialized: Vec<(QuerySerial, (u32, u32), PathProfile)> = entries
+            .map(|(serial, graph)| {
+                let profile = enumerate_paths(graph, cfg.max_path_len, cfg.work_cap);
+                (
+                    serial,
+                    (graph.node_count() as u32, graph.edge_count() as u32),
+                    profile,
+                )
+            })
+            .collect();
+        Self::build_from_profiles(cfg, materialized.iter().map(|(s, z, p)| (*s, *z, p)))
+    }
+
+    /// Builds the index from *precomputed* feature profiles — the Window
+    /// Manager stores each query's profile at execution time so re-indexing
+    /// never re-enumerates cached graphs (paper §6.2 keeps rebuild latency
+    /// low; this is the mechanism).
+    pub fn build_from_profiles<'a>(
+        cfg: QueryIndexConfig,
+        entries: impl Iterator<Item = (QuerySerial, (u32, u32), &'a PathProfile)>,
+    ) -> Self {
+        let mut postings: HashMap<PathFeature, Vec<(u32, u32)>> = HashMap::default();
+        let mut distinct = Vec::new();
+        let mut sizes = Vec::new();
+        let mut overflow = Vec::new();
+        let mut serials = Vec::new();
+        for (slot, (serial, size, profile)) in entries.enumerate() {
+            let slot = slot as u32;
+            serials.push(serial);
+            sizes.push(size);
+            match profile {
+                PathProfile::Counts(counts) => {
+                    distinct.push(counts.len() as u32);
+                    overflow.push(false);
+                    for (feature, &count) in counts {
+                        postings
+                            .entry(feature.clone())
+                            .or_default()
+                            .push((slot, count));
+                    }
+                }
+                PathProfile::Overflow => {
+                    distinct.push(0);
+                    overflow.push(true);
+                }
+            }
+        }
+        QueryIndex {
+            cfg,
+            postings,
+            distinct,
+            sizes,
+            overflow,
+            serials,
+        }
+    }
+
+    /// Enumerates a query's feature profile under this index's
+    /// configuration (callers compute it once and reuse it for candidate
+    /// probing and for eventual admission into the cache).
+    pub fn profile_of(&self, query: &LabeledGraph) -> PathProfile {
+        enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap)
+    }
+
+    /// Number of indexed cached queries.
+    pub fn len(&self) -> usize {
+        self.serials.len()
+    }
+
+    /// True when no queries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.serials.is_empty()
+    }
+
+    /// The serial stored at a slot.
+    pub fn serial(&self, slot: u32) -> QuerySerial {
+        self.serials[slot as usize]
+    }
+
+    /// The `(nodes, edges)` size of the query at a slot.
+    pub fn size(&self, slot: u32) -> (u32, u32) {
+        self.sizes[slot as usize]
+    }
+
+    /// Computes candidate slots for a new query, both directions, in one
+    /// pass over the query's feature multiset.
+    pub fn candidates(&self, query: &LabeledGraph) -> HitCandidates {
+        let profile = self.profile_of(query);
+        self.candidates_from_profile(
+            &profile,
+            query.node_count() as u32,
+            query.edge_count() as u32,
+        )
+    }
+
+    /// Like [`QueryIndex::candidates`] but reuses a precomputed profile.
+    pub fn candidates_from_profile(
+        &self,
+        profile: &PathProfile,
+        qn: u32,
+        qm: u32,
+    ) -> HitCandidates {
+        let n = self.len();
+        if n == 0 {
+            return HitCandidates::default();
+        }
+        let features = match profile.counts() {
+            Some(c) => c,
+            None => {
+                // Query enumeration overflowed: every size-compatible slot
+                // stays a candidate (sound; the verifier will sort it out).
+                let mut out = HitCandidates::default();
+                for slot in 0..n as u32 {
+                    let (sn, sm) = self.sizes[slot as usize];
+                    if sn >= qn && sm >= qm {
+                        out.sub.push(slot);
+                    }
+                    if sn <= qn && sm <= qm {
+                        out.super_.push(slot);
+                    }
+                }
+                return out;
+            }
+        };
+
+        // One posting-driven sweep over the query's feature multiset covers
+        // both directions (O(posting entries touched), not O(features × n)):
+        //
+        // * sub direction: slot q is a candidate iff it satisfies
+        //   `count_q(f) ≥ count_g(f)` for EVERY feature f of g — counted in
+        //   `sat_sub`, compared against the number of query features;
+        // * super direction: slot q is a candidate iff g satisfies
+        //   `count_q(f) ≤ count_g(f)` for every feature of q — counted in
+        //   `sat_super`, compared against the slot's distinct-feature count.
+        let mut sat_sub: Vec<u32> = vec![0; n];
+        let mut sat_super: Vec<u32> = vec![0; n];
+        let g_features = features.len() as u32;
+        for (feature, &g_count) in features {
+            if let Some(posting) = self.postings.get(feature) {
+                for &(slot, q_count) in posting {
+                    sat_super[slot as usize] += (q_count <= g_count) as u32;
+                    sat_sub[slot as usize] += (q_count >= g_count) as u32;
+                }
+            }
+        }
+
+        let mut out = HitCandidates::default();
+        for slot in 0..n {
+            let (sn, sm) = self.sizes[slot];
+            let size_sub = sn >= qn && sm >= qm;
+            let size_super = sn <= qn && sm <= qm;
+            if size_sub && (self.overflow[slot] || sat_sub[slot] == g_features) {
+                out.sub.push(slot as u32);
+            }
+            if size_super
+                && (self.overflow[slot] || sat_super[slot] == self.distinct[slot])
+            {
+                out.super_.push(slot as u32);
+            }
+        }
+        out
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let postings: usize = self
+            .postings
+            .iter()
+            .map(|(k, v)| k.len() * 4 + v.len() * 8 + 48)
+            .sum();
+        postings + self.serials.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(labels.to_vec(), &edges)
+    }
+
+    fn build(graphs: &[LabeledGraph]) -> QueryIndex {
+        QueryIndex::build(
+            QueryIndexConfig::default(),
+            graphs.iter().enumerate().map(|(i, g)| (i as u64 * 10, g)),
+        )
+    }
+
+    #[test]
+    fn empty_index_no_candidates() {
+        let idx = build(&[]);
+        assert!(idx.is_empty());
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        assert!(c.sub.is_empty() && c.super_.is_empty());
+    }
+
+    #[test]
+    fn sub_candidates_found() {
+        // Cached: a-b-a path (3 nodes). New query: a-b edge ⊆ cached.
+        let idx = build(&[path_graph(&[0, 1, 0]), path_graph(&[5, 5])]);
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        assert_eq!(c.sub, vec![0]);
+        // The edge is not a supergraph of anything cached.
+        assert!(c.super_.is_empty());
+    }
+
+    #[test]
+    fn super_candidates_found() {
+        // Cached: a-b edge. New query: a-b-a path ⊇ cached.
+        let idx = build(&[path_graph(&[0, 1])]);
+        let c = idx.candidates(&path_graph(&[0, 1, 0]));
+        assert_eq!(c.super_, vec![0]);
+        assert!(c.sub.is_empty());
+    }
+
+    #[test]
+    fn exact_size_appears_in_both_directions() {
+        let idx = build(&[path_graph(&[0, 1])]);
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        assert_eq!(c.sub, vec![0]);
+        assert_eq!(c.super_, vec![0]);
+    }
+
+    #[test]
+    fn label_mismatch_filters_out() {
+        let idx = build(&[path_graph(&[0, 1, 0])]);
+        let c = idx.candidates(&path_graph(&[7, 8]));
+        assert!(c.sub.is_empty());
+        assert!(c.super_.is_empty());
+    }
+
+    #[test]
+    fn count_filtering_in_sub_direction() {
+        // Cached: single a-b edge. Query: star b(a,a) needs TWO a-b paths.
+        let idx = build(&[path_graph(&[0, 1])]);
+        let star = LabeledGraph::from_parts(vec![1, 0, 0], &[(0, 1), (0, 2)]);
+        let c = idx.candidates(&star);
+        assert!(c.sub.is_empty(), "count precondition must prune");
+    }
+
+    #[test]
+    fn count_filtering_in_super_direction() {
+        // Cached: star b(a,a). Query: single a-b edge — the star cannot be
+        // contained in it (feature count 2 > 1).
+        let star = LabeledGraph::from_parts(vec![1, 0, 0], &[(0, 1), (0, 2)]);
+        let idx = build(&[star]);
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        assert!(c.super_.is_empty());
+    }
+
+    #[test]
+    fn soundness_on_true_containment() {
+        // Whatever the filter does, true sub/super relations survive it.
+        let cached = vec![
+            path_graph(&[0, 1, 0, 1]),
+            path_graph(&[2, 2]),
+            LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+        ];
+        let idx = build(&cached);
+        // g = a-b-a ⊆ cached[0].
+        let g = path_graph(&[0, 1, 0]);
+        let c = idx.candidates(&g);
+        assert!(c.sub.contains(&0), "true containment must remain");
+        // g ⊇ cached[1]? No (labels differ) — but cached[1] ⊆ [2,2,...]? n/a.
+        let g2 = path_graph(&[2, 2, 2]);
+        let c2 = idx.candidates(&g2);
+        assert!(c2.super_.contains(&1));
+    }
+
+    #[test]
+    fn overflow_slots_conservative() {
+        let cfg = QueryIndexConfig {
+            max_path_len: 4,
+            work_cap: 1,
+        };
+        let graphs = [path_graph(&[0, 1, 0])];
+        let idx = QueryIndex::build(cfg, graphs.iter().map(|g| (7, g)));
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        // Overflowed cached graph stays a sub-candidate (size permits).
+        assert_eq!(c.sub, vec![0]);
+        assert_eq!(idx.serial(0), 7);
+    }
+
+    #[test]
+    fn accessors() {
+        let idx = build(&[path_graph(&[0, 1, 0])]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.serial(0), 0);
+        assert_eq!(idx.size(0), (3, 2));
+        assert!(idx.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The Window Manager (paper §6.2): batched cache admission, replacement
+//! and re-indexing, with the rebuilt snapshot swapped in atomically.
+//!
+//! New queries accumulate in the Window (default W = 20). When it fills,
+//! the manager (1) runs admission control over the batch, (2) asks the
+//! replacement policy for victims if the cache lacks room, (3) builds a
+//! *new* snapshot — entries plus a freshly built query index — and
+//! (4) swaps it in under a short write lock. Queries arriving during the
+//! rebuild keep using the old snapshot, exactly as in the paper ("queries
+//! arriving at the system while this procedure is taking place continue
+//! being served by the old index").
+
+use crate::admission::AdmissionControl;
+use crate::entry::{CacheEntry, CacheSnapshot};
+use crate::policy::{PolicyKind, PolicyRow};
+use crate::query_index::QueryIndexConfig;
+use crate::stats::{columns, QuerySerial, StatsStore};
+use gc_graph::{GraphId, LabeledGraph};
+use gc_index::paths::PathProfile;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One query waiting in the Window: the graph, its freshly computed answer,
+/// and the static/timing statistics the Window stores keep (paper §6.1).
+#[derive(Debug, Clone)]
+pub struct WindowEntry {
+    /// Query serial.
+    pub serial: QuerySerial,
+    /// The query graph.
+    pub graph: LabeledGraph,
+    /// Its answer set.
+    pub answer: Vec<GraphId>,
+    /// The query's feature profile (computed during execution; reused by
+    /// the index rebuild).
+    pub profile: PathProfile,
+    /// Total filtering time (µs) on first execution.
+    pub filter_us: f64,
+    /// Total verification time (µs) on first execution.
+    pub verify_us: f64,
+    /// Expensiveness score (see [`crate::admission`]).
+    pub expensiveness: f64,
+}
+
+/// State shared between the query path and the (possibly background)
+/// maintenance path.
+pub(crate) struct Shared {
+    /// Current cache snapshot; swapped wholesale on maintenance.
+    pub snapshot: RwLock<Arc<CacheSnapshot>>,
+    /// Statistics of cached queries (GCstats).
+    pub stats: Mutex<StatsStore>,
+    /// Admission controller.
+    pub admission: Mutex<AdmissionControl>,
+    /// Cumulative maintenance time (µs) and rounds — the Fig. 10 overhead.
+    pub maintenance_us: AtomicU64,
+    /// Number of maintenance rounds executed.
+    pub maintenance_rounds: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(index_cfg: QueryIndexConfig, admission: AdmissionControl) -> Self {
+        Shared {
+            snapshot: RwLock::new(Arc::new(CacheSnapshot::empty(index_cfg))),
+            stats: Mutex::new(StatsStore::new()),
+            admission: Mutex::new(admission),
+            maintenance_us: AtomicU64::new(0),
+            maintenance_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot (cheap Arc clone).
+    pub(crate) fn load_snapshot(&self) -> Arc<CacheSnapshot> {
+        self.snapshot.read().clone()
+    }
+}
+
+/// Static maintenance parameters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MaintenanceConfig {
+    pub capacity: usize,
+    pub policy: PolicyKind,
+    pub index_cfg: QueryIndexConfig,
+}
+
+/// Executes one maintenance round over a full window batch. Returns the
+/// wall time spent (recorded as overhead, Fig. 10).
+pub(crate) fn maintain(
+    shared: &Shared,
+    cfg: &MaintenanceConfig,
+    batch: Vec<WindowEntry>,
+    now: QuerySerial,
+) -> Duration {
+    let t0 = Instant::now();
+
+    // (1) Admission control over the batch.
+    let admitted: Vec<WindowEntry> = {
+        let mut ac = shared.admission.lock();
+        let admitted = batch
+            .into_iter()
+            .filter(|e| ac.admits(e.expensiveness))
+            .collect();
+        ac.end_window();
+        admitted
+    };
+    // More admitted queries than the whole cache can hold: keep the newest.
+    let admitted = if admitted.len() > cfg.capacity {
+        let skip = admitted.len() - cfg.capacity;
+        admitted.into_iter().skip(skip).collect::<Vec<_>>()
+    } else {
+        admitted
+    };
+
+    if admitted.is_empty() {
+        // Nothing to add; the snapshot stays as-is (no rebuild needed).
+        let elapsed = t0.elapsed();
+        shared
+            .maintenance_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        shared.maintenance_rounds.fetch_add(1, Ordering::Relaxed);
+        return elapsed;
+    }
+
+    // (2) Compute the new cache contents: evict as needed.
+    let old = shared.load_snapshot();
+    let free = cfg.capacity.saturating_sub(old.len());
+    let evict_needed = admitted.len().saturating_sub(free);
+    let victims: Vec<QuerySerial> = if evict_needed > 0 {
+        let stats = shared.stats.lock();
+        let rows: Vec<PolicyRow> = old
+            .entries
+            .iter()
+            .map(|e| PolicyRow {
+                serial: e.serial,
+                last_hit: stats
+                    .get(e.serial, columns::LAST_HIT)
+                    .map(|v| v.as_i64() as u64)
+                    .unwrap_or(e.serial),
+                hits: stats
+                    .get(e.serial, columns::HITS)
+                    .map(|v| v.as_i64() as u64)
+                    .unwrap_or(0),
+                r_total: stats
+                    .get(e.serial, columns::R_TOTAL)
+                    .map(|v| v.as_i64() as u64)
+                    .unwrap_or(0),
+                c_total: stats
+                    .get(e.serial, columns::C_TOTAL)
+                    .map(|v| v.as_f64())
+                    .unwrap_or(0.0),
+            })
+            .collect();
+        cfg.policy.select_victims(&rows, evict_needed, now)
+    } else {
+        Vec::new()
+    };
+
+    // (3) Build the new snapshot off the hot path.
+    let mut new_entries: Vec<Arc<CacheEntry>> = old
+        .entries
+        .iter()
+        .filter(|e| !victims.contains(&e.serial))
+        .cloned()
+        .collect();
+    for e in &admitted {
+        new_entries.push(Arc::new(CacheEntry {
+            serial: e.serial,
+            graph: e.graph.clone(),
+            answer: e.answer.clone(),
+            profile: e.profile.clone(),
+        }));
+    }
+    let new_snapshot = Arc::new(CacheSnapshot::build(cfg.index_cfg, new_entries));
+
+    // Statistics rows: drop victims, seed the admitted (paper removes
+    // evicted statistics "lazily"; we do it in the same round).
+    {
+        let mut stats = shared.stats.lock();
+        for v in &victims {
+            stats.remove_row(*v);
+        }
+        for e in &admitted {
+            stats.set(e.serial, columns::NODES, e.graph.node_count() as i64);
+            stats.set(e.serial, columns::EDGES, e.graph.edge_count() as i64);
+            stats.set(
+                e.serial,
+                columns::LABELS,
+                e.graph.distinct_label_count() as i64,
+            );
+            stats.set(e.serial, columns::FILTER_US, e.filter_us);
+            stats.set(e.serial, columns::VERIFY_US, e.verify_us);
+            stats.set(e.serial, columns::EXPENSIVENESS, e.expensiveness);
+            stats.set(e.serial, columns::LAST_HIT, e.serial as i64);
+        }
+    }
+
+    // (4) Swap — "simple in-memory reference (pointer) swaps".
+    *shared.snapshot.write() = new_snapshot;
+
+    let elapsed = t0.elapsed();
+    shared
+        .maintenance_us
+        .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    shared.maintenance_rounds.fetch_add(1, Ordering::Relaxed);
+    elapsed
+}
+
+/// Message protocol of the background Window Manager thread.
+pub(crate) enum MaintMsg {
+    /// A full window to process.
+    Batch(Vec<WindowEntry>, QuerySerial),
+    /// Barrier: reply when all prior batches are done.
+    Sync(crossbeam::channel::Sender<()>),
+}
+
+/// Spawns the background Window Manager thread (paper §6.2: "implemented as
+/// a separate thread").
+pub(crate) fn spawn_manager(
+    shared: Arc<Shared>,
+    cfg: MaintenanceConfig,
+) -> (
+    crossbeam::channel::Sender<MaintMsg>,
+    std::thread::JoinHandle<()>,
+) {
+    let (tx, rx) = crossbeam::channel::unbounded::<MaintMsg>();
+    let handle = std::thread::Builder::new()
+        .name("gc-window-manager".into())
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    MaintMsg::Batch(batch, now) => {
+                        maintain(&shared, &cfg, batch, now);
+                    }
+                    MaintMsg::Sync(reply) => {
+                        let _ = reply.send(());
+                    }
+                }
+            }
+        })
+        .expect("spawn window manager");
+    (tx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+
+    fn entry(serial: QuerySerial, expensiveness: f64) -> WindowEntry {
+        let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
+        WindowEntry {
+            serial,
+            graph,
+            answer: vec![GraphId(0)],
+            profile,
+            filter_us: 10.0,
+            verify_us: 100.0,
+            expensiveness,
+        }
+    }
+
+    fn shared() -> Shared {
+        Shared::new(
+            QueryIndexConfig::default(),
+            AdmissionControl::new(AdmissionConfig::default()),
+        )
+    }
+
+    fn cfg(capacity: usize) -> MaintenanceConfig {
+        MaintenanceConfig {
+            capacity,
+            policy: PolicyKind::Lru,
+            index_cfg: QueryIndexConfig::default(),
+        }
+    }
+
+    #[test]
+    fn admitted_entries_enter_cache() {
+        let s = shared();
+        maintain(&s, &cfg(10), vec![entry(1, 1.0), entry(2, 1.0)], 2);
+        let snap = s.load_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.entry(1).is_some());
+        let stats = s.stats.lock();
+        assert!(stats.get(1, columns::NODES).is_some());
+        assert_eq!(s.maintenance_rounds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn capacity_respected_with_eviction() {
+        let s = shared();
+        maintain(&s, &cfg(2), vec![entry(1, 1.0), entry(2, 1.0)], 2);
+        // Mark entry 2 as recently hit so LRU evicts entry 1.
+        s.stats.lock().set(2, columns::LAST_HIT, 9i64);
+        maintain(&s, &cfg(2), vec![entry(3, 1.0)], 3);
+        let snap = s.load_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.entry(1).is_none(), "LRU victim");
+        assert!(snap.entry(2).is_some());
+        assert!(snap.entry(3).is_some());
+        // Victim's stats row dropped.
+        assert!(s.stats.lock().get(1, columns::NODES).is_none());
+    }
+
+    #[test]
+    fn oversized_batch_keeps_newest() {
+        let s = shared();
+        maintain(
+            &s,
+            &cfg(2),
+            vec![entry(1, 1.0), entry(2, 1.0), entry(3, 1.0)],
+            3,
+        );
+        let snap = s.load_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.entry(2).is_some() && snap.entry(3).is_some());
+    }
+
+    #[test]
+    fn empty_batch_after_admission_skips_rebuild() {
+        let s = Shared::new(
+            QueryIndexConfig::default(),
+            AdmissionControl::new(AdmissionConfig {
+                enabled: true,
+                calibration_windows: 0,
+                target_expensive_fraction: 0.5,
+            }),
+        );
+        // Calibrate instantly with one cheap observation.
+        {
+            let mut ac = s.admission.lock();
+            ac.observe(100.0);
+            ac.end_window();
+        }
+        let before = Arc::as_ptr(&s.load_snapshot());
+        maintain(&s, &cfg(10), vec![entry(1, 0.0)], 1); // 0.0 < threshold
+        let after = Arc::as_ptr(&s.load_snapshot());
+        assert_eq!(before, after, "snapshot untouched");
+        assert_eq!(s.load_snapshot().len(), 0);
+    }
+
+    #[test]
+    fn background_manager_processes_batches() {
+        let s = Arc::new(shared());
+        let (tx, handle) = spawn_manager(s.clone(), cfg(10));
+        tx.send(MaintMsg::Batch(vec![entry(1, 1.0)], 1)).unwrap();
+        let (rtx, rrx) = crossbeam::channel::bounded(0);
+        tx.send(MaintMsg::Sync(rtx)).unwrap();
+        rrx.recv().unwrap();
+        assert_eq!(s.load_snapshot().len(), 1);
+        drop(tx);
+        handle.join().unwrap();
+    }
+}

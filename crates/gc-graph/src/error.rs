@@ -1,0 +1,70 @@
+//! Error type for graph parsing and I/O.
+
+use std::fmt;
+
+/// Errors produced while reading or validating graph data.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input text could not be parsed; carries line number and message.
+    Parse {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Constructs a parse error at a 1-based line number.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        GraphError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            GraphError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let p = GraphError::parse(3, "bad token");
+        assert_eq!(format!("{p}"), "parse error at line 3: bad token");
+        assert!(p.source().is_none());
+
+        let io = GraphError::from(std::io::Error::other("boom"));
+        assert!(format!("{io}").contains("boom"));
+        assert!(io.source().is_some());
+    }
+}

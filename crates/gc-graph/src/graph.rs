@@ -1,0 +1,345 @@
+//! The core immutable graph type.
+
+use std::fmt;
+
+/// Identifier of a node inside a single [`LabeledGraph`] (0-based, dense).
+pub type NodeId = u32;
+
+/// A vertex label. The paper assumes labels come from an arbitrary domain
+/// `U`; we represent them as `u32` (callers may intern strings if needed).
+pub type Label = u32;
+
+/// An immutable, vertex-labelled, undirected graph in CSR form.
+///
+/// Invariants (established by [`crate::GraphBuilder`]):
+///
+/// * adjacency lists are sorted ascending and contain no duplicates;
+/// * each undirected edge `{u, v}` appears exactly twice: `v` in the list of
+///   `u` and `u` in the list of `v`;
+/// * there are no self-loops.
+///
+/// The structure is deliberately compact (`u32` everywhere) because datasets
+/// hold thousands of graphs and queries are created at a high rate by the
+/// workload generators.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LabeledGraph {
+    pub(crate) labels: Vec<Label>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) neighbors: Vec<NodeId>,
+}
+
+impl LabeledGraph {
+    /// Builds a graph directly from node labels and an undirected edge list.
+    ///
+    /// Duplicate edges, reversed duplicates and self-loops are removed. Edge
+    /// endpoints must be valid node indices (panics otherwise — this is a
+    /// programming error, not an input error; use [`crate::io`] for parsing
+    /// untrusted inputs).
+    pub fn from_parts(labels: Vec<Label>, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut b = crate::GraphBuilder::with_labels(labels);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        LabeledGraph {
+            labels: Vec::new(),
+            offsets: vec![0],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Sorted list of neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (O(log deg(u))).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            u: 0,
+            idx: 0,
+        }
+    }
+
+    /// Number of distinct labels appearing in the graph.
+    pub fn distinct_label_count(&self) -> usize {
+        let mut ls: Vec<Label> = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Extracts the subgraph spanned by a set of undirected edges of `self`.
+    ///
+    /// Node ids are remapped densely in order of first appearance; labels are
+    /// copied from the source. Returns the subgraph and the mapping from new
+    /// node id to original node id. Duplicate / reversed edges are merged.
+    pub fn edge_subgraph(&self, edges: &[(NodeId, NodeId)]) -> (LabeledGraph, Vec<NodeId>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        let mut back: Vec<NodeId> = Vec::new();
+        let mut labels: Vec<Label> = Vec::new();
+        let mut remapped: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+        let intern = |orig: NodeId,
+                          map: &mut Vec<Option<NodeId>>,
+                          back: &mut Vec<NodeId>,
+                          labels: &mut Vec<Label>| {
+            if let Some(id) = map[orig as usize] {
+                id
+            } else {
+                let id = back.len() as NodeId;
+                map[orig as usize] = Some(id);
+                back.push(orig);
+                labels.push(self.label(orig));
+                id
+            }
+        };
+        for &(u, v) in edges {
+            let nu = intern(u, &mut map, &mut back, &mut labels);
+            let nv = intern(v, &mut map, &mut back, &mut labels);
+            remapped.push((nu, nv));
+        }
+        (LabeledGraph::from_parts(labels, &remapped), back)
+    }
+
+    /// Relabels every node through `f`, preserving structure.
+    pub fn relabeled(&self, mut f: impl FnMut(NodeId, Label) -> Label) -> LabeledGraph {
+        let labels = self
+            .nodes()
+            .map(|v| f(v, self.label(v)))
+            .collect::<Vec<_>>();
+        LabeledGraph {
+            labels,
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes (used for space-overhead
+    /// experiments, paper §7.3).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<Label>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl fmt::Debug for LabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabeledGraph(n={}, m={}, labels={:?}, edges={:?})",
+            self.node_count(),
+            self.edge_count(),
+            self.labels,
+            self.edges().collect::<Vec<_>>()
+        )
+    }
+}
+
+/// Iterator over undirected edges; see [`LabeledGraph::edges`].
+pub struct EdgeIter<'g> {
+    graph: &'g LabeledGraph,
+    u: NodeId,
+    idx: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.graph.node_count() as NodeId;
+        while self.u < n {
+            let nbrs = self.graph.neighbors(self.u);
+            while self.idx < nbrs.len() {
+                let v = nbrs[self.idx];
+                self.idx += 1;
+                if self.u < v {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LabeledGraph {
+        LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.distinct_label_count(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = LabeledGraph::from_parts(vec![0; 5], &[(4, 0), (2, 1), (0, 2), (3, 0)]);
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &w in nbrs {
+                assert!(g.has_edge(w, v), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_removed() {
+        let g = LabeledGraph::from_parts(vec![0, 0], &[(0, 1), (1, 0), (0, 1), (0, 0)]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabeledGraph::empty();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let disconnected = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1)]);
+        assert!(!disconnected.is_connected());
+        let single = LabeledGraph::from_parts(vec![7], &[]);
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    fn edge_subgraph_remaps_densely() {
+        let g = LabeledGraph::from_parts(vec![10, 11, 12, 13], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (sub, back) = g.edge_subgraph(&[(2, 3), (3, 0)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(back, vec![2, 3, 0]);
+        assert_eq!(sub.labels(), &[12, 13, 10]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn relabeled_preserves_structure() {
+        let g = triangle();
+        let r = g.relabeled(|_, l| l + 100);
+        assert_eq!(r.labels(), &[100, 101, 102]);
+        assert_eq!(r.edge_count(), 3);
+        assert!(r.has_edge(0, 1));
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}

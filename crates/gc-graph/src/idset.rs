@@ -1,0 +1,163 @@
+//! Operations on sorted sets of [`GraphId`]s.
+//!
+//! Candidate sets and answer sets are represented throughout GraphCache as
+//! strictly ascending `Vec<GraphId>`; union / intersection / difference are
+//! linear merges. The candidate-set pruner (paper §5.1, equations (1) and
+//! (2)) is built from exactly these three operations.
+
+use crate::GraphId;
+
+/// Asserts (in debug builds) that a slice is strictly ascending.
+#[inline]
+pub fn debug_assert_sorted(s: &[GraphId]) {
+    debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "id set not sorted/unique");
+}
+
+/// Sorts and deduplicates a vector in place, making it a valid id set.
+pub fn normalize(v: &mut Vec<GraphId>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// `a ∩ b`.
+pub fn intersect(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    debug_assert_sorted(a);
+    debug_assert_sorted(b);
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `a ∪ b`.
+pub fn union(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    debug_assert_sorted(a);
+    debug_assert_sorted(b);
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// `a \ b`.
+pub fn difference(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    debug_assert_sorted(a);
+    debug_assert_sorted(b);
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Whether sorted `a` contains `x` (binary search).
+#[inline]
+pub fn contains(a: &[GraphId], x: GraphId) -> bool {
+    a.binary_search(&x).is_ok()
+}
+
+/// The full id set `{0, …, n-1}` (what SI methods use as their "candidate
+/// set": every dataset graph, paper §4).
+pub fn full(n: usize) -> Vec<GraphId> {
+    (0..n as u32).map(GraphId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<GraphId> {
+        v.iter().copied().map(GraphId).collect()
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(
+            intersect(&ids(&[1, 3, 5, 7]), &ids(&[2, 3, 7, 9])),
+            ids(&[3, 7])
+        );
+        assert_eq!(intersect(&ids(&[]), &ids(&[1])), ids(&[]));
+    }
+
+    #[test]
+    fn union_basic() {
+        assert_eq!(
+            union(&ids(&[1, 3, 5]), &ids(&[2, 3, 6])),
+            ids(&[1, 2, 3, 5, 6])
+        );
+        assert_eq!(union(&ids(&[]), &ids(&[])), ids(&[]));
+        assert_eq!(union(&ids(&[1]), &ids(&[])), ids(&[1]));
+    }
+
+    #[test]
+    fn difference_basic() {
+        assert_eq!(
+            difference(&ids(&[1, 2, 3, 4]), &ids(&[2, 4, 8])),
+            ids(&[1, 3])
+        );
+        assert_eq!(difference(&ids(&[]), &ids(&[1])), ids(&[]));
+        assert_eq!(difference(&ids(&[1, 2]), &ids(&[])), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn set_algebra_laws() {
+        let a = ids(&[0, 2, 4, 6, 8]);
+        let b = ids(&[1, 2, 3, 4]);
+        // |A| = |A∩B| + |A\B|
+        assert_eq!(
+            a.len(),
+            intersect(&a, &b).len() + difference(&a, &b).len()
+        );
+        // A∪B = (A\B) ∪ B
+        assert_eq!(union(&a, &b), union(&difference(&a, &b), &b));
+    }
+
+    #[test]
+    fn contains_and_full() {
+        let f = full(4);
+        assert_eq!(f, ids(&[0, 1, 2, 3]));
+        assert!(contains(&f, GraphId(2)));
+        assert!(!contains(&f, GraphId(9)));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut v = ids(&[5, 1, 5, 3, 1]);
+        normalize(&mut v);
+        assert_eq!(v, ids(&[1, 3, 5]));
+    }
+}

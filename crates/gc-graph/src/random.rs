@@ -1,0 +1,304 @@
+//! Seeded random-graph construction used by the synthetic dataset
+//! generators (the stand-ins for AIDS / PDBS / PCM / GraphGen, see
+//! DESIGN.md §4).
+
+use crate::zipf::ZipfSampler;
+use crate::{GraphBuilder, Label, LabeledGraph};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// How node labels are assigned by the generators.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    /// Number of distinct labels (the paper's label domain `U`).
+    pub domain: u32,
+    /// `None` for uniform labels; `Some(alpha)` for a Zipf-skewed label
+    /// distribution (real chemical datasets are heavily skewed: carbon
+    /// dominates AIDS, for instance).
+    pub skew: Option<f64>,
+}
+
+impl LabelModel {
+    /// Uniform labels over a domain of the given size.
+    pub fn uniform(domain: u32) -> Self {
+        LabelModel { domain, skew: None }
+    }
+
+    /// Zipf-skewed labels over a domain of the given size.
+    pub fn zipf(domain: u32, alpha: f64) -> Self {
+        LabelModel {
+            domain,
+            skew: Some(alpha),
+        }
+    }
+
+    /// Builds the sampling closure for this model.
+    pub fn sampler(&self) -> LabelSampler {
+        LabelSampler {
+            domain: self.domain,
+            zipf: self.skew.map(|a| ZipfSampler::new(self.domain as usize, a)),
+        }
+    }
+}
+
+/// Materialised label sampler; see [`LabelModel::sampler`].
+#[derive(Debug, Clone)]
+pub struct LabelSampler {
+    domain: u32,
+    zipf: Option<ZipfSampler>,
+}
+
+impl LabelSampler {
+    /// Draws a label.
+    pub fn sample(&self, rng: &mut impl Rng) -> Label {
+        match &self.zipf {
+            Some(z) => z.sample(rng) as Label,
+            None => rng.gen_range(0..self.domain),
+        }
+    }
+}
+
+/// Draws from a normal distribution (Box–Muller) and clamps to
+/// `[min, max]`, rounding to the nearest integer. Used to sample per-graph
+/// node counts that match the mean/std statistics the paper reports.
+pub fn sample_normal_clamped(
+    rng: &mut impl Rng,
+    mean: f64,
+    std: f64,
+    min: usize,
+    max: usize,
+) -> usize {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let x = mean + std * z;
+    (x.round() as i64).clamp(min as i64, max as i64) as usize
+}
+
+/// Generates a connected random graph with `n` nodes and an average degree
+/// close to `target_avg_degree`.
+///
+/// Construction: a random spanning tree (uniform attachment) guarantees
+/// connectivity, then extra distinct random edges are added until the target
+/// edge count `m = max(n-1, n * target_avg_degree / 2)` is reached (or the
+/// clique is exhausted). Labels come from `labels`.
+pub fn random_connected_graph(
+    rng: &mut impl Rng,
+    n: usize,
+    target_avg_degree: f64,
+    labels: &LabelSampler,
+) -> LabeledGraph {
+    assert!(n > 0, "graph must have at least one node");
+    let mut builder = GraphBuilder::new();
+    for _ in 0..n {
+        let l = labels.sample(rng);
+        builder.add_node(l);
+    }
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+    // Spanning tree: attach node i to a uniformly random earlier node.
+    for i in 1..n as u32 {
+        let j = rng.gen_range(0..i);
+        builder.add_edge(i, j);
+        present.insert(if j < i { (j, i) } else { (i, j) });
+    }
+    if n < 2 {
+        return builder.build();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target_m = ((n as f64 * target_avg_degree / 2.0).round() as usize)
+        .clamp(n - 1, max_edges);
+    let mut attempts = 0usize;
+    let attempt_cap = target_m.saturating_mul(50) + 1000;
+    while present.len() < target_m && attempts < attempt_cap {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if present.insert(key) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Extracts a connected subgraph of `g` with (approximately) `target_edges`
+/// edges by breadth-first expansion from `start`, exactly as the paper's
+/// Type-A generator does: "for each new node, all its edges connecting it to
+/// already visited nodes are added to the generated query, until the desired
+/// query size is reached" (§7.2).
+///
+/// The expansion is **deterministic** (adjacency order). This matters for
+/// workload fidelity: repeated draws of the same `(graph, start)` pair yield
+/// the *same* query at the same size — the exact-match repeats a cache
+/// thrives on — and a smaller size yields an edge-prefix of a larger one, so
+/// drill-down query sequences are genuinely nested (subgraph relations), as
+/// the paper's motivating scenarios describe.
+///
+/// Returns `None` when `g` has no edges reachable from `start`.
+pub fn bfs_edge_subgraph(
+    g: &LabeledGraph,
+    start: u32,
+    target_edges: usize,
+) -> Option<LabeledGraph> {
+    if target_edges == 0 || (start as usize) >= g.node_count() || g.degree(start) == 0 {
+        return None;
+    }
+    let mut visited: Vec<bool> = vec![false; g.node_count()];
+    visited[start as usize] = true;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_edges);
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    queue.push_back(start);
+    'outer: while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push_back(w);
+                // Add all edges from w to already-visited nodes.
+                for &x in g.neighbors(w) {
+                    if visited[x as usize] && x != w {
+                        edges.push((w, x));
+                        if edges.len() >= target_edges {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    let (sub, _) = g.edge_subgraph(&edges);
+    Some(sub)
+}
+
+/// Extracts a connected subgraph with `target_edges` edges by a random walk
+/// from `start` (the paper's Type-B answerable-pool extraction, §7.2). Edges
+/// traversed by the walk are collected; the walk may revisit nodes.
+pub fn random_walk_subgraph(
+    g: &LabeledGraph,
+    start: u32,
+    target_edges: usize,
+    rng: &mut impl Rng,
+) -> Option<LabeledGraph> {
+    if target_edges == 0 || g.degree(start) == 0 {
+        return None;
+    }
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    let mut current = start;
+    let mut steps = 0usize;
+    let step_cap = target_edges * 200 + 100;
+    while edges.len() < target_edges && steps < step_cap {
+        steps += 1;
+        let nbrs = g.neighbors(current);
+        if nbrs.is_empty() {
+            break;
+        }
+        let next = nbrs[rng.gen_range(0..nbrs.len())];
+        let key = if current < next {
+            (current, next)
+        } else {
+            (next, current)
+        };
+        edges.insert(key);
+        current = next;
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    let mut list: Vec<(u32, u32)> = edges.into_iter().collect();
+    list.sort_unstable(); // deterministic node numbering given the seed
+    let (sub, _) = g.edge_subgraph(&list);
+    Some(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_graph_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let labels = LabelModel::uniform(5).sampler();
+        for &(n, d) in &[(1usize, 2.0), (2, 1.0), (30, 2.1), (60, 8.0)] {
+            let g = random_connected_graph(&mut rng, n, d, &labels);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "n={n} d={d} must be connected");
+            if n > 10 {
+                let want = n as f64 * d / 2.0;
+                let got = g.edge_count() as f64;
+                assert!(
+                    (got - want).abs() <= want * 0.25 + 2.0,
+                    "edge count {got} far from target {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_come_from_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let labels = LabelModel::zipf(4, 1.5).sampler();
+        let g = random_connected_graph(&mut rng, 50, 3.0, &labels);
+        assert!(g.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = sample_normal_clamped(&mut rng, 10.0, 50.0, 3, 20);
+            assert!((3..=20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_clamped_tracks_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..5000)
+            .map(|_| sample_normal_clamped(&mut rng, 40.0, 5.0, 1, 100) as f64)
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean - 40.0).abs() < 1.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn bfs_subgraph_connected_with_target_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = LabelModel::uniform(3).sampler();
+        let g = random_connected_graph(&mut rng, 40, 4.0, &labels);
+        let sub = bfs_edge_subgraph(&g, 0, 8).unwrap();
+        assert_eq!(sub.edge_count(), 8);
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn bfs_subgraph_caps_at_graph_size() {
+        let _rng = StdRng::seed_from_u64(4);
+        let g = LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2)]);
+        let sub = bfs_edge_subgraph(&g, 0, 100).unwrap();
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn bfs_subgraph_isolated_start_is_none() {
+        let _rng = StdRng::seed_from_u64(4);
+        let g = LabeledGraph::from_parts(vec![0, 1, 2], &[(1, 2)]);
+        assert!(bfs_edge_subgraph(&g, 0, 3).is_none());
+    }
+
+    #[test]
+    fn walk_subgraph_connected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let labels = LabelModel::uniform(3).sampler();
+        let g = random_connected_graph(&mut rng, 40, 4.0, &labels);
+        let sub = random_walk_subgraph(&g, 5, 10, &mut rng).unwrap();
+        assert!(sub.edge_count() >= 1 && sub.edge_count() <= 10);
+        assert!(sub.is_connected());
+    }
+}

@@ -1,0 +1,209 @@
+//! Discrete samplers used by the workload generators (paper §7.2).
+//!
+//! The paper selects source graphs and start nodes either uniformly or from a
+//! Zipf distribution with pdf `p(x) = x^{-α} / ζ(α)` over ranks `1..=n`;
+//! defaults are α = 1.4, with 1.1 and 1.7 used for the skew sweep (Fig. 7).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over the finite domain `{0, 1, …, n-1}` (rank 1 maps to
+/// index 0, the most popular item).
+///
+/// Sampling is by inversion of a precomputed CDF (O(log n) per draw). The
+/// workload generators draw from domains of at most a few hundred thousand
+/// items, so the O(n) table is negligible.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with skew `alpha > 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha` is not finite and positive.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Zipf alpha must be positive and finite, got {alpha}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point drift so a draw of 1.0-ε always lands.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain has a single element.
+    pub fn is_empty(&self) -> bool {
+        false // the constructor rejects n == 0
+    }
+
+    /// Draws an index in `0..n`; index 0 is the most probable.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of index `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// How workload generators pick items from an ordered domain: uniformly or
+/// Zipf-skewed ("U" / "Z" in the paper's workload names).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selector {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf with the given α; lower indices are more popular.
+    Zipf(f64),
+}
+
+impl Selector {
+    /// Builds a reusable sampler for a domain of `n` items.
+    pub fn build(self, n: usize) -> DomainSampler {
+        match self {
+            Selector::Uniform => DomainSampler::Uniform { n },
+            Selector::Zipf(alpha) => DomainSampler::Zipf(ZipfSampler::new(n, alpha)),
+        }
+    }
+
+    /// Single-letter code used in workload names ("U"/"Z").
+    pub fn code(self) -> char {
+        match self {
+            Selector::Uniform => 'U',
+            Selector::Zipf(_) => 'Z',
+        }
+    }
+}
+
+/// A materialised sampler for a fixed-size domain; see [`Selector::build`].
+#[derive(Debug, Clone)]
+pub enum DomainSampler {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Domain size.
+        n: usize,
+    },
+    /// Zipf-distributed over `0..n`.
+    Zipf(ZipfSampler),
+}
+
+impl DomainSampler {
+    /// Draws an index from the domain.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        match self {
+            DomainSampler::Uniform { n } => rng.gen_range(0..*n),
+            DomainSampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.4);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotonically_decreasing() {
+        let z = ZipfSampler::new(50, 1.1);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = ZipfSampler::new(1000, 1.4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 1000);
+            counts[i] += 1;
+        }
+        // Rank 1 should dominate, and the head should hold most of the mass.
+        assert!(counts[0] > counts[10]);
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 10_000, "head mass {head} too small for alpha=1.4");
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let head_mass = |alpha: f64, rng: &mut StdRng| {
+            let z = ZipfSampler::new(500, alpha);
+            (0..10_000).filter(|_| z.sample(rng) == 0).count()
+        };
+        let low = head_mass(1.1, &mut rng);
+        let high = head_mass(1.7, &mut rng);
+        assert!(high > low, "alpha=1.7 head {high} <= alpha=1.1 head {low}");
+    }
+
+    #[test]
+    fn single_item_domain() {
+        let z = ZipfSampler::new(1, 1.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        ZipfSampler::new(0, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        ZipfSampler::new(5, -1.0);
+    }
+
+    #[test]
+    fn selector_codes() {
+        assert_eq!(Selector::Uniform.code(), 'U');
+        assert_eq!(Selector::Zipf(1.4).code(), 'Z');
+    }
+
+    #[test]
+    fn uniform_selector_covers_domain() {
+        let s = Selector::Uniform.build(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,522 @@
+//! Tree and cycle feature enumeration for CT-Index.
+//!
+//! CT-Index fingerprints are built from two feature families (paper §7.1
+//! configuration: "trees up to size 6 and cycles up to size 8"):
+//!
+//! * **trees** — every (non-induced) subtree with up to `tree_max_nodes`
+//!   nodes. Connected node sets are enumerated uniquely with Wernicke's ESU
+//!   algorithm; every spanning tree of each set's induced subgraph is a tree
+//!   feature. Trees are canonicalised with the labelled AHU encoding rooted
+//!   at the tree centre(s), so isomorphic trees hash identically.
+//! * **cycles** — every simple cycle with up to `cycle_max_nodes` nodes,
+//!   canonicalised as the lexicographically smallest rotation over both
+//!   traversal directions.
+//!
+//! Soundness for non-induced subgraph queries: if `g ⊆ G`, every tree/cycle
+//! (an *edge subset*, not an induced shape) of `g` maps to an identically
+//! labelled tree/cycle of `G`, so `codes(g) ⊆ codes(G)`. Enumerating
+//! *induced* shapes instead would break this — which is why spanning trees
+//! of every connected node set are enumerated, not just induced trees.
+
+use gc_graph::{Label, LabeledGraph, NodeId};
+use std::collections::HashSet;
+
+/// Configuration for the CT-Index feature extractor.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Maximum tree size in nodes (paper default: 6).
+    pub tree_max_nodes: usize,
+    /// Maximum cycle length in nodes (paper default: 8).
+    pub cycle_max_nodes: usize,
+    /// Enumeration work cap per graph; overflow ⇒ conservative handling.
+    pub work_cap: u64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            tree_max_nodes: 6,
+            cycle_max_nodes: 8,
+            work_cap: 20_000_000,
+        }
+    }
+}
+
+/// The canonical feature codes of a graph, or an overflow marker.
+#[derive(Debug, Clone)]
+pub enum FeatureSet {
+    /// Canonical byte codes of every tree and cycle feature.
+    Codes(HashSet<Vec<u8>>),
+    /// Work cap exceeded: treat the graph conservatively.
+    Overflow,
+}
+
+impl FeatureSet {
+    /// The code set, if enumeration completed.
+    pub fn codes(&self) -> Option<&HashSet<Vec<u8>>> {
+        match self {
+            FeatureSet::Codes(c) => Some(c),
+            FeatureSet::Overflow => None,
+        }
+    }
+}
+
+/// Enumerates all tree and cycle features of `g` under `cfg`.
+pub fn enumerate_features(g: &LabeledGraph, cfg: &FeatureConfig) -> FeatureSet {
+    let mut codes: HashSet<Vec<u8>> = HashSet::new();
+    let mut work = Budget {
+        left: cfg.work_cap,
+        ok: true,
+    };
+    enumerate_trees(g, cfg.tree_max_nodes, &mut codes, &mut work);
+    if work.ok {
+        enumerate_cycles(g, cfg.cycle_max_nodes, &mut codes, &mut work);
+    }
+    if work.ok {
+        FeatureSet::Codes(codes)
+    } else {
+        FeatureSet::Overflow
+    }
+}
+
+struct Budget {
+    left: u64,
+    ok: bool,
+}
+
+impl Budget {
+    #[inline]
+    fn spend(&mut self) -> bool {
+        if self.left == 0 {
+            self.ok = false;
+            return false;
+        }
+        self.left -= 1;
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trees: ESU node-set enumeration + spanning-tree expansion + AHU codes.
+// ---------------------------------------------------------------------------
+
+fn enumerate_trees(
+    g: &LabeledGraph,
+    max_nodes: usize,
+    codes: &mut HashSet<Vec<u8>>,
+    work: &mut Budget,
+) {
+    if max_nodes == 0 {
+        return;
+    }
+    for v in g.nodes() {
+        if !work.spend() {
+            return;
+        }
+        // ESU from v: only nodes with id > v may join.
+        let mut subset = vec![v];
+        let ext: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        emit_trees_for_subset(g, &subset, codes, work);
+        if !work.ok {
+            return;
+        }
+        esu_extend(g, v, &mut subset, ext, max_nodes, codes, work);
+        if !work.ok {
+            return;
+        }
+    }
+}
+
+fn esu_extend(
+    g: &LabeledGraph,
+    root: NodeId,
+    subset: &mut Vec<NodeId>,
+    mut ext: Vec<NodeId>,
+    max_nodes: usize,
+    codes: &mut HashSet<Vec<u8>>,
+    work: &mut Budget,
+) {
+    if subset.len() >= max_nodes {
+        return;
+    }
+    while let Some(w) = ext.pop() {
+        if !work.spend() {
+            return;
+        }
+        // Exclusive extension: neighbours of w that are > root, not already
+        // in the subset, not already in ext, and not adjacent to the current
+        // subset (the ESU uniqueness condition).
+        let mut next_ext = ext.clone();
+        for &u in g.neighbors(w) {
+            if u > root
+                && !subset.contains(&u)
+                && u != w
+                && !next_ext.contains(&u)
+                && !subset.iter().any(|&s| g.has_edge(s, u))
+            {
+                next_ext.push(u);
+            }
+        }
+        subset.push(w);
+        emit_trees_for_subset(g, subset, codes, work);
+        if work.ok {
+            esu_extend(g, root, subset, next_ext, max_nodes, codes, work);
+        }
+        subset.pop();
+        if !work.ok {
+            return;
+        }
+    }
+}
+
+/// For one connected node set: enumerate every spanning tree of the induced
+/// subgraph and record its AHU code.
+fn emit_trees_for_subset(
+    g: &LabeledGraph,
+    subset: &[NodeId],
+    codes: &mut HashSet<Vec<u8>>,
+    work: &mut Budget,
+) {
+    let k = subset.len();
+    if k == 1 {
+        codes.insert(tree_code(&[g.label(subset[0])], &[]));
+        return;
+    }
+    // Induced edges, in local indices.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..k {
+        for j in i + 1..k {
+            if g.has_edge(subset[i], subset[j]) {
+                edges.push((i, j));
+            }
+        }
+    }
+    let labels: Vec<Label> = subset.iter().map(|&v| g.label(v)).collect();
+    // Choose k-1 edges forming a spanning tree (brute force over
+    // combinations; k ≤ 6 so at most C(15, 5) = 3003 candidates).
+    let need = k - 1;
+    let mut chosen: Vec<usize> = Vec::with_capacity(need);
+    combinations(edges.len(), need, &mut chosen, &mut |combo| {
+        if !work.spend() {
+            return false;
+        }
+        let tree_edges: Vec<(usize, usize)> = combo.iter().map(|&i| edges[i]).collect();
+        if spans(k, &tree_edges) {
+            codes.insert(tree_code(&labels, &tree_edges));
+        }
+        true
+    });
+}
+
+/// Visits all `choose(n, k)` index combinations; the callback returns
+/// `false` to abort.
+fn combinations(
+    n: usize,
+    k: usize,
+    prefix: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if prefix.len() == k {
+        return visit(prefix);
+    }
+    let start = prefix.last().map_or(0, |&x| x + 1);
+    let remaining = k - prefix.len();
+    if n < start + remaining {
+        return true;
+    }
+    for i in start..=(n - remaining) {
+        prefix.push(i);
+        let cont = combinations(n, k, prefix, visit);
+        prefix.pop();
+        if !cont {
+            return false;
+        }
+    }
+    true
+}
+
+/// Union-find connectivity test: do `k-1` edges connect `k` nodes acyclically?
+fn spans(k: usize, edges: &[(usize, usize)]) -> bool {
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut merged = 0;
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            return false; // cycle
+        }
+        parent[ra] = rb;
+        merged += 1;
+    }
+    merged == k - 1
+}
+
+/// Labelled AHU canonical code of a tree given labels and edges over local
+/// indices. Rooted at the tree centre (or the smaller code of the two
+/// centres), so isomorphic labelled trees share one code.
+pub fn tree_code(labels: &[Label], edges: &[(usize, usize)]) -> Vec<u8> {
+    let k = labels.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let centers = tree_centers(k, &adj);
+    let mut best: Option<Vec<u8>> = None;
+    for &c in &centers {
+        let code = rooted_code(c, usize::MAX, labels, &adj);
+        if best.as_ref().is_none_or(|b| code < *b) {
+            best = Some(code);
+        }
+    }
+    let mut out = vec![b'T'];
+    out.extend_from_slice(&best.expect("non-empty tree"));
+    out
+}
+
+fn tree_centers(k: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    if k == 1 {
+        return vec![0];
+    }
+    let mut degree: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+    let mut removed = vec![false; k];
+    let mut layer: Vec<usize> = (0..k).filter(|&v| degree[v] <= 1).collect();
+    let mut remaining = k;
+    while remaining > 2 {
+        let mut next = Vec::new();
+        for &v in &layer {
+            removed[v] = true;
+            remaining -= 1;
+            for &w in &adj[v] {
+                if !removed[w] {
+                    degree[w] -= 1;
+                    if degree[w] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    (0..k).filter(|&v| !removed[v]).collect()
+}
+
+fn rooted_code(v: usize, parent: usize, labels: &[Label], adj: &[Vec<usize>]) -> Vec<u8> {
+    let mut children: Vec<Vec<u8>> = adj[v]
+        .iter()
+        .filter(|&&w| w != parent)
+        .map(|&w| rooted_code(w, v, labels, adj))
+        .collect();
+    children.sort_unstable();
+    let mut out = Vec::with_capacity(8 + children.iter().map(|c| c.len()).sum::<usize>());
+    out.push(b'(');
+    out.extend_from_slice(&labels[v].to_le_bytes());
+    for c in children {
+        out.extend_from_slice(&c);
+    }
+    out.push(b')');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cycles: bounded DFS with the minimum-node rule + rotation-canonical codes.
+// ---------------------------------------------------------------------------
+
+fn enumerate_cycles(
+    g: &LabeledGraph,
+    max_nodes: usize,
+    codes: &mut HashSet<Vec<u8>>,
+    work: &mut Budget,
+) {
+    if max_nodes < 3 {
+        return;
+    }
+    let mut path: Vec<NodeId> = Vec::with_capacity(max_nodes);
+    let mut on_path = vec![false; g.node_count()];
+    for s in g.nodes() {
+        path.push(s);
+        on_path[s as usize] = true;
+        cycle_dfs(g, s, max_nodes, &mut path, &mut on_path, codes, work);
+        on_path[s as usize] = false;
+        path.pop();
+        if !work.ok {
+            return;
+        }
+    }
+}
+
+fn cycle_dfs(
+    g: &LabeledGraph,
+    s: NodeId,
+    max_nodes: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    codes: &mut HashSet<Vec<u8>>,
+    work: &mut Budget,
+) {
+    if !work.spend() {
+        return;
+    }
+    let v = *path.last().expect("path non-empty");
+    for &w in g.neighbors(v) {
+        if w == s && path.len() >= 3 {
+            let labels: Vec<Label> = path.iter().map(|&x| g.label(x)).collect();
+            codes.insert(cycle_code(&labels));
+        } else if w > s && !on_path[w as usize] && path.len() < max_nodes {
+            path.push(w);
+            on_path[w as usize] = true;
+            cycle_dfs(g, s, max_nodes, path, on_path, codes, work);
+            on_path[w as usize] = false;
+            path.pop();
+            if !work.ok {
+                return;
+            }
+        }
+    }
+}
+
+/// Canonical code of a cycle's label sequence: the lexicographically least
+/// rotation over both directions, prefixed with the cycle length.
+pub fn cycle_code(labels: &[Label]) -> Vec<u8> {
+    let n = labels.len();
+    let mut best: Option<Vec<Label>> = None;
+    let mut consider = |seq: Vec<Label>| {
+        if best.as_ref().is_none_or(|b| seq < *b) {
+            best = Some(seq);
+        }
+    };
+    for start in 0..n {
+        let fwd: Vec<Label> = (0..n).map(|i| labels[(start + i) % n]).collect();
+        let rev: Vec<Label> = (0..n).map(|i| labels[(start + n - i) % n]).collect();
+        consider(fwd);
+        consider(rev);
+    }
+    let canon = best.expect("non-empty cycle");
+    let mut out = Vec::with_capacity(2 + 4 * n);
+    out.push(b'C');
+    out.push(n as u8);
+    for l in canon {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_of(g: &LabeledGraph, cfg: &FeatureConfig) -> HashSet<Vec<u8>> {
+        match enumerate_features(g, cfg) {
+            FeatureSet::Codes(c) => c,
+            FeatureSet::Overflow => panic!("unexpected overflow"),
+        }
+    }
+
+    #[test]
+    fn single_edge_features() {
+        let g = LabeledGraph::from_parts(vec![1, 2], &[(0, 1)]);
+        let c = codes_of(&g, &FeatureConfig::default());
+        // Two single-node trees + one 2-node tree; no cycles.
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|code| code[0] == b'T'));
+    }
+
+    #[test]
+    fn triangle_has_cycle_feature() {
+        let g = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let c = codes_of(&g, &FeatureConfig::default());
+        assert!(c.iter().any(|code| code[0] == b'C'), "cycle code missing");
+    }
+
+    #[test]
+    fn isomorphic_trees_share_code() {
+        // The same labelled path written with different node numberings.
+        let a = tree_code(&[5, 6, 7], &[(0, 1), (1, 2)]);
+        let b = tree_code(&[7, 6, 5], &[(0, 1), (1, 2)]);
+        let c = tree_code(&[6, 5, 7], &[(1, 0), (0, 2)]); // centre first
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // A different labelling must differ.
+        let d = tree_code(&[5, 7, 6], &[(0, 1), (1, 2)]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn two_center_tree_canonical() {
+        // 4-path has two centres; both rootings must collapse to one code.
+        let a = tree_code(&[1, 2, 2, 1], &[(0, 1), (1, 2), (2, 3)]);
+        let b = tree_code(&[1, 2, 2, 1], &[(3, 2), (2, 1), (1, 0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycle_codes_rotation_and_reflection_invariant() {
+        let a = cycle_code(&[1, 2, 3]);
+        let b = cycle_code(&[2, 3, 1]);
+        let c = cycle_code(&[3, 2, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(cycle_code(&[1, 2, 3]), cycle_code(&[1, 3, 2, 2]));
+    }
+
+    #[test]
+    fn subgraph_codes_contained() {
+        // Soundness cornerstone for CT-Index filtering.
+        let g = LabeledGraph::from_parts(
+            vec![0, 1, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)],
+        );
+        let (sub, _) = g.edge_subgraph(&[(0, 1), (1, 2), (3, 4)]);
+        let cfg = FeatureConfig::default();
+        let cg = codes_of(&g, &cfg);
+        let cs = codes_of(&sub, &cfg);
+        for code in &cs {
+            assert!(cg.contains(code), "feature of subgraph missing in graph");
+        }
+    }
+
+    #[test]
+    fn square_with_chord_counts_trees_not_induced() {
+        // Node set {0,1,2,3} induces a square + chord; its spanning trees
+        // include the 3-star at node 1 — which only exists as a non-induced
+        // subtree. It must be enumerated.
+        let g = LabeledGraph::from_parts(
+            vec![0, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],
+        );
+        let c = codes_of(&g, &FeatureConfig::default());
+        let star = tree_code(&[1, 0, 2, 3], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(c.contains(&star), "non-induced star tree missing");
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let g = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let cfg = FeatureConfig {
+            work_cap: 1,
+            ..Default::default()
+        };
+        assert!(matches!(enumerate_features(&g, &cfg), FeatureSet::Overflow));
+    }
+
+    #[test]
+    fn cycle_longer_than_cap_ignored() {
+        // 5-cycle with cycle_max_nodes = 4 yields no cycle codes.
+        let g = LabeledGraph::from_parts(
+            vec![0; 5],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        );
+        let cfg = FeatureConfig {
+            cycle_max_nodes: 4,
+            ..Default::default()
+        };
+        let c = codes_of(&g, &cfg);
+        assert!(c.iter().all(|code| code[0] != b'C'));
+    }
+}

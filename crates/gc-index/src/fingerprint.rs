@@ -1,0 +1,132 @@
+//! Fixed-width bit fingerprints (CT-Index's per-graph bitmaps).
+
+/// A fixed-width bitset. CT-Index hashes every tree/cycle feature of a graph
+/// into one bit of a per-graph fingerprint; filtering is then the subset
+/// test `bits(query) ⊆ bits(graph)` (paper §7.1: 4096-bit bitmaps by
+/// default, 8192 in the feature-size ablation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    words: Box<[u64]>,
+    bits: usize,
+}
+
+impl Fingerprint {
+    /// Creates an all-zero fingerprint with the given number of bits
+    /// (rounded up to a multiple of 64).
+    pub fn zeros(bits: usize) -> Self {
+        assert!(bits > 0, "fingerprint must have at least one bit");
+        Fingerprint {
+            words: vec![0u64; bits.div_ceil(64)].into_boxed_slice(),
+            bits,
+        }
+    }
+
+    /// Creates an all-ones fingerprint (used for graphs whose feature
+    /// enumeration overflowed: they pass every subset test, conservatively).
+    pub fn ones(bits: usize) -> Self {
+        let mut fp = Self::zeros(bits);
+        for w in fp.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        fp
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets the bit for a feature hash (`hash % bits`).
+    pub fn set_hash(&mut self, hash: u64) {
+        let bit = (hash % self.bits as u64) as usize;
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Whether the bit for `hash` is set.
+    pub fn test_hash(&self, hash: u64) -> bool {
+        let bit = (hash % self.bits as u64) as usize;
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// Subset test: every set bit of `self` is also set in `other`.
+    pub fn subset_of(&self, other: &Fingerprint) -> bool {
+        debug_assert_eq!(self.bits, other.bits, "fingerprint width mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8 + std::mem::size_of::<usize>()
+    }
+}
+
+/// FNV-1a over a byte slice — the deterministic feature hash (independent of
+/// `std`'s randomised hasher, so fingerprints are stable across runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test() {
+        let mut fp = Fingerprint::zeros(128);
+        assert!(!fp.test_hash(5));
+        fp.set_hash(5);
+        assert!(fp.test_hash(5));
+        fp.set_hash(128 + 5); // wraps to the same bit
+        assert_eq!(fp.count_ones(), 1);
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let mut a = Fingerprint::zeros(64);
+        let mut b = Fingerprint::zeros(64);
+        a.set_hash(3);
+        b.set_hash(3);
+        b.set_hash(7);
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        assert!(a.subset_of(&a));
+        assert!(Fingerprint::zeros(64).subset_of(&a));
+    }
+
+    #[test]
+    fn ones_pass_every_subset_test() {
+        let ones = Fingerprint::ones(96);
+        let mut q = Fingerprint::zeros(96);
+        for h in 0..200u64 {
+            q.set_hash(h * 31);
+        }
+        assert!(q.subset_of(&ones));
+        assert_eq!(ones.count_ones(), 96usize.div_ceil(64) * 64);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_rejected() {
+        Fingerprint::zeros(0);
+    }
+}

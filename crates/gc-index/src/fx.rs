@@ -1,0 +1,113 @@
+//! A fast, deterministic hasher for internal feature maps.
+//!
+//! The perf book's first hashing advice: the default SipHash is the wrong
+//! tool for short integer-sequence keys on a hot path. This is the classic
+//! Fx multiply-rotate hash (as used by rustc), implemented locally to keep
+//! the dependency set to the approved list. Determinism also matters here:
+//! feature maps iterate into index postings, and runs must be reproducible.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let key: Vec<u32> = vec![1, 2, 3, 4, 5];
+        assert_eq!(hash_of(&key), hash_of(&key.clone()));
+    }
+
+    #[test]
+    fn distinguishes_typical_feature_keys() {
+        assert_ne!(hash_of(&vec![0u32, 1]), hash_of(&vec![1u32, 0]));
+        assert_ne!(hash_of(&vec![0u32]), hash_of(&vec![0u32, 0]));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2], 7);
+        assert_eq!(m.get([1u32, 2].as_slice()), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]); // 8 + 1 tail byte
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a, h2.finish());
+    }
+}

@@ -1,0 +1,140 @@
+//! A trie over label sequences with per-node postings — the storage shape of
+//! GraphGrepSX ("suffix tree" of paths) and of Grapes' location index.
+
+use gc_graph::Label;
+
+/// A trie keyed by label sequences. Each node carries a posting payload `P`
+/// (e.g. per-graph occurrence counts). Node 0 is the root (empty sequence).
+#[derive(Debug, Clone)]
+pub struct LabelTrie<P> {
+    nodes: Vec<TrieNode<P>>,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<P> {
+    /// Sorted `(label, child index)` pairs; binary-searched on descent.
+    children: Vec<(Label, u32)>,
+    /// Payload for the sequence ending at this node.
+    posting: P,
+}
+
+impl<P: Default> Default for LabelTrie<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Default> LabelTrie<P> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        LabelTrie {
+            nodes: vec![TrieNode {
+                children: Vec::new(),
+                posting: P::default(),
+            }],
+        }
+    }
+
+    /// Number of trie nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns a mutable reference to the posting of `seq`, creating the
+    /// path through the trie as needed.
+    pub fn posting_mut(&mut self, seq: &[Label]) -> &mut P {
+        let mut cur = 0usize;
+        for &l in seq {
+            cur = match self.nodes[cur].children.binary_search_by_key(&l, |c| c.0) {
+                Ok(i) => self.nodes[cur].children[i].1 as usize,
+                Err(i) => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode {
+                        children: Vec::new(),
+                        posting: P::default(),
+                    });
+                    self.nodes[cur].children.insert(i, (l, idx));
+                    idx as usize
+                }
+            };
+        }
+        &mut self.nodes[cur].posting
+    }
+
+    /// Looks up the posting of `seq`, if that exact sequence was inserted.
+    pub fn posting(&self, seq: &[Label]) -> Option<&P> {
+        let mut cur = 0usize;
+        for &l in seq {
+            match self.nodes[cur].children.binary_search_by_key(&l, |c| c.0) {
+                Ok(i) => cur = self.nodes[cur].children[i].1 as usize,
+                Err(_) => return None,
+            }
+        }
+        Some(&self.nodes[cur].posting)
+    }
+
+    /// Visits every `(depth, posting)` pair in depth-first order (used for
+    /// memory accounting and diagnostics).
+    pub fn for_each_posting(&self, mut f: impl FnMut(&P)) {
+        for n in &self.nodes {
+            f(&n.posting);
+        }
+    }
+
+    /// Structural memory of the trie skeleton (children vectors), excluding
+    /// posting payloads (accounted by the caller via
+    /// [`LabelTrie::for_each_posting`]).
+    pub fn skeleton_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<TrieNode<P>>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.len() * std::mem::size_of::<(Label, u32)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t: LabelTrie<Vec<u32>> = LabelTrie::new();
+        t.posting_mut(&[1, 2, 3]).push(7);
+        t.posting_mut(&[1, 2]).push(8);
+        t.posting_mut(&[1, 2, 3]).push(9);
+        assert_eq!(t.posting(&[1, 2, 3]), Some(&vec![7, 9]));
+        assert_eq!(t.posting(&[1, 2]), Some(&vec![8]));
+        assert_eq!(t.posting(&[1]), Some(&vec![])); // interior node exists
+        assert_eq!(t.posting(&[2]), None);
+        assert_eq!(t.posting(&[1, 2, 3, 4]), None);
+    }
+
+    #[test]
+    fn root_posting_is_empty_sequence() {
+        let mut t: LabelTrie<u32> = LabelTrie::new();
+        *t.posting_mut(&[]) = 42;
+        assert_eq!(t.posting(&[]), Some(&42));
+    }
+
+    #[test]
+    fn node_count_shares_prefixes() {
+        let mut t: LabelTrie<()> = LabelTrie::new();
+        t.posting_mut(&[1, 2, 3]);
+        t.posting_mut(&[1, 2, 4]);
+        // root + 1 + 2 + {3,4} = 5 nodes
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn for_each_posting_visits_all() {
+        let mut t: LabelTrie<u32> = LabelTrie::new();
+        *t.posting_mut(&[1]) = 1;
+        *t.posting_mut(&[2]) = 2;
+        let mut sum = 0;
+        t.for_each_posting(|p| sum += p);
+        assert_eq!(sum, 3);
+        assert!(t.skeleton_bytes() > 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared plumbing for the matcher implementations: quick-reject tests,
+//! label statistics, and the search driver protocol.
+
+use gc_graph::{Label, LabeledGraph, NodeId};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Cheap necessary conditions for `pattern ⊆ target`; returning `false`
+/// proves non-containment without any search.
+pub(crate) fn quick_reject(pattern: &LabeledGraph, target: &LabeledGraph) -> bool {
+    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
+        return true;
+    }
+    // Label multiset containment.
+    let pc = label_counts(pattern);
+    let tc = label_counts(target);
+    for (l, n) in &pc {
+        if tc.get(l).copied().unwrap_or(0) < *n {
+            return true;
+        }
+    }
+    // Sorted-descending degree dominance: the i-th largest pattern degree
+    // must not exceed the i-th largest target degree (each pattern node
+    // needs a distinct image of at least its own degree).
+    let mut pd: Vec<usize> = pattern.nodes().map(|v| pattern.degree(v)).collect();
+    let mut td: Vec<usize> = target.nodes().map(|v| target.degree(v)).collect();
+    pd.sort_unstable_by(|a, b| b.cmp(a));
+    td.sort_unstable_by(|a, b| b.cmp(a));
+    pd.iter().zip(td.iter()).any(|(p, t)| p > t)
+}
+
+/// Label → occurrence count.
+pub(crate) fn label_counts(g: &LabeledGraph) -> HashMap<Label, u32> {
+    let mut m = HashMap::with_capacity(g.node_count().min(64));
+    for &l in g.labels() {
+        *m.entry(l).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Sorted multiset of the labels of `v`'s neighbours.
+pub(crate) fn neighbor_labels_sorted(g: &LabeledGraph, v: NodeId) -> Vec<Label> {
+    let mut ls: Vec<Label> = g.neighbors(v).iter().map(|&w| g.label(w)).collect();
+    ls.sort_unstable();
+    ls
+}
+
+/// Multiset containment over two sorted slices: every element of `a` (with
+/// multiplicity) appears in `b`.
+pub(crate) fn sorted_multiset_contained(a: &[Label], b: &[Label]) -> bool {
+    let mut j = 0usize;
+    for &x in a {
+        // advance j to the first b element >= x
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// What a search driver should do after an embedding is reported.
+pub(crate) enum Found {
+    /// Stop the search (decision / first-embedding mode).
+    Stop,
+    /// Keep enumerating (count mode, below the limit).
+    Continue,
+}
+
+/// Budget-aware step counter shared by all searches.
+pub(crate) struct Work {
+    pub nodes: u64,
+    budget: Option<u64>,
+    pub exhausted: bool,
+}
+
+impl Work {
+    pub fn new(budget: Option<u64>) -> Self {
+        Work {
+            nodes: 0,
+            budget,
+            exhausted: false,
+        }
+    }
+
+    /// Counts one recursion step; returns `Break` when the budget trips.
+    #[inline]
+    pub fn step(&mut self) -> ControlFlow<()> {
+        self.nodes += 1;
+        if let Some(b) = self.budget {
+            if self.nodes > b {
+                self.exhausted = true;
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reject_catches_size_and_labels() {
+        let small = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let big = LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2)]);
+        assert!(quick_reject(&big, &small)); // more nodes than target
+        let wrong_label = LabeledGraph::from_parts(vec![9, 1], &[(0, 1)]);
+        assert!(quick_reject(&wrong_label, &big));
+        assert!(!quick_reject(&small, &big));
+    }
+
+    #[test]
+    fn quick_reject_degree_dominance() {
+        // Star with 3 leaves needs a target node of degree >= 3.
+        let star = LabeledGraph::from_parts(vec![0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let path = LabeledGraph::from_parts(vec![0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(quick_reject(&star, &path));
+    }
+
+    #[test]
+    fn multiset_containment() {
+        assert!(sorted_multiset_contained(&[1, 2, 2], &[1, 2, 2, 3]));
+        assert!(!sorted_multiset_contained(&[2, 2, 2], &[1, 2, 2, 3]));
+        assert!(sorted_multiset_contained(&[], &[1]));
+        assert!(!sorted_multiset_contained(&[1], &[]));
+    }
+
+    #[test]
+    fn work_budget_trips() {
+        let mut w = Work::new(Some(2));
+        assert!(w.step().is_continue());
+        assert!(w.step().is_continue());
+        assert!(w.step().is_break());
+        assert!(w.exhausted);
+        assert_eq!(w.nodes, 3);
+    }
+
+    #[test]
+    fn work_unbounded() {
+        let mut w = Work::new(None);
+        for _ in 0..1000 {
+            assert!(w.step().is_continue());
+        }
+        assert!(!w.exhausted);
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's sub-iso cost estimator (§5.2).
+//!
+//! GraphCache estimates the cost of a sub-iso test of query `g` (with `n`
+//! nodes) against a dataset graph `G` (with `N ≥ n` nodes and `L` distinct
+//! labels) as
+//!
+//! ```text
+//! c(g, G) = N · N! / (L^(n+1) · (N − n)!)
+//! ```
+//!
+//! i.e. the number of injective node assignments, discounted by the label
+//! selectivity. The factorials overflow `f64` beyond trivial sizes, so the
+//! estimate is computed in log-space and only exponentiated at the end,
+//! saturating at `f64::MAX`.
+
+use gc_graph::LabeledGraph;
+
+/// Natural log of the falling factorial `N·(N−1)·…·(N−n+1) = N!/(N−n)!`.
+fn ln_falling_factorial(n_big: u64, n_small: u64) -> f64 {
+    debug_assert!(n_small <= n_big);
+    ((n_big - n_small + 1)..=n_big).map(|k| (k as f64).ln()).sum()
+}
+
+/// The paper's cost estimate `c(g, G)` given the raw parameters: `n` query
+/// nodes, `cap_n` dataset-graph nodes, `labels` distinct labels in `G`.
+///
+/// Returns 0.0 when `cap_n < n` (the test would be trivially negative) and
+/// saturates at `f64::MAX` instead of overflowing.
+pub fn estimate_raw(n: u64, cap_n: u64, labels: u64) -> f64 {
+    if cap_n < n {
+        return 0.0;
+    }
+    let l = labels.max(1) as f64;
+    // ln c = ln N + ln(N!/(N-n)!) - (n+1)·ln L
+    let ln_c = (cap_n.max(1) as f64).ln() + ln_falling_factorial(cap_n, n)
+        - (n as f64 + 1.0) * l.ln();
+    if ln_c > f64::MAX.ln() {
+        f64::MAX
+    } else {
+        ln_c.exp()
+    }
+}
+
+/// The paper's cost estimate `c(g, G)` for a query/dataset-graph pair.
+pub fn estimate(query: &LabeledGraph, dataset_graph: &LabeledGraph) -> f64 {
+    estimate_raw(
+        query.node_count() as u64,
+        dataset_graph.node_count() as u64,
+        dataset_graph.distinct_label_count() as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form_small() {
+        // N=5, n=3, L=2: c = 5 * 5!/2! / 2^4 = 5 * 60 / 16 = 18.75
+        let c = estimate_raw(3, 5, 2);
+        assert!((c - 18.75).abs() < 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn zero_when_query_larger() {
+        assert_eq!(estimate_raw(10, 5, 3), 0.0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let c = estimate_raw(170, 10_000, 1);
+        assert!(c.is_finite());
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_target_size() {
+        let small = estimate_raw(4, 10, 3);
+        let large = estimate_raw(4, 100, 3);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn more_labels_cheaper() {
+        let few = estimate_raw(4, 50, 2);
+        let many = estimate_raw(4, 50, 20);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn graph_level_wrapper() {
+        let q = LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]);
+        let g = LabeledGraph::from_parts(vec![0, 1, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = estimate(&q, &g);
+        // N=5, n=3, L=2 → 18.75 as above.
+        assert!((c - 18.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_cost_positive() {
+        let q = LabeledGraph::empty();
+        let g = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let c = estimate(&q, &g);
+        assert!(c.is_finite() && c > 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Dataset profiles and query workload generators (paper §7.2).
+//!
+//! The paper evaluates GraphCache on three real datasets (AIDS, PDBS, PCM)
+//! and one synthetic dataset, with two workload generator families:
+//!
+//! * **Type A** — extract a BFS subgraph from a randomly chosen dataset
+//!   graph/start node, with Uniform or Zipf selection at both levels
+//!   (workloads "UU", "ZU", "ZZ");
+//! * **Type B** — pre-build pools of answerable (random-walk extracted) and
+//!   *no-answer* (relabelled until unmatchable) queries, then mix them with
+//!   a biased coin (0% / 20% / 50% no-answer) and Zipf-select within pools.
+//!
+//! The real datasets are not redistributable, so [`datasets`] provides
+//! generators that reproduce their published shape statistics (graph count,
+//! node count mean/std, average degree, label count) at a configurable
+//! scale — see DESIGN.md §4 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+mod type_a;
+mod type_b;
+mod workload;
+
+pub use datasets::DatasetProfile;
+pub use type_a::{generate_type_a, TypeAConfig};
+pub use type_b::{generate_type_b, TypeBConfig};
+pub use workload::{QueryOrigin, Workload, WorkloadQuery};

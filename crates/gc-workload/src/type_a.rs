@@ -1,0 +1,219 @@
+//! Type A workloads (paper §7.2): BFS-extracted queries with configurable
+//! selection skew.
+//!
+//! "First, a source graph is selected randomly from the dataset graphs;
+//! then, a node is selected randomly in said graph; finally, a query size
+//! is selected uniformly at random from several pre-defined sizes and a BFS
+//! is performed starting from the selected node. […] we have used two
+//! different distributions; namely, Uniform (U) and Zipf (Z)" — giving the
+//! workload categories UU, ZU and ZZ (first letter: graph selection;
+//! second: node selection).
+
+use crate::workload::{QueryOrigin, Workload, WorkloadQuery};
+use gc_graph::random::bfs_edge_subgraph;
+use gc_graph::zipf::Selector;
+use gc_graph::GraphDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a Type A workload.
+#[derive(Debug, Clone)]
+pub struct TypeAConfig {
+    /// Distribution for choosing the source graph.
+    pub graph_selector: Selector,
+    /// Distribution for choosing the BFS start node within the graph.
+    pub node_selector: Selector,
+    /// Query sizes in edges, sampled uniformly (paper: 4–20 for AIDS/PDBS,
+    /// 20–40 for PCM/Synthetic).
+    pub sizes: Vec<usize>,
+    /// Number of queries to generate.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TypeAConfig {
+    fn with_selectors(graph: Selector, node: Selector, name_hint: &str) -> Self {
+        let _ = name_hint;
+        TypeAConfig {
+            graph_selector: graph,
+            node_selector: node,
+            sizes: vec![4, 8, 12, 16, 20],
+            count: 1_000,
+            seed: 42,
+        }
+    }
+
+    /// "UU": uniform graph + uniform node selection (the caching worst
+    /// case the paper highlights).
+    pub fn uu() -> Self {
+        Self::with_selectors(Selector::Uniform, Selector::Uniform, "UU")
+    }
+
+    /// "ZU": Zipf(α) graph selection, uniform node selection.
+    pub fn zu(alpha: f64) -> Self {
+        Self::with_selectors(Selector::Zipf(alpha), Selector::Uniform, "ZU")
+    }
+
+    /// "ZZ": Zipf(α) at both levels (the most cache-friendly workload).
+    pub fn zz(alpha: f64) -> Self {
+        Self::with_selectors(Selector::Zipf(alpha), Selector::Zipf(alpha), "ZZ")
+    }
+
+    /// Workload name per the paper's convention ("UU", "ZU", "ZZ").
+    pub fn name(&self) -> String {
+        format!(
+            "{}{}",
+            self.graph_selector.code(),
+            self.node_selector.code()
+        )
+    }
+
+    /// Sets the query sizes (builder style).
+    pub fn sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Sets the query count (builder style).
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a Type A workload from a dataset.
+///
+/// # Panics
+/// If the dataset is empty or `sizes` is empty.
+pub fn generate_type_a(dataset: &GraphDataset, cfg: &TypeAConfig) -> Workload {
+    assert!(!dataset.is_empty(), "cannot extract queries from an empty dataset");
+    assert!(!cfg.sizes.is_empty(), "need at least one query size");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let graph_sampler = cfg.graph_selector.build(dataset.len());
+    let mut queries = Vec::with_capacity(cfg.count);
+    let mut guard = 0usize;
+    let guard_cap = cfg.count * 200 + 1000;
+    while queries.len() < cfg.count && guard < guard_cap {
+        guard += 1;
+        let gid = graph_sampler.sample(&mut rng);
+        let g = dataset.graph(gc_graph::GraphId(gid as u32));
+        if g.node_count() == 0 {
+            continue;
+        }
+        // The node sampler depends on the chosen graph's size; Zipf tables
+        // are cached per distinct size to keep generation cheap.
+        let node = cfg.node_selector.build(g.node_count()).sample(&mut rng) as u32;
+        let size = cfg.sizes[rng.gen_range(0..cfg.sizes.len())];
+        if let Some(sub) = bfs_edge_subgraph(g, node, size) {
+            queries.push(WorkloadQuery {
+                graph: sub,
+                origin: QueryOrigin::Extracted,
+            });
+        }
+    }
+    assert!(
+        queries.len() == cfg.count,
+        "query extraction starved: got {} of {} (dataset too small or disconnected?)",
+        queries.len(),
+        cfg.count
+    );
+    Workload {
+        name: cfg.name(),
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use gc_subiso::{Matcher, Vf2};
+
+    fn dataset() -> GraphDataset {
+        datasets::aids_like(0.05, 11)
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TypeAConfig::uu().name(), "UU");
+        assert_eq!(TypeAConfig::zu(1.4).name(), "ZU");
+        assert_eq!(TypeAConfig::zz(1.4).name(), "ZZ");
+    }
+
+    #[test]
+    fn queries_have_requested_sizes() {
+        let d = dataset();
+        let cfg = TypeAConfig::uu().sizes(vec![4, 8]).count(50).seed(3);
+        let w = generate_type_a(&d, &cfg);
+        assert_eq!(w.len(), 50);
+        for q in &w.queries {
+            let m = q.graph.edge_count();
+            assert!(m == 4 || m == 8 || m < 8, "size {m} unexpected");
+            assert!(q.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn extracted_queries_always_answerable() {
+        // The defining property of Type A: every query is a subgraph of at
+        // least one dataset graph.
+        let d = dataset();
+        let cfg = TypeAConfig::zz(1.4).count(25).seed(5);
+        let w = generate_type_a(&d, &cfg);
+        let vf2 = Vf2::new();
+        for q in &w.queries {
+            assert!(
+                d.graphs().iter().any(|g| vf2.contains(&q.graph, g)),
+                "extracted query has no answer"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_graph_selection_repeats_sources() {
+        // ZZ with strong skew reuses the same source graphs, which is what
+        // makes the workload cache-friendly. Indirect check: many duplicate
+        // query graphs appear.
+        let d = dataset();
+        let take = |cfg: TypeAConfig| {
+            let w = generate_type_a(&d, &cfg.count(200).seed(9));
+            let mut uniq: Vec<&gc_graph::LabeledGraph> = Vec::new();
+            for q in &w.queries {
+                if !uniq.iter().any(|u| **u == q.graph) {
+                    uniq.push(&q.graph);
+                }
+            }
+            uniq.len()
+        };
+        let zz = take(TypeAConfig::zz(1.7));
+        let uu = take(TypeAConfig::uu());
+        assert!(
+            zz < uu,
+            "ZZ must produce more duplicates than UU ({zz} vs {uu})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset();
+        let cfg = TypeAConfig::zu(1.4).count(20).seed(77);
+        let a = generate_type_a(&d, &cfg);
+        let b = generate_type_a(&d, &cfg);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        generate_type_a(&GraphDataset::default(), &TypeAConfig::uu());
+    }
+}

@@ -1,0 +1,346 @@
+//! Type B workloads (paper §7.2): pool-based generation with no-answer
+//! queries.
+//!
+//! Two pools per configuration:
+//!
+//! * the **answerable pool**: queries extracted by a random walk from a
+//!   start node chosen uniformly *across all nodes of all dataset graphs*;
+//! * the **no-answer pool**: answerable-style queries whose node labels are
+//!   repeatedly randomised "until the resulting query has a non-empty
+//!   candidate set but an empty answer set" — i.e. they survive filtering
+//!   yet match nothing, the worst case for FTV methods.
+//!
+//! The workload then flips a biased coin per query (no-answer probability
+//! 0%, 20% or 50%) and Zipf-selects a query from the chosen pool.
+
+use crate::workload::{QueryOrigin, Workload, WorkloadQuery};
+use gc_graph::random::random_walk_subgraph;
+use gc_graph::zipf::ZipfSampler;
+use gc_graph::{GraphDataset, GraphId, Label, LabeledGraph};
+use gc_index::{FilterIndex, GgsxConfig, PathTrie};
+use gc_subiso::{MatchConfig, Matcher, Vf2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budget for the no-answer certification tests. Dense datasets (PCM,
+/// Synthetic) can make a single adversarial relabelled query arbitrarily
+/// expensive to refute; an incomplete test conservatively counts as "has an
+/// answer" and the candidate relabelling is discarded, keeping pool
+/// construction bounded while every admitted no-answer query remains
+/// *provably* unanswerable.
+const CERTIFY_BUDGET: u64 = 2_000_000;
+
+/// Configuration of a Type B workload.
+#[derive(Debug, Clone)]
+pub struct TypeBConfig {
+    /// Query sizes in edges.
+    pub sizes: Vec<usize>,
+    /// Answerable pool size (paper: 10,000; bench default scaled down).
+    pub answer_pool: usize,
+    /// No-answer pool size (paper: 3,000; bench default scaled down).
+    pub no_answer_pool: usize,
+    /// Probability of drawing from the no-answer pool (0.0 / 0.2 / 0.5).
+    pub no_answer_prob: f64,
+    /// Zipf α for within-pool selection (paper default: 1.4).
+    pub zipf_alpha: f64,
+    /// Number of queries in the workload.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relabelling attempts per base query before drawing a fresh base.
+    pub relabel_attempts: usize,
+}
+
+impl Default for TypeBConfig {
+    fn default() -> Self {
+        TypeBConfig {
+            sizes: vec![4, 8, 12, 16, 20],
+            answer_pool: 150,
+            no_answer_pool: 50,
+            no_answer_prob: 0.2,
+            zipf_alpha: 1.4,
+            count: 1_000,
+            seed: 42,
+            relabel_attempts: 40,
+        }
+    }
+}
+
+impl TypeBConfig {
+    /// The paper's "0%" / "20%" / "50%" workload categories.
+    pub fn with_no_answer_prob(p: f64) -> Self {
+        TypeBConfig {
+            no_answer_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// Workload name per the paper's convention.
+    pub fn name(&self) -> String {
+        format!("{}%", (self.no_answer_prob * 100.0).round() as u32)
+    }
+
+    /// Sets query sizes (builder style).
+    pub fn sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Sets workload length (builder style).
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the Zipf α (builder style; Fig. 7 sweeps 1.1 / 1.4 / 1.7).
+    pub fn zipf(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = alpha;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets pool sizes (builder style).
+    pub fn pools(mut self, answerable: usize, no_answer: usize) -> Self {
+        self.answer_pool = answerable;
+        self.no_answer_pool = no_answer;
+        self
+    }
+}
+
+/// Generates a Type B workload. Internally builds a GGSX filter and a VF2
+/// matcher to certify the no-answer pool ("non-empty candidate set, empty
+/// answer set").
+///
+/// # Panics
+/// If the dataset is empty, `sizes` is empty, or pool construction starves.
+pub fn generate_type_b(dataset: &GraphDataset, cfg: &TypeBConfig) -> Workload {
+    assert!(!dataset.is_empty(), "cannot extract queries from an empty dataset");
+    assert!(!cfg.sizes.is_empty(), "need at least one query size");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Start-node table: uniform across all nodes of all dataset graphs.
+    let node_index: Vec<(GraphId, u32)> = dataset
+        .iter()
+        .flat_map(|(id, g)| g.nodes().map(move |v| (id, v)))
+        .collect();
+    assert!(!node_index.is_empty(), "dataset has no nodes");
+
+    let mut answerable: Vec<LabeledGraph> = Vec::with_capacity(cfg.answer_pool);
+    let mut guard = 0usize;
+    let guard_cap = cfg.answer_pool * 200 + 1000;
+    while answerable.len() < cfg.answer_pool && guard < guard_cap {
+        guard += 1;
+        if let Some(q) = draw_walk_query(dataset, &node_index, &cfg.sizes, &mut rng) {
+            answerable.push(q);
+        }
+    }
+    assert_eq!(
+        answerable.len(),
+        cfg.answer_pool,
+        "answerable pool starved"
+    );
+
+    // No-answer pool needs filtering + verification machinery.
+    let no_answer = if cfg.no_answer_pool > 0 && cfg.no_answer_prob > 0.0 {
+        build_no_answer_pool(dataset, &node_index, cfg, &mut rng)
+    } else {
+        Vec::new()
+    };
+
+    // Mix: biased coin between pools, Zipf within the pool.
+    let zipf_a = ZipfSampler::new(answerable.len(), cfg.zipf_alpha);
+    let zipf_n = (!no_answer.is_empty()).then(|| ZipfSampler::new(no_answer.len(), cfg.zipf_alpha));
+    let mut queries = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let from_no_answer = zipf_n.is_some() && rng.gen::<f64>() < cfg.no_answer_prob;
+        if from_no_answer {
+            let z = zipf_n.as_ref().expect("checked above");
+            queries.push(WorkloadQuery {
+                graph: no_answer[z.sample(&mut rng)].clone(),
+                origin: QueryOrigin::NoAnswer,
+            });
+        } else {
+            queries.push(WorkloadQuery {
+                graph: answerable[zipf_a.sample(&mut rng)].clone(),
+                origin: QueryOrigin::Extracted,
+            });
+        }
+    }
+    Workload {
+        name: cfg.name(),
+        queries,
+    }
+}
+
+fn draw_walk_query(
+    dataset: &GraphDataset,
+    node_index: &[(GraphId, u32)],
+    sizes: &[usize],
+    rng: &mut StdRng,
+) -> Option<LabeledGraph> {
+    let (gid, start) = node_index[rng.gen_range(0..node_index.len())];
+    let size = sizes[rng.gen_range(0..sizes.len())];
+    random_walk_subgraph(dataset.graph(gid), start, size, rng)
+}
+
+fn build_no_answer_pool(
+    dataset: &GraphDataset,
+    node_index: &[(GraphId, u32)],
+    cfg: &TypeBConfig,
+    rng: &mut StdRng,
+) -> Vec<LabeledGraph> {
+    let filter = PathTrie::build(dataset, GgsxConfig::default());
+    let matcher = Vf2::new();
+    // "Randomly selected labels from the dataset": sample from the label
+    // *multiset* (frequency-weighted), not the bare domain — common labels
+    // keep the candidate set non-empty while the exact structure fails.
+    let labels: Vec<Label> = dataset
+        .graphs()
+        .iter()
+        .flat_map(|g| g.labels().iter().copied())
+        .collect();
+    let mut pool: Vec<LabeledGraph> = Vec::with_capacity(cfg.no_answer_pool);
+    let mut bases = 0usize;
+    let base_cap = cfg.no_answer_pool * 60 + 400;
+    'outer: while pool.len() < cfg.no_answer_pool && bases < base_cap {
+        bases += 1;
+        let Some(base) = draw_walk_query(dataset, node_index, &cfg.sizes, rng) else {
+            continue;
+        };
+        // "we continuously relabel the nodes in the query with randomly
+        // selected labels from the dataset, until the resulting query has a
+        // non-empty candidate set but an empty answer set".
+        for _ in 0..cfg.relabel_attempts {
+            let relabelled =
+                base.relabeled(|_, _| labels[rng.gen_range(0..labels.len())]);
+            let candidates = filter.filter(&relabelled);
+            if candidates.is_empty() {
+                continue;
+            }
+            let certified_empty = candidates.iter().all(|&id| {
+                let out = matcher.contains_with(
+                    &relabelled,
+                    dataset.graph(id),
+                    &MatchConfig::bounded(CERTIFY_BUDGET),
+                );
+                !out.found && out.complete
+            });
+            if certified_empty {
+                pool.push(relabelled);
+                continue 'outer;
+            }
+        }
+    }
+    // Dense datasets make certified no-answer queries scarce (most
+    // relabellings either fail filtering or genuinely match something); a
+    // partial pool only shifts the realised mix ratio slightly, so degrade
+    // gracefully rather than refusing to generate the workload.
+    assert!(
+        !pool.is_empty(),
+        "no-answer pool completely starved after {bases} base draws"
+    );
+    if pool.len() < cfg.no_answer_pool {
+        eprintln!(
+            "[type_b] warning: no-answer pool filled {}/{} after {bases} base draws",
+            pool.len(),
+            cfg.no_answer_pool
+        );
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn dataset() -> GraphDataset {
+        datasets::aids_like(0.05, 13)
+    }
+
+    fn small_cfg(p: f64) -> TypeBConfig {
+        TypeBConfig::with_no_answer_prob(p)
+            .pools(20, 8)
+            .count(60)
+            .sizes(vec![4, 8])
+            .seed(5)
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TypeBConfig::with_no_answer_prob(0.0).name(), "0%");
+        assert_eq!(TypeBConfig::with_no_answer_prob(0.2).name(), "20%");
+        assert_eq!(TypeBConfig::with_no_answer_prob(0.5).name(), "50%");
+    }
+
+    #[test]
+    fn zero_percent_workload_all_answerable() {
+        let d = dataset();
+        let w = generate_type_b(&d, &small_cfg(0.0));
+        assert_eq!(w.len(), 60);
+        assert_eq!(w.no_answer_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mixed_workload_fraction_tracks_probability() {
+        let d = dataset();
+        let w = generate_type_b(&d, &small_cfg(0.5).count(400));
+        let f = w.no_answer_fraction();
+        assert!((f - 0.5).abs() < 0.12, "no-answer fraction {f}");
+    }
+
+    #[test]
+    fn no_answer_queries_truly_unanswerable_but_filterable() {
+        let d = dataset();
+        let w = generate_type_b(&d, &small_cfg(0.5));
+        let filter = PathTrie::build(&d, GgsxConfig::default());
+        let vf2 = Vf2::new();
+        for q in w.queries.iter().filter(|q| q.origin == QueryOrigin::NoAnswer) {
+            let cs = filter.filter(&q.graph);
+            assert!(!cs.is_empty(), "no-answer query must pass filtering");
+            assert!(
+                cs.iter().all(|&id| !vf2.contains(&q.graph, d.graph(id))),
+                "no-answer query matched a dataset graph"
+            );
+        }
+    }
+
+    #[test]
+    fn answerable_queries_have_answers() {
+        let d = dataset();
+        let w = generate_type_b(&d, &small_cfg(0.0).count(30));
+        let vf2 = Vf2::new();
+        for q in &w.queries {
+            assert!(d.graphs().iter().any(|g| vf2.contains(&q.graph, g)));
+        }
+    }
+
+    #[test]
+    fn zipf_selection_repeats_popular_queries() {
+        let d = dataset();
+        let w = generate_type_b(&d, &small_cfg(0.0).count(200));
+        // With α = 1.4 over a 20-query pool, the head query dominates.
+        let mut counts = std::collections::HashMap::new();
+        for q in &w.queries {
+            *counts.entry(q.graph.labels().to_vec()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 20, "head query repeated only {max} times");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset();
+        let a = generate_type_b(&d, &small_cfg(0.2));
+        let b = generate_type_b(&d, &small_cfg(0.2));
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.graph, y.graph);
+            assert_eq!(x.origin, y.origin);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Workload containers.
+
+use gc_graph::LabeledGraph;
+
+/// Where a workload query came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOrigin {
+    /// Extracted from a dataset graph (guaranteed at least one answer).
+    Extracted,
+    /// Relabelled until it has a non-empty candidate set but an empty
+    /// answer set (Type B's "no-answer" pool).
+    NoAnswer,
+}
+
+/// One query of a workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The query graph.
+    pub graph: LabeledGraph,
+    /// Provenance (used by tests and the Type B mix accounting).
+    pub origin: QueryOrigin,
+}
+
+/// An ordered sequence of queries to replay against a method or cache.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name in the paper's nomenclature ("ZZ", "UU", "20%", …).
+    pub name: String,
+    /// The queries, in submission order.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterator over the query graphs in order.
+    pub fn graphs(&self) -> impl Iterator<Item = &LabeledGraph> {
+        self.queries.iter().map(|q| &q.graph)
+    }
+
+    /// Fraction of queries drawn from the no-answer pool.
+    pub fn no_answer_fraction(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .iter()
+            .filter(|q| q.origin == QueryOrigin::NoAnswer)
+            .count() as f64
+            / self.queries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let g = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let w = Workload {
+            name: "test".into(),
+            queries: vec![
+                WorkloadQuery {
+                    graph: g.clone(),
+                    origin: QueryOrigin::Extracted,
+                },
+                WorkloadQuery {
+                    graph: g,
+                    origin: QueryOrigin::NoAnswer,
+                },
+            ],
+        };
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.graphs().count(), 2);
+        assert!((w.no_answer_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload {
+            name: "empty".into(),
+            queries: vec![],
+        };
+        assert!(w.is_empty());
+        assert_eq!(w.no_answer_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! `gc` — command-line front end for GraphCache.
+//!
+//! Subcommands:
+//!
+//! * `gc generate --profile aids|pdbs|pcm|synthetic [--scale F] [--seed N] --out FILE`
+//!   writes a synthetic dataset in the text format of `gc_graph::io`;
+//! * `gc stats FILE` prints dataset shape statistics;
+//! * `gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE`
+//!   generates a query workload (queries are stored as a dataset file);
+//! * `gc query --dataset FILE --queries FILE [--method NAME] [--policy NAME]
+//!   [--capacity N] [--window N] [--admission] [--supergraph] [--no-cache] [--save DIR] [--restore DIR]`
+//!   replays the queries and prints per-run statistics.
+//!
+//! Example session:
+//! ```text
+//! gc generate --profile aids --scale 0.1 --out aids.txt
+//! gc workload --dataset aids.txt --kind zz --count 200 --out queries.txt
+//! gc query --dataset aids.txt --queries queries.txt --method ggsx --policy hd
+//! ```
+
+use graphcache::core::{AdmissionConfig, GraphCache, PolicyKind, QueryKind};
+use graphcache::graph::{io, GraphDataset};
+use graphcache::methods::{Method, MethodBuilder};
+use graphcache::workload::{
+    generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: gc <generate|stats|workload|query> [options]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "workload" => cmd_workload(rest),
+        "query" => cmd_query(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs and bare flags into a map.
+fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut opts = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            // Bare flags take no value.
+            const FLAGS: [&str; 4] = ["admission", "supergraph", "no-cache", "background"];
+            if FLAGS.contains(&key) {
+                opts.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                opts.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((opts, positional))
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v:?}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let profile = match req(&opts, "profile")? {
+        "aids" => DatasetProfile::aids(),
+        "pdbs" => DatasetProfile::pdbs(),
+        "pcm" => DatasetProfile::pcm(),
+        "synthetic" => DatasetProfile::synthetic(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let scale: f64 = num(&opts, "scale", 1.0)?;
+    let seed: u64 = num(&opts, "seed", 42)?;
+    let out = req(&opts, "out")?;
+    let dataset = profile.scaled(scale).generate(seed);
+    io::save_dataset(out, &dataset).map_err(|e| e.to_string())?;
+    println!("wrote {} ({})", out, dataset.stats());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (_, positional) = parse_opts(args)?;
+    let path = positional
+        .first()
+        .ok_or_else(|| "usage: gc stats FILE".to_string())?;
+    let dataset = io::load_dataset(path).map_err(|e| e.to_string())?;
+    println!("{}", dataset.stats());
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let dataset = io::load_dataset(req(&opts, "dataset")?).map_err(|e| e.to_string())?;
+    let count: usize = num(&opts, "count", 500)?;
+    let seed: u64 = num(&opts, "seed", 42)?;
+    let out = req(&opts, "out")?;
+    let kind = req(&opts, "kind")?;
+    let workload = match kind {
+        "zz" => generate_type_a(&dataset, &TypeAConfig::zz(1.4).count(count).seed(seed)),
+        "zu" => generate_type_a(&dataset, &TypeAConfig::zu(1.4).count(count).seed(seed)),
+        "uu" => generate_type_a(&dataset, &TypeAConfig::uu().count(count).seed(seed)),
+        "b0" | "b20" | "b50" => {
+            let p = match kind {
+                "b0" => 0.0,
+                "b20" => 0.2,
+                _ => 0.5,
+            };
+            generate_type_b(
+                &dataset,
+                &TypeBConfig::with_no_answer_prob(p)
+                    .count(count)
+                    .pools((count / 5).clamp(20, 400), (count / 15).clamp(5, 120))
+                    .seed(seed),
+            )
+        }
+        other => return Err(format!("unknown workload kind {other:?} (zz|zu|uu|b0|b20|b50)")),
+    };
+    let as_dataset = GraphDataset::new(workload.graphs().cloned().collect());
+    io::save_dataset(out, &as_dataset).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} queries, {})", out, workload.len(), workload.name);
+    Ok(())
+}
+
+fn build_method(name: &str, dataset: &GraphDataset) -> Result<Method, String> {
+    Ok(match name {
+        "ggsx" => MethodBuilder::ggsx().build(dataset),
+        "grapes1" => MethodBuilder::grapes(1).build(dataset),
+        "grapes6" => MethodBuilder::grapes(6).build(dataset),
+        "ct" | "ct-index" => MethodBuilder::ct_index().build(dataset),
+        "vf2" => MethodBuilder::si_vf2().build(dataset),
+        "vf2+" | "vf2plus" => MethodBuilder::si_vf2_plus().build(dataset),
+        "gql" => MethodBuilder::si_graphql().build(dataset),
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let dataset = io::load_dataset(req(&opts, "dataset")?).map_err(|e| e.to_string())?;
+    let queries = io::load_dataset(req(&opts, "queries")?).map_err(|e| e.to_string())?;
+    let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
+    let policy = match opts.get("policy").map(|s| s.as_str()).unwrap_or("hd") {
+        "lru" => PolicyKind::Lru,
+        "pop" => PolicyKind::Pop,
+        "pin" => PolicyKind::Pin,
+        "pinc" => PolicyKind::Pinc,
+        "hd" => PolicyKind::Hd,
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let kind = if opts.contains_key("supergraph") {
+        QueryKind::Supergraph
+    } else {
+        QueryKind::Subgraph
+    };
+
+    if opts.contains_key("no-cache") {
+        let method = build_method(method_name, &dataset)?;
+        let mut total_us = 0.0;
+        let mut tests = 0u64;
+        for (i, q) in queries.graphs().iter().enumerate() {
+            let r = method.run_directed(q, kind);
+            total_us += r.total_time().as_secs_f64() * 1e6;
+            tests += r.subiso_tests();
+            println!("query {i}: {} answers, {} tests", r.answer.len(), r.subiso_tests());
+        }
+        println!(
+            "\n{} queries | avg {:.0} µs | {} sub-iso tests (no cache)",
+            queries.len(),
+            total_us / queries.len().max(1) as f64,
+            tests
+        );
+        return Ok(());
+    }
+
+    let method = build_method(method_name, &dataset)?;
+    let mut cache = GraphCache::builder()
+        .capacity(num(&opts, "capacity", 100usize)?)
+        .window(num(&opts, "window", 20usize)?)
+        .policy(policy)
+        .admission(if opts.contains_key("admission") {
+            AdmissionConfig::enabled()
+        } else {
+            AdmissionConfig::default()
+        })
+        .query_kind(kind)
+        .background(opts.contains_key("background"))
+        .build(method);
+    if let Some(dir) = opts.get("restore") {
+        cache.restore(dir).map_err(|e| e.to_string())?;
+        println!("restored {} cached queries from {dir}", cache.cache_len());
+    }
+
+    let mut total_us = 0.0;
+    let mut tests = 0u64;
+    let mut hits = 0usize;
+    for (i, q) in queries.graphs().iter().enumerate() {
+        let r = cache.run(q);
+        total_us += r.record.query_time().as_secs_f64() * 1e6;
+        tests += r.record.subiso_tests;
+        hits += r.record.any_hit() as usize;
+        println!(
+            "query {i}: {} answers, {} tests{}",
+            r.answer.len(),
+            r.record.subiso_tests,
+            if r.record.exact_hit { " (exact hit)" } else { "" }
+        );
+    }
+    println!(
+        "\n{} queries | avg {:.0} µs | {} sub-iso tests | {} cache-assisted | {} cached entries",
+        queries.len(),
+        total_us / queries.len().max(1) as f64,
+        tests,
+        hits,
+        cache.cache_len()
+    );
+    if let Some(dir) = opts.get("save") {
+        cache.save(dir).map_err(|e| e.to_string())?;
+        println!("saved cache state to {dir}");
+    }
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! End-to-end behaviour of the cache machinery: capacity, windowing,
+//! statistics, admission control and maintenance accounting.
+
+use graphcache::core::stats::columns;
+use graphcache::core::{AdmissionConfig, CostModel, GraphCache, PolicyKind};
+use graphcache::prelude::*;
+use graphcache::workload::generate_type_a;
+
+fn dataset() -> GraphDataset {
+    datasets::aids_like(0.05, 500)
+}
+
+fn build_cache(d: &GraphDataset, capacity: usize, window: usize) -> GraphCache {
+    GraphCache::builder()
+        .capacity(capacity)
+        .window(window)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(d))
+}
+
+#[test]
+fn window_batches_admissions() {
+    let d = dataset();
+    let mut gc = build_cache(&d, 50, 5);
+    let w = generate_type_a(&d, &TypeAConfig::uu().count(14).seed(1));
+    for (i, q) in w.graphs().enumerate() {
+        gc.run(q);
+        // Cache only changes at window boundaries.
+        let expected = ((i + 1) / 5) * 5;
+        assert_eq!(gc.cache_len(), expected.min(50), "after query {i}");
+        assert_eq!(gc.window_len(), (i + 1) % 5);
+    }
+}
+
+#[test]
+fn capacity_is_hard_bound_under_all_policies() {
+    let d = dataset();
+    let w = generate_type_a(&d, &TypeAConfig::uu().count(60).seed(2));
+    for policy in PolicyKind::ALL {
+        let mut gc = GraphCache::builder()
+            .capacity(7)
+            .window(3)
+            .policy(policy)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::ggsx().build(&d));
+        for q in w.graphs() {
+            gc.run(q);
+            assert!(gc.cache_len() <= 7, "policy {policy:?} overflowed");
+        }
+    }
+}
+
+#[test]
+fn evicted_entries_lose_their_stats_rows() {
+    let d = dataset();
+    let mut gc = build_cache(&d, 4, 2);
+    let w = generate_type_a(&d, &TypeAConfig::uu().count(20).seed(3));
+    for q in w.graphs() {
+        gc.run(q);
+    }
+    // Stats rows exist only for currently cached entries.
+    let cached = gc.cache_len();
+    gc.with_stats(|s| {
+        assert_eq!(s.len(), cached, "stats rows must track cache contents");
+    });
+}
+
+#[test]
+fn admission_control_blocks_cheap_queries() {
+    let d = dataset();
+    // Work-based cost model: expensiveness = verification work. With an
+    // aggressive target fraction, only the heaviest queries enter.
+    let mut gc = GraphCache::builder()
+        .capacity(50)
+        .window(5)
+        .admission(AdmissionConfig {
+            enabled: true,
+            calibration_windows: 1,
+            target_expensive_fraction: 0.2,
+        })
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    let w = generate_type_a(&d, &TypeAConfig::uu().count(40).seed(4));
+    for q in w.graphs() {
+        gc.run(q);
+    }
+    // Window 1 (5 queries) admits everything (calibration); afterwards only
+    // ~20% pass. 5 + ~7 of the remaining 35 → strictly fewer than the
+    // no-AC case, which would cache min(40, 50) = 40.
+    assert!(
+        gc.cache_len() < 20,
+        "admission control failed to gate: {} cached",
+        gc.cache_len()
+    );
+}
+
+#[test]
+fn maintenance_time_is_recorded() {
+    let d = dataset();
+    let mut gc = build_cache(&d, 20, 5);
+    let w = generate_type_a(&d, &TypeAConfig::uu().count(25).seed(5));
+    let mut inline_maintenance = std::time::Duration::ZERO;
+    for q in w.graphs() {
+        inline_maintenance += gc.run(q).record.maintenance;
+    }
+    assert!(gc.maintenance_total() > std::time::Duration::ZERO);
+    // Inline mode charges maintenance to the boundary queries.
+    assert!(gc.maintenance_total().as_micros() > 0);
+    assert!(inline_maintenance >= std::time::Duration::from_micros(1));
+}
+
+#[test]
+fn hit_statistics_accumulate_on_cached_entries() {
+    let d = dataset();
+    let mut gc = build_cache(&d, 30, 1);
+    let w = generate_type_a(&d, &TypeAConfig::zz(1.7).count(30).seed(6));
+    let mut serials = Vec::new();
+    for q in w.graphs() {
+        serials.push(gc.run(q).serial);
+    }
+    // Zipf-1.7 workloads repeat queries; some cached entry must have been
+    // credited with hits and R contributions.
+    let total_hits: f64 = gc.with_stats(|s| {
+        s.column(columns::HITS)
+            .iter()
+            .map(|(_, v)| v.as_f64())
+            .sum()
+    });
+    assert!(total_hits > 0.0, "no hits credited on a skewed workload");
+}
+
+#[test]
+fn larger_cache_never_hurts_hit_rate() {
+    let d = dataset();
+    let w = generate_type_a(&d, &TypeAConfig::zz(1.4).count(120).seed(7));
+    let hit_count = |capacity: usize| {
+        let mut gc = build_cache(&d, capacity, 5);
+        let mut hits = 0usize;
+        for q in w.graphs() {
+            hits += gc.run(q).record.any_hit() as usize;
+        }
+        hits
+    };
+    let small = hit_count(5);
+    let large = hit_count(60);
+    assert!(
+        large >= small,
+        "bigger cache lost hits: {large} < {small}"
+    );
+}
+
+#[test]
+fn gc_memory_stays_modest_relative_to_ftv_index() {
+    // The §7.3 space claim at miniature scale: GC's stores are a fraction
+    // of a serious FTV index.
+    let d = datasets::aids_like(0.2, 901);
+    let mut gc = GraphCache::builder()
+        .capacity(100)
+        .window(10)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::grapes(1).build(&d));
+    let w = generate_type_a(&d, &TypeAConfig::zz(1.4).count(150).seed(8));
+    for q in w.graphs() {
+        gc.run(q);
+    }
+    let gc_bytes = gc.memory_bytes() as f64;
+    let index_bytes = gc.method().index_memory_bytes().unwrap() as f64;
+    assert!(
+        gc_bytes < 0.5 * index_bytes,
+        "GC stores ({gc_bytes} B) not small vs index ({index_bytes} B)"
+    );
+}

@@ -1,0 +1,108 @@
+//! Cache persistence across process lifetimes (paper §6.1: stores are
+//! loaded on startup and written back on shutdown).
+
+use graphcache::core::{CostModel, GraphCache};
+use graphcache::prelude::*;
+use graphcache::workload::generate_type_a;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gc-it-persist-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn save_and_restore_preserves_hits_and_answers() {
+    let d = datasets::aids_like(0.04, 321);
+    let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(40).seed(11));
+    let dir = tmpdir("roundtrip");
+
+    // First lifetime: run the workload, persist on shutdown.
+    let mut first = GraphCache::builder()
+        .capacity(20)
+        .window(4)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    let mut first_answers = Vec::new();
+    for q in workload.graphs() {
+        first_answers.push(first.run(q).answer);
+    }
+    let cached_before = first.cache_len();
+    assert!(cached_before > 0);
+    first.save(&dir).unwrap();
+    drop(first);
+
+    // Second lifetime: restore, replay — answers identical, and previously
+    // cached queries hit exactly.
+    let mut second = GraphCache::builder()
+        .capacity(20)
+        .window(4)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    second.restore(&dir).unwrap();
+    assert_eq!(second.cache_len(), cached_before);
+
+    let mut exact_hits = 0usize;
+    for (i, q) in workload.graphs().enumerate() {
+        let r = second.run(q);
+        assert_eq!(r.answer, first_answers[i], "answer drift after restore");
+        exact_hits += r.record.exact_hit as usize;
+    }
+    assert!(
+        exact_hits > 0,
+        "restored cache should serve exact hits immediately"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restored_serials_do_not_collide() {
+    let d = datasets::aids_like(0.04, 322);
+    let workload = generate_type_a(&d, &TypeAConfig::uu().count(10).seed(3));
+    let dir = tmpdir("serials");
+
+    let mut first = GraphCache::builder()
+        .capacity(10)
+        .window(2)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    let mut max_serial = 0;
+    for q in workload.graphs() {
+        max_serial = first.run(q).serial;
+    }
+    first.save(&dir).unwrap();
+
+    let mut second = GraphCache::builder()
+        .capacity(10)
+        .window(2)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    second.restore(&dir).unwrap();
+    let r = second.run(&workload.queries[0].graph);
+    assert!(
+        r.serial > max_serial,
+        "restored cache must continue serial numbering ({} <= {max_serial})",
+        r.serial
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn save_flushes_background_maintenance() {
+    let d = datasets::aids_like(0.04, 323);
+    let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(20).seed(5));
+    let dir = tmpdir("background");
+    let mut gc = GraphCache::builder()
+        .capacity(15)
+        .window(4)
+        .background(true)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    for q in workload.graphs() {
+        gc.run(q);
+    }
+    gc.save(&dir).unwrap();
+    let persisted = graphcache::core::PersistedCache::load(&dir).unwrap();
+    assert_eq!(persisted.entries.len(), gc.cache_len());
+    std::fs::remove_dir_all(&dir).ok();
+}
