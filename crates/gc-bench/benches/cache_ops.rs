@@ -17,7 +17,7 @@ fn bench_query_path(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("hit_heavy_zz", |b| {
         b.iter(|| {
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(50)
                 .window(10)
                 .cost_model(CostModel::Work)
@@ -33,7 +33,7 @@ fn bench_query_path(c: &mut Criterion) {
     });
     group.bench_function("miss_heavy_uu", |b| {
         b.iter(|| {
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(50)
                 .window(10)
                 .cost_model(CostModel::Work)

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gc_graph::LabeledGraph;
-use gc_index::{
-    CtConfig, CtIndex, FilterIndex, GgsxConfig, GrapesConfig, GrapesIndex, PathTrie,
-};
+use gc_index::{CtConfig, CtIndex, FilterIndex, GgsxConfig, GrapesConfig, GrapesIndex, PathTrie};
 use gc_workload::{datasets, generate_type_a, TypeAConfig};
 
 fn bench_build(c: &mut Criterion) {

@@ -21,13 +21,9 @@ fn bench_policies(c: &mut Criterion) {
     for n in [100usize, 500, 5000] {
         let table = rows(n);
         for kind in PolicyKind::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &table,
-                |b, table| {
-                    b.iter(|| kind.select_victims(table, 20, n as u64 + 100).len())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &table, |b, table| {
+                b.iter(|| kind.select_victims(table, 20, n as u64 + 100).len())
+            });
         }
     }
     group.finish();

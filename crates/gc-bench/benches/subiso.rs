@@ -32,26 +32,12 @@ fn bench_matchers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("positive", kind.name()),
             &positive,
-            |b, cases| {
-                b.iter(|| {
-                    cases
-                        .iter()
-                        .filter(|(q, g)| matcher.contains(q, g))
-                        .count()
-                })
-            },
+            |b, cases| b.iter(|| cases.iter().filter(|(q, g)| matcher.contains(q, g)).count()),
         );
         group.bench_with_input(
             BenchmarkId::new("negative", kind.name()),
             &negative,
-            |b, cases| {
-                b.iter(|| {
-                    cases
-                        .iter()
-                        .filter(|(q, g)| matcher.contains(q, g))
-                        .count()
-                })
-            },
+            |b, cases| b.iter(|| cases.iter().filter(|(q, g)| matcher.contains(q, g)).count()),
         );
     }
     group.finish();

@@ -35,7 +35,10 @@ fn main() {
             "GGSX len5 (+1)",
             MethodBuilder::ggsx_with(GgsxConfig::with_path_len(5)).build(&dataset),
         ),
-        ("CT-Index 6/8/4096", MethodBuilder::ct_index().build(&dataset)),
+        (
+            "CT-Index 6/8/4096",
+            MethodBuilder::ct_index().build(&dataset),
+        ),
         (
             "CT-Index 7/9/8192",
             MethodBuilder::ct_index_with(CtConfig::enlarged()).build(&dataset),

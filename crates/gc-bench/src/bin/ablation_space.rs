@@ -33,7 +33,7 @@ fn main() {
             );
         }
         for capacity in [100usize, 500] {
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(capacity)
                 .window(20)
                 .build(MethodKind::Ggsx.build(&dataset));

@@ -57,17 +57,16 @@ fn main() {
         let mut row_q = vec![base.avg_query_time_us / 1e3];
         let mut row_o = Vec::new();
         for &capacity in &capacities {
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(capacity)
                 .window(20)
                 .parallel_dispatch(true)
                 .build(kind.build(&dataset));
-            let records = gc_records(&mut cache, &workload);
+            let records = gc_records(&cache, &workload);
             let gc = summarize(&records);
             // Overhead = total maintenance / number of maintenance-eligible
             // queries (the paper reports it per query).
-            let overhead_ms =
-                cache.maintenance_total().as_secs_f64() * 1e3 / records.len() as f64;
+            let overhead_ms = cache.maintenance_total().as_secs_f64() * 1e3 / records.len() as f64;
             row_q.push(gc.avg_query_time_us / 1e3);
             row_o.push(overhead_ms);
             eprintln!("[fig10] {} c{capacity} done", kind.name());

@@ -69,12 +69,12 @@ fn main() {
                     workload,
                     QueryKind::Subgraph,
                 ));
-                let mut cache = GraphCache::builder()
+                let cache = GraphCache::builder()
                     .capacity(100)
                     .window(20)
                     .parallel_dispatch(true)
                     .build(kind.build(dataset));
-                let records = gc_records(&mut cache, workload);
+                let records = gc_records(&cache, workload);
                 let gc = summarize(&records);
                 measured[ki].values.push(gc.time_speedup_vs(&base));
                 if ki == 0 {

@@ -60,12 +60,12 @@ fn main() {
             let workload = spec.generate(dataset, &sizes, &exp);
             let ct_summary = summarize(&baseline_records(&ct, &workload, QueryKind::Subgraph));
             for (ci, capacity) in [(0usize, 100usize), (1, 500)] {
-                let mut cache = GraphCache::builder()
+                let cache = GraphCache::builder()
                     .capacity(capacity)
                     .window(20)
                     .parallel_dispatch(true)
                     .build(MethodBuilder::si_vf2_plus().build(dataset));
-                let gc = summarize(&gc_records(&mut cache, &workload));
+                let gc = summarize(&gc_records(&cache, &workload));
                 // Speedup of GC/VF2+ relative to CT-Index.
                 measured[ci].values.push(gc.time_speedup_vs(&ct_summary));
                 if ci == 1 && spec.name() == "ZZ" {

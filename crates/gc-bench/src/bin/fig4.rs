@@ -51,13 +51,13 @@ fn main() {
             ));
             for (pi, policy) in PolicyKind::ALL.into_iter().enumerate() {
                 let method = MethodBuilder::ct_index().build(&dataset);
-                let mut cache = GraphCache::builder()
+                let cache = GraphCache::builder()
                     .capacity(100)
                     .window(20)
                     .policy(policy)
                     .parallel_dispatch(true)
                     .build(method);
-                let gc = summarize(&gc_records(&mut cache, &workload));
+                let gc = summarize(&gc_records(&cache, &workload));
                 measured[pi].values.push(gc.time_speedup_vs(&base));
             }
             eprintln!("[fig4] {dataset_name}/{} done", spec.name());

@@ -21,17 +21,41 @@ fn main() {
 
     // Figure 5 — query-time speedups on PDBS (paper's printed values).
     let paper_time = [
-        Series { label: "CT-Index".into(), values: vec![3.43, 1.60, 1.29, 2.54, 2.20, 1.43] },
-        Series { label: "GGSX".into(),     values: vec![5.72, 1.86, 1.53, 3.88, 2.83, 2.17] },
-        Series { label: "Grapes1".into(),  values: vec![42.37, 14.72, 10.92, 14.92, 16.44, 11.69] },
-        Series { label: "Grapes6".into(),  values: vec![22.09, 11.24, 8.29, 11.10, 10.39, 7.93] },
+        Series {
+            label: "CT-Index".into(),
+            values: vec![3.43, 1.60, 1.29, 2.54, 2.20, 1.43],
+        },
+        Series {
+            label: "GGSX".into(),
+            values: vec![5.72, 1.86, 1.53, 3.88, 2.83, 2.17],
+        },
+        Series {
+            label: "Grapes1".into(),
+            values: vec![42.37, 14.72, 10.92, 14.92, 16.44, 11.69],
+        },
+        Series {
+            label: "Grapes6".into(),
+            values: vec![22.09, 11.24, 8.29, 11.10, 10.39, 7.93],
+        },
     ];
     // Figure 6 — sub-iso-test speedups on PDBS (paper's printed values).
     let paper_tests = [
-        Series { label: "CT-Index".into(), values: vec![9.60, 4.46, 3.52, 8.77, 9.17, 7.80] },
-        Series { label: "GGSX".into(),     values: vec![9.11, 4.05, 3.25, 7.88, 6.09, 4.19] },
-        Series { label: "Grapes1".into(),  values: vec![10.56, 4.86, 3.75, 8.88, 9.33, 7.31] },
-        Series { label: "Grapes6".into(),  values: vec![10.56, 4.86, 3.75, 8.88, 9.33, 7.31] },
+        Series {
+            label: "CT-Index".into(),
+            values: vec![9.60, 4.46, 3.52, 8.77, 9.17, 7.80],
+        },
+        Series {
+            label: "GGSX".into(),
+            values: vec![9.11, 4.05, 3.25, 7.88, 6.09, 4.19],
+        },
+        Series {
+            label: "Grapes1".into(),
+            values: vec![10.56, 4.86, 3.75, 8.88, 9.33, 7.31],
+        },
+        Series {
+            label: "Grapes6".into(),
+            values: vec![10.56, 4.86, 3.75, 8.88, 9.33, 7.31],
+        },
     ];
 
     let dataset = datasets::pdbs_like(exp.scale, exp.seed);
@@ -39,7 +63,10 @@ fn main() {
     let sizes = vec![4usize, 8, 12, 16, 20];
     // Workloads are shared across all four methods (generation — in
     // particular the Type B no-answer pools — is expensive on PDBS).
-    let workloads: Vec<_> = specs.iter().map(|s| s.generate(&dataset, &sizes, &exp)).collect();
+    let workloads: Vec<_> = specs
+        .iter()
+        .map(|s| s.generate(&dataset, &sizes, &exp))
+        .collect();
     eprintln!("[fig5/6] workloads generated");
 
     let mut measured_time: Vec<Series> = Vec::new();
@@ -61,12 +88,12 @@ fn main() {
                 workload,
                 QueryKind::Subgraph,
             ));
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(100)
                 .window(20)
                 .parallel_dispatch(true)
                 .build(kind.build(&dataset));
-            let gc = summarize(&gc_records(&mut cache, workload));
+            let gc = summarize(&gc_records(&cache, workload));
             t.values.push(gc.time_speedup_vs(&base));
             n.values.push(gc.subiso_speedup_vs(&base));
             eprintln!("[fig5/6] {}/{} done", kind.name(), spec.name());

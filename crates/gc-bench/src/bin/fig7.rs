@@ -48,7 +48,10 @@ fn main() {
     let mut workloads = Vec::new();
     for &p in &probs {
         for &alpha in &alphas {
-            let spec = WorkloadSpec::TypeB { no_answer: p, alpha };
+            let spec = WorkloadSpec::TypeB {
+                no_answer: p,
+                alpha,
+            };
             workloads.push(spec.generate(&dataset, &sizes, &exp));
         }
     }
@@ -68,12 +71,12 @@ fn main() {
                 workload,
                 QueryKind::Subgraph,
             ));
-            let mut cache = GraphCache::builder()
+            let cache = GraphCache::builder()
                 .capacity(100)
                 .window(20)
                 .parallel_dispatch(true)
                 .build(kind.build(&dataset));
-            let gc = summarize(&gc_records(&mut cache, workload));
+            let gc = summarize(&gc_records(&cache, workload));
             series.values.push(gc.time_speedup_vs(&base));
             if wi % 3 == 2 {
                 eprintln!("[fig7] {} {}/{} done", kind.name(), wi + 1, workloads.len());

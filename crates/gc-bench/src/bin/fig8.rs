@@ -19,9 +19,18 @@ fn main() {
         WorkloadSpec::Uu,
     ];
     let type_b: Vec<WorkloadSpec> = vec![
-        WorkloadSpec::TypeB { no_answer: 0.0, alpha: 1.4 },
-        WorkloadSpec::TypeB { no_answer: 0.2, alpha: 1.4 },
-        WorkloadSpec::TypeB { no_answer: 0.5, alpha: 1.4 },
+        WorkloadSpec::TypeB {
+            no_answer: 0.0,
+            alpha: 1.4,
+        },
+        WorkloadSpec::TypeB {
+            no_answer: 0.2,
+            alpha: 1.4,
+        },
+        WorkloadSpec::TypeB {
+            no_answer: 0.5,
+            alpha: 1.4,
+        },
     ];
 
     // Paper's printed values per panel: rows c100/c300/c500.
@@ -83,12 +92,12 @@ fn main() {
                 values: Vec::new(),
             };
             for (workload, base) in workloads.iter().zip(&bases) {
-                let mut cache = GraphCache::builder()
+                let cache = GraphCache::builder()
                     .capacity(capacity)
                     .window(20)
                     .parallel_dispatch(true)
                     .build(MethodBuilder::ggsx().build(dataset));
-                let gc = summarize(&gc_records(&mut cache, workload));
+                let gc = summarize(&gc_records(&cache, workload));
                 series.values.push(gc.time_speedup_vs(base));
             }
             eprintln!("[fig8] {panel} c{capacity} done");

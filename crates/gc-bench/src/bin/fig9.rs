@@ -20,7 +20,11 @@ fn main() {
     let probs = [0.0, 0.2, 0.5];
     let columns: Vec<String> = ["PCM", "Synthetic"]
         .iter()
-        .flat_map(|d| probs.iter().map(move |p| format!("{d}/{}%", (p * 100.0) as u32)))
+        .flat_map(|d| {
+            probs
+                .iter()
+                .map(move |p| format!("{d}/{}%", (p * 100.0) as u32))
+        })
         .collect();
 
     // Paper's printed values: PCM then Synthetic, each (0%, 20%, 50%).
@@ -58,12 +62,24 @@ fn main() {
     let sizes = vec![8usize, 11, 14, 17, 20];
 
     let mut measured_time = [
-        Series { label: "C".into(), values: Vec::new() },
-        Series { label: "C+AC".into(), values: Vec::new() },
+        Series {
+            label: "C".into(),
+            values: Vec::new(),
+        },
+        Series {
+            label: "C+AC".into(),
+            values: Vec::new(),
+        },
     ];
     let mut measured_tests = [
-        Series { label: "C".into(), values: Vec::new() },
-        Series { label: "C+AC".into(), values: Vec::new() },
+        Series {
+            label: "C".into(),
+            values: Vec::new(),
+        },
+        Series {
+            label: "C+AC".into(),
+            values: Vec::new(),
+        },
     ];
 
     for (dname, dataset) in [("PCM", &pcm), ("Synthetic", &synthetic)] {
@@ -83,14 +99,14 @@ fn main() {
                 } else {
                     AdmissionConfig::default()
                 };
-                let mut cache = GraphCache::builder()
+                let cache = GraphCache::builder()
                     .capacity(100)
                     .window(20)
                     .admission(admission)
                     .parallel_dispatch(true)
                     .hit_match(budget)
                     .build(MethodBuilder::grapes(6).match_config(budget).build(dataset));
-                let records = gc_records(&mut cache, &workload);
+                let records = gc_records(&cache, &workload);
                 let gc = summarize(&records);
                 measured_time[series_idx]
                     .values
@@ -128,11 +144,7 @@ fn main() {
 
 /// The paper's explanation device: average time of the top-1% most
 /// expensive queries vs the rest, with and without admission control.
-fn top1_detail(
-    base: &[gc_core::QueryRecord],
-    gc: &[gc_core::QueryRecord],
-    ac: bool,
-) {
+fn top1_detail(base: &[gc_core::QueryRecord], gc: &[gc_core::QueryRecord], ac: bool) {
     let mut order: Vec<usize> = (0..base.len()).collect();
     order.sort_by(|&a, &b| base[b].query_time().cmp(&base[a].query_time()));
     let k = (base.len() / 100).max(1);

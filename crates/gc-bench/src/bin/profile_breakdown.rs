@@ -16,20 +16,38 @@ fn main() {
     let ds_name = std::env::var("GC_DATASET").unwrap_or_else(|_| "aids".into());
 
     let (d, sizes) = match ds_name.as_str() {
-        "pdbs" => (datasets::pdbs_like(exp.scale, exp.seed), vec![4, 8, 12, 16, 20]),
-        "pcm" => (datasets::pcm_like(exp.scale, exp.seed), vec![20, 25, 30, 35, 40]),
+        "pdbs" => (
+            datasets::pdbs_like(exp.scale, exp.seed),
+            vec![4, 8, 12, 16, 20],
+        ),
+        "pcm" => (
+            datasets::pcm_like(exp.scale, exp.seed),
+            vec![20, 25, 30, 35, 40],
+        ),
         "synthetic" => (
             datasets::synthetic_like(exp.scale, exp.seed),
             vec![20, 25, 30, 35, 40],
         ),
-        _ => (datasets::aids_like(exp.scale, exp.seed), vec![4, 8, 12, 16, 20]),
+        _ => (
+            datasets::aids_like(exp.scale, exp.seed),
+            vec![4, 8, 12, 16, 20],
+        ),
     };
     let spec = match wl_name.as_str() {
         "zu" => WorkloadSpec::Zu(1.4),
         "uu" => WorkloadSpec::Uu,
-        "b0" => WorkloadSpec::TypeB { no_answer: 0.0, alpha: 1.4 },
-        "b20" => WorkloadSpec::TypeB { no_answer: 0.2, alpha: 1.4 },
-        "b50" => WorkloadSpec::TypeB { no_answer: 0.5, alpha: 1.4 },
+        "b0" => WorkloadSpec::TypeB {
+            no_answer: 0.0,
+            alpha: 1.4,
+        },
+        "b20" => WorkloadSpec::TypeB {
+            no_answer: 0.2,
+            alpha: 1.4,
+        },
+        "b50" => WorkloadSpec::TypeB {
+            no_answer: 0.5,
+            alpha: 1.4,
+        },
         _ => WorkloadSpec::Zz(1.4),
     };
     let kind = match method_name.as_str() {
@@ -46,10 +64,10 @@ fn main() {
     let w = spec.generate(&d, &sizes, &exp);
     let method = kind.build(&d);
     let baseline = kind.build(&d);
-    let mut cache = GraphCache::builder().capacity(100).window(20).build(method);
+    let cache = GraphCache::builder().capacity(100).window(20).build(method);
 
     let base = baseline_records(&baseline, &w, QueryKind::Subgraph);
-    let gc = gc_records(&mut cache, &w);
+    let gc = gc_records(&cache, &w);
     let avg = |f: &dyn Fn(&gc_core::QueryRecord) -> f64, rs: &[gc_core::QueryRecord]| {
         rs.iter().map(f).sum::<f64>() / rs.len() as f64
     };

@@ -46,7 +46,10 @@ fn main() {
     ];
 
     println!("\nEvictions at time 100 (2 victims):");
-    println!("{:<8} {:>16} {:>16} {:>6}", "policy", "paper", "measured", "match");
+    println!(
+        "{:<8} {:>16} {:>16} {:>6}",
+        "policy", "paper", "measured", "match"
+    );
     let mut all_match = true;
     for (name, expected) in paper {
         let kind = PolicyKind::ALL

@@ -16,6 +16,4 @@
 
 pub mod runner;
 
-pub use runner::{
-    baseline_records, gc_records, print_series, Experiment, Series, WorkloadSpec,
-};
+pub use runner::{baseline_records, gc_records, print_series, Experiment, Series, WorkloadSpec};

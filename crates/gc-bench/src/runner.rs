@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: scale knobs, workload specs, baseline/GC
 //! runners and table printing.
 
-use gc_core::{GraphCache, QueryRecord, RunSummary};
+use gc_core::{GraphCache, QueryRecord, QueryRequest, RunSummary};
 use gc_graph::GraphDataset;
 use gc_methods::{Method, QueryKind};
 use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
@@ -111,12 +111,7 @@ impl WorkloadSpec {
 
     /// Generates the workload over a dataset with the paper's query sizes
     /// for that dataset family (`sizes`).
-    pub fn generate(
-        &self,
-        dataset: &GraphDataset,
-        sizes: &[usize],
-        exp: &Experiment,
-    ) -> Workload {
+    pub fn generate(&self, dataset: &GraphDataset, sizes: &[usize], exp: &Experiment) -> Workload {
         match *self {
             WorkloadSpec::Zz(a) => generate_type_a(
                 dataset,
@@ -176,8 +171,22 @@ pub fn baseline_records(method: &Method, workload: &Workload, kind: QueryKind) -
 }
 
 /// Replays a workload through a GraphCache, returning per-query records.
-pub fn gc_records(cache: &mut GraphCache, workload: &Workload) -> Vec<QueryRecord> {
+///
+/// Queries run sequentially on the calling thread (the paper's setup: one
+/// client, so the figures measure only the cache's benefit). Since
+/// [`GraphCache::run`] takes `&self`, the cache can be shared.
+pub fn gc_records(cache: &GraphCache, workload: &Workload) -> Vec<QueryRecord> {
     workload.graphs().map(|q| cache.run(q).record).collect()
+}
+
+/// Replays a workload through [`GraphCache::run_batch`], fanning queries
+/// across the cache's worker threads. Records come back in workload order.
+pub fn gc_records_batch(cache: &GraphCache, workload: &Workload) -> Vec<QueryRecord> {
+    cache
+        .run_batch(workload.graphs().map(QueryRequest::from))
+        .into_iter()
+        .map(|resp| resp.result.record)
+        .collect()
 }
 
 /// One printed series: a label, the paper's numbers, and ours.
@@ -244,14 +253,36 @@ mod tests {
         let m = MethodBuilder::ggsx().build(&d);
         let base = baseline_records(&m, &w, QueryKind::Subgraph);
         assert_eq!(base.len(), 30);
-        let mut cache = gc_core::GraphCache::builder()
+        let cache = gc_core::GraphCache::builder()
             .capacity(10)
             .window(5)
             .build(MethodBuilder::ggsx().build(&d));
-        let gc = gc_records(&mut cache, &w);
+        let gc = gc_records(&cache, &w);
         assert_eq!(gc.len(), 30);
         // Answers agree (summaries exist).
         let _ = summarize(&base);
         let _ = summarize(&gc);
+    }
+
+    #[test]
+    fn batch_runner_matches_workload_order() {
+        let d = datasets::aids_like(0.04, 3);
+        let exp = Experiment {
+            scale: 1.0,
+            queries: 20,
+            seed: 10,
+        };
+        let w = WorkloadSpec::Uu.generate(&d, &[4], &exp);
+        let cache = gc_core::GraphCache::builder()
+            .capacity(10)
+            .window(5)
+            .threads(4)
+            .build(MethodBuilder::ggsx().build(&d));
+        let records = gc_records_batch(&cache, &w);
+        assert_eq!(records.len(), 20);
+        let m = MethodBuilder::ggsx().build(&d);
+        for (r, q) in records.iter().zip(w.graphs()) {
+            assert_eq!(r.answer_size, m.run(q).answer.len());
+        }
     }
 }

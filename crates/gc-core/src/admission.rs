@@ -227,12 +227,7 @@ pub enum CostModel {
 
 impl CostModel {
     /// Computes the expensiveness score from a query's raw measurements.
-    pub fn expensiveness(
-        self,
-        filter_time_us: f64,
-        verify_time_us: f64,
-        verify_work: u64,
-    ) -> f64 {
+    pub fn expensiveness(self, filter_time_us: f64, verify_time_us: f64, verify_work: u64) -> f64 {
         match self {
             CostModel::WallTime => verify_time_us / filter_time_us.max(1e-3),
             CostModel::Work => verify_work as f64,

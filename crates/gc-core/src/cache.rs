@@ -1,4 +1,10 @@
 //! The GraphCache system: query execution front end (paper §4, Fig. 2).
+//!
+//! [`GraphCache`] is a shared, thread-safe query *service*: `run`,
+//! [`GraphCache::execute`] and [`GraphCache::run_batch`] all take `&self`,
+//! so any number of threads can query one cache instance concurrently.
+//! Handles are cheaply cloneable — every clone shares the same cache
+//! stores, statistics and Window.
 
 use crate::admission::{AdmissionConfig, AdmissionControl, CostModel};
 use crate::metrics::QueryRecord;
@@ -9,9 +15,10 @@ use crate::query_index::QueryIndexConfig;
 use crate::stats::{columns, QuerySerial, StatsStore};
 use crate::window::{self, MaintMsg, MaintenanceConfig, Shared, WindowEntry};
 use gc_graph::{idset, GraphId, LabeledGraph};
-use gc_methods::{Method, QueryKind};
+use gc_methods::{FilterOutput, Method, QueryKind};
 use gc_subiso::{cost, MatchConfig};
-use std::sync::Arc;
+use parking_lot::Mutex;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Tunable parameters of a [`GraphCache`] instance. Defaults mirror the
@@ -20,20 +27,29 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
     /// Cache capacity C in entries (paper default: 100).
+    ///
+    /// The builder clamps this to at least 1 (see
+    /// [`GraphCacheBuilder::capacity`]); constructing a [`GcConfig`] by
+    /// hand with `capacity == 0` is not meaningful and unsupported.
     pub capacity: usize,
     /// Window size W in queries (paper default: 20).
+    ///
+    /// The builder clamps this to at least 1 (see
+    /// [`GraphCacheBuilder::window`]); `window == 0` is unsupported.
     pub window: usize,
     /// Replacement policy (paper recommendation: HD).
     pub policy: PolicyKind,
     /// Admission control configuration (paper default: disabled).
     pub admission: AdmissionConfig,
-    /// Subgraph or supergraph query semantics.
+    /// Subgraph or supergraph query semantics. Individual requests may
+    /// override this per query ([`QueryRequest::kind`]).
     pub query_kind: QueryKind,
     /// How expensiveness is computed (wall time vs deterministic work).
     pub cost_model: CostModel,
     /// Query index configuration.
     pub index: QueryIndexConfig,
-    /// Search limits for cache-hit verification tests.
+    /// Search limits for cache-hit verification tests. Individual requests
+    /// may override this per query ([`QueryRequest::hit_match`]).
     pub hit_match: MatchConfig,
     /// Run the Window Manager on a background thread (the paper's design);
     /// `false` runs maintenance inline for deterministic tests.
@@ -42,6 +58,13 @@ pub struct GcConfig {
     /// the paper's Fig. 2 (step 2 sends the query to both in parallel).
     /// Answers are identical either way; only latency changes.
     pub parallel_dispatch: bool,
+    /// Client concurrency: worker threads used by
+    /// [`GraphCache::run_batch`], and (when `parallel_dispatch` is on) the
+    /// cap on the demand-grown filter pool. `0` auto-detects from
+    /// [`std::thread::available_parallelism`]. Filter workers are spawned
+    /// lazily, so sequential use only ever creates one regardless of the
+    /// cap.
+    pub threads: usize,
 }
 
 impl Default for GcConfig {
@@ -57,6 +80,7 @@ impl Default for GcConfig {
             hit_match: MatchConfig::UNBOUNDED,
             background: false,
             parallel_dispatch: false,
+            threads: 0,
         }
     }
 }
@@ -69,12 +93,22 @@ pub struct GraphCacheBuilder {
 
 impl GraphCacheBuilder {
     /// Cache capacity C (entries).
+    ///
+    /// A capacity of `0` would make every admission round evict the whole
+    /// batch it just admitted, so the value is silently clamped to at
+    /// least 1 — `capacity(0)` builds a one-entry cache. This clamp is
+    /// part of the API contract and mirrored on [`GcConfig::capacity`].
     pub fn capacity(mut self, c: usize) -> Self {
         self.cfg.capacity = c.max(1);
         self
     }
 
     /// Window size W (queries per maintenance round).
+    ///
+    /// A window of `0` would never trigger a maintenance round (no query
+    /// could ever be admitted), so the value is silently clamped to at
+    /// least 1 — `window(0)` flushes after every query. This clamp is part
+    /// of the API contract and mirrored on [`GcConfig::window`].
     pub fn window(mut self, w: usize) -> Self {
         self.cfg.window = w.max(1);
         self
@@ -129,6 +163,12 @@ impl GraphCacheBuilder {
         self
     }
 
+    /// Worker threads for [`GraphCache::run_batch`] (0 = auto-detect).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
     /// Builds the cache in front of `method`.
     pub fn build(self, method: Method) -> GraphCache {
         GraphCache::with_config(method, self.cfg)
@@ -146,86 +186,332 @@ pub struct QueryResult {
     pub record: QueryRecord,
 }
 
-/// The GraphCache system: a semantic cache wrapped around a Method M.
+/// A typed query submission: the query graph plus per-query overrides of
+/// the cache-wide defaults.
 ///
-/// See the crate docs for an end-to-end example. `run` executes queries
-/// one at a time (the paper sets every thread pool to 1 "so as to show just
-/// the benefits of using a graph query cache"); the Window Manager may run
-/// on a background thread.
+/// ```
+/// use gc_core::QueryRequest;
+/// use gc_graph::LabeledGraph;
+/// use gc_methods::QueryKind;
+///
+/// let g = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+/// let req = QueryRequest::new(g)
+///     .kind(QueryKind::Supergraph)
+///     .tag(7);
+/// assert_eq!(req.tag, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query graph. Held behind an `Arc` so building requests from an
+    /// already-shared graph — and cloning/moving requests across batch
+    /// worker threads — never deep-copies the graph.
+    pub graph: Arc<LabeledGraph>,
+    /// Per-query override of [`GcConfig::query_kind`].
+    pub kind: Option<QueryKind>,
+    /// Per-query override of the hit-verification budget
+    /// ([`GcConfig::hit_match`]).
+    pub hit_match: Option<MatchConfig>,
+    /// Skip the cache entirely: the query runs through the uncached
+    /// Method M and is neither admitted to the Window nor credited in the
+    /// statistics. Useful for baselines and for queries known to be
+    /// one-off.
+    pub bypass_cache: bool,
+    /// Caller-chosen correlation tag, echoed on the [`QueryResponse`].
+    /// Batch submission preserves input order, so the tag is only needed
+    /// when responses are routed onward asynchronously.
+    pub tag: u64,
+}
+
+impl QueryRequest {
+    /// A request with cache-wide defaults for every knob.
+    pub fn new(graph: impl Into<Arc<LabeledGraph>>) -> Self {
+        QueryRequest {
+            graph: graph.into(),
+            kind: None,
+            hit_match: None,
+            bypass_cache: false,
+            tag: 0,
+        }
+    }
+
+    /// Overrides the query direction for this request only.
+    pub fn kind(mut self, kind: QueryKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Overrides the hit-verification search budget for this request only.
+    pub fn hit_match(mut self, cfg: MatchConfig) -> Self {
+        self.hit_match = Some(cfg);
+        self
+    }
+
+    /// Routes this request around the cache (uncached Method M execution).
+    pub fn bypass_cache(mut self, bypass: bool) -> Self {
+        self.bypass_cache = bypass;
+        self
+    }
+
+    /// Attaches a correlation tag echoed on the response.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+impl From<LabeledGraph> for QueryRequest {
+    fn from(graph: LabeledGraph) -> Self {
+        QueryRequest::new(graph)
+    }
+}
+
+impl From<Arc<LabeledGraph>> for QueryRequest {
+    fn from(graph: Arc<LabeledGraph>) -> Self {
+        QueryRequest::new(graph)
+    }
+}
+
+impl From<&LabeledGraph> for QueryRequest {
+    fn from(graph: &LabeledGraph) -> Self {
+        QueryRequest::new(graph.clone())
+    }
+}
+
+/// Outcome of one [`QueryRequest`]: the wrapped [`QueryResult`] plus
+/// request metadata.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The tag of the request that produced this response.
+    pub tag: u64,
+    /// True when the request asked to bypass the cache.
+    pub bypassed_cache: bool,
+    /// The execution outcome (serial, answer, metrics).
+    pub result: QueryResult,
+}
+
+/// Owns the background Window Manager thread. Held behind an `Arc` by
+/// every cache handle; when the last handle drops, the channel closes and
+/// the manager thread is joined.
+struct ManagerHandle {
+    tx: Option<mpsc::Sender<MaintMsg>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ManagerHandle {
+    fn sender(&self) -> &mpsc::Sender<MaintMsg> {
+        self.tx.as_ref().expect("manager alive until drop")
+    }
+}
+
+impl Drop for ManagerHandle {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel so the thread exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One filter request to the pool: the reply channel is owned by the
+/// requesting query; dropping the [`PendingFilter`] (exact hit) sets the
+/// cancel flag so a not-yet-started job is skipped entirely.
+struct FilterJob {
+    query: Arc<LabeledGraph>,
+    kind: QueryKind,
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+    reply: mpsc::Sender<FilterOutput>,
+}
+
+/// The requester's handle on a submitted filter job. Dropping it without
+/// receiving marks the job cancelled: a worker that has not yet started it
+/// skips the (discarded) computation instead of delaying live queries
+/// queued behind it.
+struct PendingFilter {
+    rx: mpsc::Receiver<FilterOutput>,
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl PendingFilter {
+    /// Blocks for the filter result.
+    ///
+    /// # Panics
+    /// If the worker dropped the reply without sending — i.e. Method M's
+    /// filter panicked for this query. Failing fast surfaces the matcher
+    /// bug rather than hanging.
+    fn receive(&self) -> FilterOutput {
+        self.rx
+            .recv()
+            .expect("Method M filter panicked for this query")
+    }
+}
+
+impl Drop for PendingFilter {
+    fn drop(&mut self) {
+        self.cancel
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// Persistent worker threads running Method M's filter concurrently with
+/// the GC processors (Fig. 2, step 2). Unlike the old single-worker design,
+/// requests carry their own reply channel, so any number of in-flight
+/// queries can use the pool at once.
+///
+/// Workers are spawned on demand: a sequential client only ever creates
+/// one, while concurrent clients grow the pool up to `cap` — submitting a
+/// request when no worker is idle spawns a new one (until the cap), so
+/// in-flight queries never serialise behind a fixed undersized pool.
+struct FilterPool {
+    method: Arc<Method>,
+    tx: Option<mpsc::Sender<FilterJob>>,
+    rx: Arc<Mutex<mpsc::Receiver<FilterJob>>>,
+    /// Jobs submitted but not yet completed. Spawning is driven by this
+    /// count (not by an "idle workers" count, which would race with a
+    /// worker that has dequeued a job but not yet marked itself busy).
+    inflight: Arc<std::sync::atomic::AtomicUsize>,
+    /// Workers spawned so far; never exceeds `cap`.
+    spawned: std::sync::atomic::AtomicUsize,
+    cap: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl FilterPool {
+    fn new(method: Arc<Method>, cap: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<FilterJob>();
+        FilterPool {
+            method,
+            tx: Some(tx),
+            rx: Arc::new(Mutex::new(rx)),
+            inflight: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            spawned: std::sync::atomic::AtomicUsize::new(0),
+            cap: cap.max(1),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spawns another worker while in-flight jobs outnumber workers and
+    /// the cap allows. Over-spawning on a race is prevented by re-checking
+    /// the claimed slot.
+    fn ensure_workers(&self, inflight: usize) {
+        use std::sync::atomic::Ordering;
+        while inflight > self.spawned.load(Ordering::Acquire) {
+            let claimed = self.spawned.fetch_add(1, Ordering::AcqRel);
+            if claimed >= self.cap {
+                self.spawned.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+            let method = self.method.clone();
+            let rx = self.rx.clone();
+            let inflight = self.inflight.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gc-mfilter-{claimed}"))
+                .spawn(move || loop {
+                    // Workers take turns parking in recv() while holding
+                    // the receiver lock (delivery is serialised, which is
+                    // inherent to one queue); the filter computation runs
+                    // after the guard is dropped, so it is fully parallel.
+                    let job = rx.lock().recv();
+                    match job {
+                        Ok(job) => {
+                            // The requester may have resolved via an exact
+                            // hit and discarded its handle — skip the
+                            // (unwanted) computation so live queries queued
+                            // behind it are not delayed.
+                            if job.cancel.load(Ordering::Acquire) {
+                                inflight.fetch_sub(1, Ordering::AcqRel);
+                                continue;
+                            }
+                            // A panicking matcher must not wedge the pool:
+                            // catch it so this worker (still counted in
+                            // `spawned`) lives on, decrement `inflight` on
+                            // every path, and drop the reply sender so the
+                            // requester's recv() fails fast instead of
+                            // hanging forever.
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    method.filter_directed(&job.query, job.kind)
+                                }));
+                            inflight.fetch_sub(1, Ordering::AcqRel);
+                            match out {
+                                Ok(out) => {
+                                    let _ = job.reply.send(out);
+                                }
+                                Err(_) => drop(job.reply),
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn filter worker");
+            self.handles.lock().push(handle);
+        }
+    }
+
+    /// Submits a filter request; the returned handle yields the result (or
+    /// cancels the job when dropped unreceived).
+    fn request(&self, query: &Arc<LabeledGraph>, kind: QueryKind) -> PendingFilter {
+        use std::sync::atomic::Ordering;
+        let inflight = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.ensure_workers(inflight);
+        let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (reply, rx) = mpsc::channel();
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("pool alive until drop")
+            .send(FilterJob {
+                query: query.clone(),
+                kind,
+                cancel: cancel.clone(),
+                reply,
+            });
+        if sent.is_err() {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            panic!("filter pool alive");
+        }
+        PendingFilter { rx, cancel }
+    }
+}
+
+impl Drop for FilterPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for h in self.handles.get_mut().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The GraphCache service: a semantic cache wrapped around a Method M,
+/// shared by any number of client threads.
+///
+/// All query entry points take `&self`; snapshot reads are a lock-free
+/// `Arc` clone, and the per-query mutable state (Window buffer, serial
+/// counter, statistics) sits behind fine-grained locks in
+/// [`crate::window`] / [`crate::stats`]. Clone the handle to hand the same
+/// cache to other threads, or share one instance behind an `Arc` — both
+/// work, and `std::thread::scope` can borrow a single instance directly.
+///
+/// See the crate docs for an end-to-end example, and
+/// [`run_batch`](GraphCache::run_batch) for fan-out over a thread pool.
 pub struct GraphCache {
     method: Arc<Method>,
     cfg: GcConfig,
     shared: Arc<Shared>,
-    window: Vec<WindowEntry>,
-    serial: QuerySerial,
-    worker: Option<(
-        crossbeam::channel::Sender<MaintMsg>,
-        std::thread::JoinHandle<()>,
-    )>,
-    filter_worker: Option<FilterWorker>,
+    worker: Option<Arc<ManagerHandle>>,
+    filter_pool: Option<Arc<FilterPool>>,
 }
 
-/// Persistent thread running Method M's filter concurrently with the GC
-/// processors (Fig. 2, step 2). Requests and responses are strictly 1:1.
-struct FilterWorker {
-    tx: crossbeam::channel::Sender<(LabeledGraph, QueryKind)>,
-    rx: crossbeam::channel::Receiver<gc_methods::FilterOutput>,
-    handle: Option<std::thread::JoinHandle<()>>,
-    /// A response is still in flight (its query was resolved by an exact
-    /// hit and never needed CS_M); drained before the next request.
-    stale: std::cell::Cell<bool>,
-}
-
-impl FilterWorker {
-    fn spawn(method: Arc<Method>) -> Self {
-        let (tx, req_rx) = crossbeam::channel::unbounded::<(LabeledGraph, QueryKind)>();
-        let (res_tx, rx) = crossbeam::channel::unbounded();
-        let handle = std::thread::Builder::new()
-            .name("gc-mfilter".into())
-            .spawn(move || {
-                while let Ok((query, kind)) = req_rx.recv() {
-                    if res_tx.send(method.filter_directed(&query, kind)).is_err() {
-                        break;
-                    }
-                }
-            })
-            .expect("spawn filter worker");
-        FilterWorker {
-            tx,
-            rx,
-            handle: Some(handle),
-            stale: std::cell::Cell::new(false),
-        }
-    }
-
-    /// Sends a filter request, discarding a stale response first.
-    fn request(&self, query: &LabeledGraph, kind: QueryKind) {
-        if self.stale.replace(false) {
-            let _ = self.rx.recv();
-        }
-        self.tx
-            .send((query.clone(), kind))
-            .expect("filter worker alive");
-    }
-
-    /// Receives the response for the last request.
-    fn receive(&self) -> gc_methods::FilterOutput {
-        self.rx.recv().expect("filter worker alive")
-    }
-
-    /// Marks the last request's response as not needed (exact hit).
-    fn park(&self) {
-        self.stale.set(true);
-    }
-}
-
-impl Drop for FilterWorker {
-    fn drop(&mut self) {
-        // Close the request channel, then join.
-        let (closed_tx, _) = crossbeam::channel::bounded(0);
-        let _ = std::mem::replace(&mut self.tx, closed_tx);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+impl Clone for GraphCache {
+    /// Clones the handle, not the cache: both handles share the same
+    /// stores, statistics, Window and background manager.
+    fn clone(&self) -> Self {
+        GraphCache {
+            method: self.method.clone(),
+            cfg: self.cfg,
+            shared: self.shared.clone(),
+            worker: self.worker.clone(),
+            filter_pool: self.filter_pool.clone(),
         }
     }
 }
@@ -239,31 +525,37 @@ impl GraphCache {
     /// Creates a cache with an explicit configuration.
     pub fn with_config(method: Method, cfg: GcConfig) -> Self {
         let method = Arc::new(method);
-        let shared = Arc::new(Shared::new(
-            cfg.index,
-            AdmissionControl::new(cfg.admission),
-        ));
+        let shared = Arc::new(Shared::new(cfg.index, AdmissionControl::new(cfg.admission)));
         let worker = cfg.background.then(|| {
-            window::spawn_manager(
+            let (tx, handle) = window::spawn_manager(
                 shared.clone(),
                 MaintenanceConfig {
                     capacity: cfg.capacity,
                     policy: cfg.policy,
                     index_cfg: cfg.index,
                 },
-            )
+            );
+            Arc::new(ManagerHandle {
+                tx: Some(tx),
+                handle: Some(handle),
+            })
         });
-        let filter_worker = cfg
-            .parallel_dispatch
-            .then(|| FilterWorker::spawn(method.clone()));
+        // One filter worker can serve one in-flight query; the pool grows
+        // on demand up to the client-concurrency cap, so sequential use
+        // spawns a single worker while auto-threaded batches can expand to
+        // the core count.
+        let filter_pool = cfg.parallel_dispatch.then(|| {
+            Arc::new(FilterPool::new(
+                method.clone(),
+                effective_threads(cfg.threads),
+            ))
+        });
         GraphCache {
             method,
             cfg,
             shared,
-            window: Vec::new(),
-            serial: 0,
             worker,
-            filter_worker,
+            filter_pool,
         }
     }
 
@@ -277,6 +569,11 @@ impl GraphCache {
         &self.cfg
     }
 
+    /// The worker-thread count [`run_batch`](Self::run_batch) fans out to.
+    pub fn batch_threads(&self) -> usize {
+        effective_threads(self.cfg.threads)
+    }
+
     /// Number of queries currently cached.
     pub fn cache_len(&self) -> usize {
         self.shared.load_snapshot().len()
@@ -284,7 +581,7 @@ impl GraphCache {
 
     /// Number of queries waiting in the Window.
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.shared.window.lock().len()
     }
 
     /// Total cache maintenance time so far (Fig. 10's overhead metric).
@@ -304,7 +601,11 @@ impl GraphCache {
 
     /// Reads a statistics cell of a cached query (testing/diagnostics).
     pub fn stat(&self, serial: QuerySerial, column: &str) -> Option<f64> {
-        self.shared.stats.lock().get(serial, column).map(|v| v.as_f64())
+        self.shared
+            .stats
+            .lock()
+            .get(serial, column)
+            .map(|v| v.as_f64())
     }
 
     /// Runs all statistics rows through a visitor (diagnostics).
@@ -317,50 +618,193 @@ impl GraphCache {
     /// Manager subsystem"). Pending background maintenance is flushed
     /// first; the Window's not-yet-admitted queries are not persisted
     /// (they never reached the cache stores).
+    ///
+    /// The entry snapshot, statistics rows and serial counter are captured
+    /// under the maintenance lock, so a maintenance round racing the save
+    /// cannot produce a file whose entries and statistics disagree (an
+    /// entry without its rows, or orphan rows for an unsaved entry).
     pub fn save(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         self.flush_pending();
-        let snapshot = self.shared.load_snapshot();
-        let persisted = crate::persist::PersistedCache {
-            entries: snapshot
-                .entries
-                .iter()
-                .map(|e| (e.serial, e.graph.clone(), e.answer.clone()))
-                .collect(),
-            stats: self.shared.stats.lock().clone(),
-            next_serial: self.serial + 1,
+        let persisted = {
+            let _round = self.shared.maint.lock();
+            let snapshot = self.shared.load_snapshot();
+            crate::persist::PersistedCache {
+                entries: snapshot
+                    .entries
+                    .iter()
+                    .map(|e| (e.serial, e.graph.as_ref().clone(), e.answer.clone(), e.kind))
+                    .collect(),
+                stats: self.shared.stats.lock().clone(),
+                next_serial: self.shared.current_serial() + 1,
+            }
         };
+        // File IO happens after the lock is released.
         persisted.save(dir)
     }
 
     /// Restores a previously saved cache state into this instance (paper
     /// §6.1: stores are "loaded from disk on startup"); the query index is
     /// rebuilt from the loaded entries.
-    pub fn restore(&mut self, dir: impl AsRef<std::path::Path>) -> Result<(), gc_graph::GraphError> {
-        let loaded = crate::persist::PersistedCache::load(dir)?;
+    ///
+    /// Takes `&self` — restoring into a live service is safe: queued
+    /// background maintenance is flushed first, the restore serialises
+    /// with maintenance rounds, and the entry snapshot itself swaps
+    /// atomically, so queries racing the restore see either the old or
+    /// the new entries. Pre-restore queries still waiting in the Window
+    /// are discarded (mirroring [`save`](Self::save), which never
+    /// persists them); a maintenance batch already in flight when the
+    /// restore lands races it — depending on which acquires the
+    /// maintenance lock first, the batch is either discarded with the
+    /// pre-restore state or applied on top of the restored snapshot (with
+    /// duplicate serials dropped in the restored entries' favour). A query
+    /// straddling the swap may briefly pair the new snapshot with
+    /// pre-restore statistics, which only affects replacement-policy
+    /// bookkeeping, never answers. The serial counter only moves forward
+    /// (`max` with the restored value), so in-flight serials stay unique.
+    pub fn restore(&self, dir: impl AsRef<std::path::Path>) -> Result<(), gc_graph::GraphError> {
+        // Legacy saves (no per-entry kind token) default to this cache's
+        // configured kind — they predate mixed-direction caches, so the
+        // whole save was answered under one direction.
+        let loaded =
+            crate::persist::PersistedCache::load_with_default_kind(dir, self.cfg.query_kind)?;
         let (snapshot, stats, next_serial) = loaded.into_snapshot(self.cfg.index);
+        // Drain queued background batches so none of them (built from the
+        // pre-restore snapshot) lands after our swap.
+        self.flush_pending();
+        let _round = self.shared.maint.lock();
+        // Pre-restore queries that never reached a maintenance round are
+        // dropped, not merged: their serials could collide with restored
+        // entries.
+        self.shared.window.lock().clear();
         *self.shared.snapshot.write() = Arc::new(snapshot);
         *self.shared.stats.lock() = stats;
-        self.serial = self.serial.max(next_serial.saturating_sub(1));
+        self.shared.serial.fetch_max(
+            next_serial.saturating_sub(1),
+            std::sync::atomic::Ordering::Relaxed,
+        );
         Ok(())
     }
 
     /// Blocks until all queued background maintenance has been applied.
     /// No-op in inline mode.
     pub fn flush_pending(&self) {
-        if let Some((tx, _)) = &self.worker {
-            let (rtx, rrx) = crossbeam::channel::bounded(0);
-            if tx.send(MaintMsg::Sync(rtx)).is_ok() {
+        if let Some(worker) = &self.worker {
+            let (rtx, rrx) = mpsc::channel();
+            if worker.sender().send(MaintMsg::Sync(rtx)).is_ok() {
                 let _ = rrx.recv();
             }
         }
     }
 
-    /// Executes one query through the cache (Fig. 2's data flow) and
-    /// returns the answer with full metrics.
-    pub fn run(&mut self, query: &LabeledGraph) -> QueryResult {
-        self.serial += 1;
-        let serial = self.serial;
-        let kind = self.cfg.query_kind;
+    /// Executes one query with cache-wide defaults (Fig. 2's data flow)
+    /// and returns the answer with full metrics.
+    ///
+    /// Takes `&self`: any number of threads may call `run` on the same
+    /// instance concurrently.
+    pub fn run(&self, query: &LabeledGraph) -> QueryResult {
+        // The one unavoidable copy on this borrowed-graph entry point: the
+        // graph is shared from here on (filter pool, Window, cache entry
+        // all take Arc clones).
+        self.run_overridden(&Arc::new(query.clone()), None, None)
+    }
+
+    /// Executes one typed request, honouring its per-query overrides.
+    pub fn execute(&self, request: QueryRequest) -> QueryResponse {
+        self.execute_ref(&request)
+    }
+
+    /// Executes a batch of requests, fanning them across
+    /// [`batch_threads`](Self::batch_threads) worker threads. Responses
+    /// are returned in input order.
+    ///
+    /// Answers are identical to running the requests sequentially — the
+    /// only observable differences are serial-number assignment order and
+    /// which queries happen to benefit from which cached entries.
+    pub fn run_batch(
+        &self,
+        requests: impl IntoIterator<Item = QueryRequest>,
+    ) -> Vec<QueryResponse> {
+        let requests: Vec<QueryRequest> = requests.into_iter().collect();
+        let workers = self.batch_threads().min(requests.len());
+        if workers <= 1 {
+            return requests.iter().map(|r| self.execute_ref(r)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut responses: Vec<Option<QueryResponse>> = Vec::new();
+        responses.resize_with(requests.len(), || None);
+        let slots = Mutex::new(&mut responses);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                let requests = &requests;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let resp = self.execute_ref(&requests[i]);
+                    slots.lock()[i] = Some(resp);
+                });
+            }
+        });
+        responses
+            .into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect()
+    }
+
+    fn execute_ref(&self, request: &QueryRequest) -> QueryResponse {
+        let result = if request.bypass_cache {
+            self.run_uncached(
+                request.graph.as_ref(),
+                request.kind.unwrap_or(self.cfg.query_kind),
+            )
+        } else {
+            self.run_overridden(&request.graph, request.kind, request.hit_match)
+        };
+        QueryResponse {
+            tag: request.tag,
+            bypassed_cache: request.bypass_cache,
+            result,
+        }
+    }
+
+    /// Uncached execution for [`QueryRequest::bypass_cache`]: straight
+    /// through Method M, no Window admission, no statistics credit.
+    fn run_uncached(&self, query: &LabeledGraph, kind: QueryKind) -> QueryResult {
+        let serial = self.shared.next_serial();
+        let m = self.method.run_directed(query, kind);
+        let record = QueryRecord {
+            serial,
+            m_filter: m.filter.duration,
+            verify: m.verify.duration,
+            subiso_tests: m.verify.stats.tests,
+            verify_work: m.verify.stats.nodes_expanded,
+            cs_m_size: m.filter.candidates.len(),
+            cs_gc_size: m.filter.candidates.len(),
+            answer_size: m.answer.len(),
+            ..Default::default()
+        };
+        QueryResult {
+            serial,
+            answer: m.answer,
+            record,
+        }
+    }
+
+    /// The cached query path with optional per-query overrides. The graph
+    /// arrives behind an `Arc` so the filter pool, the Window and the
+    /// eventual cache entry all share it without deep copies.
+    fn run_overridden(
+        &self,
+        query: &Arc<LabeledGraph>,
+        kind: Option<QueryKind>,
+        hit_match: Option<MatchConfig>,
+    ) -> QueryResult {
+        let serial = self.shared.next_serial();
+        let kind = kind.unwrap_or(self.cfg.query_kind);
+        let hit_match = hit_match.unwrap_or(self.cfg.hit_match);
 
         // (2)-(3): Method M filtering and GC processors, dispatched in
         // parallel when configured (Fig. 2 step 2). In sequential mode the
@@ -368,9 +812,10 @@ impl GraphCache {
         // entirely — the paper's first special case "completely avoid[s]
         // any further processing".
         let t_phase = Instant::now();
-        if let Some(w) = &self.filter_worker {
-            w.request(query, kind);
-        }
+        let pending_filter = self
+            .filter_pool
+            .as_ref()
+            .map(|pool| pool.request(query, kind));
 
         let t_gc = Instant::now();
         let snapshot = self.shared.load_snapshot();
@@ -381,9 +826,10 @@ impl GraphCache {
         let hits = processors::find_hits_with_profile(
             &snapshot,
             query,
+            kind,
             &profile,
             self.method.matcher().as_ref(),
-            &self.cfg.hit_match,
+            &hit_match,
         );
         let gc_filter = t_gc.elapsed();
 
@@ -396,11 +842,10 @@ impl GraphCache {
         };
 
         // First special case: an isomorphic cached query answers instantly,
-        // without waiting for (or even running) Method M's filter.
+        // without waiting for (or even running) Method M's filter; a
+        // pending pool request is simply dropped and its result discarded.
         if let Some(source) = hits.exact {
-            if let Some(w) = &self.filter_worker {
-                w.park();
-            }
+            drop(pending_filter);
             let answer = snapshot
                 .entry(source)
                 .map(|e| e.answer.clone())
@@ -409,7 +854,7 @@ impl GraphCache {
             record.cs_gc_size = 0;
             record.answer_size = answer.len();
             self.credit_exact(source, serial, query, &answer);
-            let maintenance = self.push_window(query, profile, &answer, &record);
+            let maintenance = self.push_window(query, kind, profile, &answer, &record);
             record.maintenance = maintenance;
             return QueryResult {
                 serial,
@@ -418,14 +863,14 @@ impl GraphCache {
             };
         }
 
-        let (m_out, m_charge) = match &self.filter_worker {
+        let (m_out, m_charge) = match pending_filter {
             None => {
                 let out = self.method.filter_directed(query, kind);
                 let d = out.duration;
                 (out, d)
             }
-            Some(w) => {
-                let out = w.receive();
+            Some(pending) => {
+                let out = pending.receive();
                 // With parallel dispatch the filtering phase's wall time is
                 // the slower of the two legs; charge M only the latency it
                 // added beyond the GC processors.
@@ -482,7 +927,7 @@ impl GraphCache {
         self.credit_contributions(serial, query, &pruned);
 
         // (6)-(7): window admission and batched cache maintenance.
-        let maintenance = self.push_window(query, profile, &answer, &record);
+        let maintenance = self.push_window(query, kind, profile, &answer, &record);
         record.maintenance = maintenance;
 
         QueryResult {
@@ -508,6 +953,12 @@ impl GraphCache {
             .map(|&id| cost::estimate(query, self.method.dataset().graph(id)))
             .sum();
         let mut stats = self.shared.stats.lock();
+        if !stats.contains_row(source) {
+            // The source entry was evicted (and its row removed) by a
+            // maintenance round that ran after our snapshot read; crediting
+            // now would recreate an orphan row nothing ever cleans up.
+            return;
+        }
         stats.add_int(source, columns::HITS, 1);
         stats.add_int(source, columns::SPECIAL_HITS, 1);
         stats.set(source, columns::LAST_HIT, now as i64);
@@ -529,6 +980,11 @@ impl GraphCache {
         let dataset = self.method.dataset();
         let mut stats = self.shared.stats.lock();
         for c in &pruned.contributions {
+            if !stats.contains_row(c.serial) {
+                // Evicted by a concurrent maintenance round; see
+                // `credit_exact`.
+                continue;
+            }
             stats.add_int(c.serial, columns::HITS, 1);
             stats.set(c.serial, columns::LAST_HIT, now as i64);
             if matches!(pruned.outcome, PruneOutcome::EmptyShortcut(_)) {
@@ -549,8 +1005,9 @@ impl GraphCache {
     /// Adds the executed query to the Window; flushes when full. Returns
     /// inline maintenance time (zero in background mode).
     fn push_window(
-        &mut self,
-        query: &LabeledGraph,
+        &self,
+        query: &Arc<LabeledGraph>,
+        kind: QueryKind,
         profile: gc_index::paths::PathProfile,
         answer: &[GraphId],
         record: &QueryRecord,
@@ -562,23 +1019,33 @@ impl GraphCache {
                 .cost_model
                 .expensiveness(filter_us, verify_us, record.verify_work);
         self.shared.admission.lock().observe(expensiveness);
-        self.window.push(WindowEntry {
+        // The entry is assembled before taking the window lock so the
+        // critical section is a bare Vec push — concurrent queries must
+        // not convoy on copy work that needs no synchronisation.
+        let entry = WindowEntry {
             serial: record.serial,
-            graph: query.clone(),
+            graph: query.clone(), // Arc clone — no graph copy
             answer: answer.to_vec(),
+            kind,
             profile,
             filter_us,
             verify_us,
             expensiveness,
-        });
-        if self.window.len() < self.cfg.window {
-            return Duration::ZERO;
-        }
-        let batch = std::mem::take(&mut self.window);
-        let now = self.serial;
+        };
+        let batch = {
+            let mut window = self.shared.window.lock();
+            window.push(entry);
+            if window.len() < self.cfg.window {
+                return Duration::ZERO;
+            }
+            std::mem::take(&mut *window)
+        };
+        // The batch is flushed outside the window lock so concurrent
+        // queries keep accumulating while maintenance runs.
+        let now = self.shared.current_serial();
         match &self.worker {
-            Some((tx, _)) => {
-                let _ = tx.send(MaintMsg::Batch(batch, now));
+            Some(worker) => {
+                let _ = worker.sender().send(MaintMsg::Batch(batch, now));
                 Duration::ZERO
             }
             None => {
@@ -593,12 +1060,14 @@ impl GraphCache {
     }
 }
 
-impl Drop for GraphCache {
-    fn drop(&mut self) {
-        if let Some((tx, handle)) = self.worker.take() {
-            drop(tx);
-            let _ = handle.join();
-        }
+/// Resolves a configured thread count (0 = auto-detect).
+fn effective_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -635,7 +1104,7 @@ mod tests {
     fn answers_match_baseline() {
         let d = dataset();
         let method = MethodBuilder::ggsx().build(&d);
-        let mut gc = cache();
+        let gc = cache();
         let queries = [
             path_graph(&[0, 1]),
             path_graph(&[0, 1, 0]),
@@ -653,7 +1122,7 @@ mod tests {
 
     #[test]
     fn exact_hit_skips_verification() {
-        let mut gc = cache();
+        let gc = cache();
         let q = path_graph(&[0, 1, 0]);
         let first = gc.run(&q);
         assert!(!first.record.exact_hit);
@@ -668,13 +1137,13 @@ mod tests {
 
     #[test]
     fn empty_shortcut_fires() {
-        let mut gc = cache();
+        let gc = cache();
         // Query with empty answer: path 3-3-3 (dataset has only edge 3-3).
         let empty_q = path_graph(&[3, 3, 3]);
         let r1 = gc.run(&empty_q);
         assert!(r1.answer.is_empty());
         gc.run(&path_graph(&[0, 1])); // flush window → cache the empty query
-        // A superset query must terminate via the empty shortcut.
+                                      // A superset query must terminate via the empty shortcut.
         let superset = path_graph(&[3, 3, 3, 3]);
         let r2 = gc.run(&superset);
         assert!(r2.answer.is_empty());
@@ -684,7 +1153,7 @@ mod tests {
 
     #[test]
     fn sub_hit_prunes_candidates() {
-        let mut gc = cache();
+        let gc = cache();
         // Cache a large query first.
         let big = path_graph(&[0, 1, 0, 1]);
         gc.run(&big);
@@ -703,7 +1172,7 @@ mod tests {
     #[test]
     fn cache_capacity_bounded() {
         let method = MethodBuilder::ggsx().build(&dataset());
-        let mut gc = GraphCache::builder()
+        let gc = GraphCache::builder()
             .capacity(3)
             .window(1)
             .cost_model(CostModel::Work)
@@ -718,7 +1187,7 @@ mod tests {
 
     #[test]
     fn stats_credited_on_hits() {
-        let mut gc = cache();
+        let gc = cache();
         let big = path_graph(&[0, 1, 0, 1]);
         let r_big = gc.run(&big);
         gc.run(&path_graph(&[2, 1]));
@@ -741,12 +1210,12 @@ mod tests {
                 _ => path_graph(&[0, 1, 2]),
             })
             .collect();
-        let mut inline = GraphCache::builder()
+        let inline = GraphCache::builder()
             .capacity(5)
             .window(2)
             .cost_model(CostModel::Work)
             .build(MethodBuilder::ggsx().build(&d));
-        let mut bg = GraphCache::builder()
+        let bg = GraphCache::builder()
             .capacity(5)
             .window(2)
             .cost_model(CostModel::Work)
@@ -767,7 +1236,7 @@ mod tests {
         let d = dataset();
         let method = MethodBuilder::si_vf2().build(&d);
         let baseline = MethodBuilder::si_vf2().build(&d);
-        let mut gc = GraphCache::builder()
+        let gc = GraphCache::builder()
             .capacity(10)
             .window(2)
             .query_kind(QueryKind::Supergraph)
@@ -790,12 +1259,124 @@ mod tests {
 
     #[test]
     fn memory_accounting() {
-        let mut gc = cache();
+        let gc = cache();
         gc.run(&path_graph(&[0, 1]));
         gc.run(&path_graph(&[0, 1, 0]));
         assert!(gc.memory_bytes() > 0);
         assert_eq!(gc.window_len(), 0, "window flushed at W=2");
         assert!(gc.config().capacity == 10);
         assert_eq!(gc.method().name(), "GGSX");
+    }
+
+    #[test]
+    fn request_overrides_kind_per_query() {
+        let d = dataset();
+        let baseline = MethodBuilder::si_vf2().build(&d);
+        let gc = GraphCache::builder()
+            .capacity(10)
+            .window(2)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::si_vf2().build(&d));
+        // Cache-wide default is Subgraph; this request flips direction.
+        let q = path_graph(&[3, 3, 3]);
+        let resp = gc.execute(
+            QueryRequest::new(q.clone())
+                .kind(QueryKind::Supergraph)
+                .tag(9),
+        );
+        assert_eq!(resp.tag, 9);
+        assert!(!resp.bypassed_cache);
+        assert_eq!(
+            resp.result.answer,
+            baseline.run_directed(&q, QueryKind::Supergraph).answer
+        );
+        // The default direction still applies to plain runs.
+        assert_eq!(gc.run(&q).answer, baseline.run(&q).answer);
+    }
+
+    #[test]
+    fn bypass_cache_skips_window_and_stats() {
+        let gc = cache();
+        let q = path_graph(&[0, 1]);
+        let resp = gc.execute(QueryRequest::new(q.clone()).bypass_cache(true));
+        assert!(resp.bypassed_cache);
+        assert_eq!(gc.window_len(), 0, "bypassed query never enters the window");
+        assert_eq!(gc.cache_len(), 0);
+        // Answers still correct, and a serial was consumed.
+        let baseline = MethodBuilder::ggsx().build(&dataset());
+        assert_eq!(resp.result.answer, baseline.run(&q).answer);
+        assert!(resp.result.serial >= 1);
+        let cached = gc.run(&q);
+        assert!(cached.serial > resp.result.serial);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_answers() {
+        let d = dataset();
+        let baseline = MethodBuilder::ggsx().build(&d);
+        let gc = GraphCache::builder()
+            .capacity(10)
+            .window(2)
+            .threads(4)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::ggsx().build(&d));
+        let queries: Vec<LabeledGraph> = (0..24)
+            .map(|i| match i % 4 {
+                0 => path_graph(&[0, 1]),
+                1 => path_graph(&[0, 1, 0]),
+                2 => path_graph(&[1, 2]),
+                _ => path_graph(&[0, 1, 2]),
+            })
+            .collect();
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::from(q).tag(i as u64))
+            .collect();
+        let responses = gc.run_batch(requests);
+        assert_eq!(responses.len(), queries.len());
+        for (i, (resp, q)) in responses.iter().zip(&queries).enumerate() {
+            assert_eq!(resp.tag, i as u64, "input order preserved");
+            assert_eq!(resp.result.answer, baseline.run(q).answer, "query {i}");
+        }
+        // All serials distinct.
+        let mut serials: Vec<u64> = responses.iter().map(|r| r.result.serial).collect();
+        serials.sort_unstable();
+        serials.dedup();
+        assert_eq!(serials.len(), queries.len());
+    }
+
+    #[test]
+    fn cloned_handles_share_the_cache() {
+        let gc = cache();
+        let clone = gc.clone();
+        clone.run(&path_graph(&[0, 1]));
+        clone.run(&path_graph(&[0, 1, 0])); // flush at W=2
+        assert_eq!(gc.cache_len(), 2, "clone's queries visible via original");
+        let r = gc.run(&path_graph(&[0, 1]));
+        assert!(r.record.exact_hit, "original sees clone's cached query");
+    }
+
+    #[test]
+    fn parallel_dispatch_pool_answers_match() {
+        let d = dataset();
+        let baseline = MethodBuilder::ggsx().build(&d);
+        let gc = GraphCache::builder()
+            .capacity(10)
+            .window(2)
+            .parallel_dispatch(true)
+            .threads(2)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::ggsx().build(&d));
+        let queries = [
+            path_graph(&[0, 1]),
+            path_graph(&[0, 1, 0]),
+            path_graph(&[0, 1]), // exact hit: pending filter result dropped
+            path_graph(&[1, 2]),
+            path_graph(&[0, 1]),
+        ];
+        for q in &queries {
+            assert_eq!(gc.run(q).answer, baseline.run(q).answer);
+        }
     }
 }

@@ -4,6 +4,7 @@ use crate::query_index::{QueryIndex, QueryIndexConfig};
 use crate::stats::QuerySerial;
 use gc_graph::{GraphId, LabeledGraph};
 use gc_index::paths::PathProfile;
+use gc_methods::QueryKind;
 use std::sync::Arc;
 
 /// One cached query: the query graph and its full answer set (paper §6.1,
@@ -12,11 +13,17 @@ use std::sync::Arc;
 pub struct CacheEntry {
     /// The query's serial number (the store key).
     pub serial: QuerySerial,
-    /// The query graph as submitted.
-    pub graph: LabeledGraph,
+    /// The query graph as submitted, shared with the execution that
+    /// produced it (entries never deep-copy the graph).
+    pub graph: Arc<LabeledGraph>,
     /// The query's answer set: sorted ids of dataset graphs containing it
     /// (subgraph mode) or contained in it (supergraph mode).
     pub answer: Vec<GraphId>,
+    /// The direction the answer was computed under. Queries of one kind
+    /// must never prune (or exactly answer) queries of the other — the
+    /// answer sets mean different things — so the processors only consider
+    /// entries whose kind matches the incoming request.
+    pub kind: QueryKind,
     /// The query's path-feature profile, computed once at execution time so
     /// index rebuilds never re-enumerate cached graphs.
     pub profile: PathProfile,
@@ -99,8 +106,9 @@ mod tests {
         let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
         Arc::new(CacheEntry {
             serial,
-            graph,
+            graph: Arc::new(graph),
             answer: vec![GraphId(0), GraphId(2)],
+            kind: QueryKind::Subgraph,
             profile,
         })
     }

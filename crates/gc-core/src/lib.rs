@@ -21,10 +21,16 @@
 //!   policy ([`policy`]), rebuilds the index off the hot path and swaps it
 //!   in atomically.
 //!
+//! [`GraphCache`] is a shared service: `run`, [`GraphCache::execute`] and
+//! [`GraphCache::run_batch`] take `&self`, so one cache instance serves
+//! any number of client threads. Typed [`QueryRequest`]s carry per-query
+//! overrides (direction, hit-verification budget, cache bypass) and come
+//! back as [`QueryResponse`]s wrapping the per-query [`QueryResult`].
+//!
 //! # Example
 //!
 //! ```
-//! use gc_core::{GraphCache, PolicyKind};
+//! use gc_core::{GraphCache, PolicyKind, QueryRequest};
 //! use gc_graph::{GraphDataset, LabeledGraph};
 //! use gc_methods::MethodBuilder;
 //!
@@ -33,16 +39,23 @@
 //!     LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]),
 //! ]);
 //! let method = MethodBuilder::ggsx().build(&dataset);
-//! let mut cache = GraphCache::builder()
+//! let cache = GraphCache::builder()
 //!     .capacity(100)
 //!     .window(20)
 //!     .policy(PolicyKind::Hd)
 //!     .build(method);
 //!
 //! let query = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
-//! let first = cache.run(&query);
+//! let first = cache.run(&query); // `run` takes &self — share the cache freely
 //! let second = cache.run(&query); // may be served from the Window/cache
 //! assert_eq!(first.answer, second.answer);
+//!
+//! // Batch submission fans out across a thread pool.
+//! let responses = cache.run_batch(vec![
+//!     QueryRequest::new(query.clone()).tag(1),
+//!     QueryRequest::new(query.clone()).bypass_cache(true).tag(2),
+//! ]);
+//! assert_eq!(responses[0].result.answer, responses[1].result.answer);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,11 +74,13 @@ pub mod stats;
 pub mod window;
 
 pub use admission::{AdaptiveAdmission, AdmissionConfig, AdmissionControl, CostModel};
-pub use cache::{GcConfig, GraphCache, GraphCacheBuilder, QueryResult};
+pub use cache::{
+    GcConfig, GraphCache, GraphCacheBuilder, QueryRequest, QueryResponse, QueryResult,
+};
 pub use entry::{CacheEntry, CacheSnapshot};
-pub use persist::PersistedCache;
 pub use gc_methods::QueryKind;
 pub use metrics::{QueryRecord, RunSummary};
+pub use persist::{PersistedCache, PersistedEntry};
 pub use policy::{PolicyKind, PolicyRow};
 pub use query_index::{QueryIndex, QueryIndexConfig};
 pub use stats::{QuerySerial, StatsStore};

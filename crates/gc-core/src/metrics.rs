@@ -137,6 +137,15 @@ impl RunSummary {
         }
         baseline.avg_subiso_tests / self.avg_subiso_tests
     }
+
+    /// Observed service throughput in queries per second, given the wall
+    /// clock of the whole run. With the concurrent service API the summed
+    /// per-query times overstate elapsed time (queries overlap), so batch
+    /// throughput must be computed from wall clock, not from
+    /// [`RunSummary::total_query_time_us`].
+    pub fn throughput_qps(&self, wall: Duration) -> f64 {
+        self.queries as f64 / wall.as_secs_f64().max(1e-9)
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +218,17 @@ mod tests {
         assert_eq!(r.total(), Duration::from_micros(100));
         assert_eq!(r.query_time(), Duration::from_micros(60));
         assert!(!r.any_hit());
+    }
+
+    #[test]
+    fn throughput_from_wall_clock() {
+        let s = RunSummary {
+            queries: 100,
+            ..Default::default()
+        };
+        assert!((s.throughput_qps(Duration::from_secs(2)) - 50.0).abs() < 1e-9);
+        // Zero wall clock must not divide by zero.
+        assert!(s.throughput_qps(Duration::ZERO).is_finite());
     }
 
     #[test]

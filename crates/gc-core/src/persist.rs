@@ -4,8 +4,10 @@
 //!
 //! Format: a directory with two line-oriented text files —
 //!
-//! * `entries.txt` — for each cached query: an `@entry <serial>` header,
-//!   the query graph in the `gc_graph::io` record format, then an
+//! * `entries.txt` — for each cached query: an `@entry <serial> [sub|super]`
+//!   header (the query direction the answer was computed under; `sub` when
+//!   omitted, for saves predating direction-tagged entries), the query
+//!   graph in the `gc_graph::io` record format, then an
 //!   `answers: <id> <id> …` line;
 //! * `stats.txt` — one `row <serial>` line per statistics row followed by
 //!   `  <column> <int|float> <value>` lines.
@@ -18,15 +20,20 @@ use crate::query_index::QueryIndexConfig;
 use crate::stats::{QuerySerial, StatsStore, Value};
 use gc_graph::{io, GraphError, GraphId};
 use gc_index::paths::enumerate_paths;
+use gc_methods::QueryKind;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+/// One persisted cache entry: serial, query graph, answer set, and the
+/// query direction the answer was computed under.
+pub type PersistedEntry = (QuerySerial, gc_graph::LabeledGraph, Vec<GraphId>, QueryKind);
+
 /// Serialisable cache state: entries plus their statistics rows.
 #[derive(Debug, Default)]
 pub struct PersistedCache {
-    /// The cached queries with serials and answer sets.
-    pub entries: Vec<(QuerySerial, gc_graph::LabeledGraph, Vec<GraphId>)>,
+    /// The cached queries with serials, answer sets and query kinds.
+    pub entries: Vec<PersistedEntry>,
     /// The statistics rows.
     pub stats: StatsStore,
     /// The serial counter at shutdown (so a restarted cache continues
@@ -41,8 +48,12 @@ impl PersistedCache {
         std::fs::create_dir_all(dir)?;
         let mut ef = BufWriter::new(std::fs::File::create(dir.join("entries.txt"))?);
         writeln!(ef, "next_serial {}", self.next_serial)?;
-        for (serial, graph, answer) in &self.entries {
-            writeln!(ef, "@entry {serial}")?;
+        for (serial, graph, answer, kind) in &self.entries {
+            let kind_tok = match kind {
+                QueryKind::Subgraph => "sub",
+                QueryKind::Supergraph => "super",
+            };
+            writeln!(ef, "@entry {serial} {kind_tok}")?;
             io::write_graph(&mut ef, &format!("q{serial}"), graph)?;
             write!(ef, "answers:")?;
             for id in answer {
@@ -69,8 +80,23 @@ impl PersistedCache {
         sf.flush()
     }
 
-    /// Reads the state back from `dir`.
+    /// Reads the state back from `dir`. Entries whose header omits the
+    /// kind token load as subgraph-mode; use
+    /// [`load_with_default_kind`](Self::load_with_default_kind) to supply
+    /// the right default for a supergraph cache.
     pub fn load(dir: impl AsRef<Path>) -> Result<Self, GraphError> {
+        Self::load_with_default_kind(dir, QueryKind::Subgraph)
+    }
+
+    /// Reads the state back from `dir`, tagging entries whose `@entry`
+    /// header predates direction tagging (no `sub`/`super` token) with
+    /// `default_kind`. A cache restoring its own legacy save passes its
+    /// configured query kind, so old supergraph saves keep hitting
+    /// supergraph queries instead of silently mis-tagging as subgraph.
+    pub fn load_with_default_kind(
+        dir: impl AsRef<Path>,
+        default_kind: QueryKind,
+    ) -> Result<Self, GraphError> {
         let dir = dir.as_ref();
         let mut out = PersistedCache::default();
 
@@ -87,12 +113,12 @@ impl PersistedCache {
         // Re-assemble records: delegate graph parsing to gc_graph::io by
         // buffering each record's lines.
         let mut pending: Vec<String> = Vec::new();
-        let mut serial: Option<QuerySerial> = None;
+        let mut serial: Option<(QuerySerial, QueryKind)> = None;
         let mut lineno = 1usize;
-        let finish = |serial: QuerySerial,
-                          pending: &mut Vec<String>,
-                          out: &mut PersistedCache,
-                          lineno: usize|
+        let finish = |(serial, kind): (QuerySerial, QueryKind),
+                      pending: &mut Vec<String>,
+                      out: &mut PersistedCache,
+                      lineno: usize|
          -> Result<(), GraphError> {
             let answers_line = pending
                 .pop()
@@ -110,10 +136,13 @@ impl PersistedCache {
             let text = pending.join("\n");
             let ds = io::read_dataset(text.as_bytes())?;
             if ds.len() != 1 {
-                return Err(GraphError::parse(lineno, "expected exactly one graph record"));
+                return Err(GraphError::parse(
+                    lineno,
+                    "expected exactly one graph record",
+                ));
             }
             out.entries
-                .push((serial, ds.graph(GraphId(0)).clone(), answer));
+                .push((serial, ds.graph(GraphId(0)).clone(), answer, kind));
             pending.clear();
             Ok(())
         };
@@ -124,11 +153,26 @@ impl PersistedCache {
                 if let Some(prev) = serial.take() {
                     finish(prev, &mut pending, &mut out, lineno)?;
                 }
-                serial = Some(
-                    s.trim()
-                        .parse()
-                        .map_err(|_| GraphError::parse(lineno, "bad entry serial"))?,
-                );
+                let mut toks = s.split_whitespace();
+                let parsed: QuerySerial = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::parse(lineno, "bad entry serial"))?;
+                // The kind token is optional: saves predating
+                // direction-tagged entries carry none and default to the
+                // caller's kind.
+                let kind = match toks.next() {
+                    None => default_kind,
+                    Some("sub") => QueryKind::Subgraph,
+                    Some("super") => QueryKind::Supergraph,
+                    Some(other) => {
+                        return Err(GraphError::parse(
+                            lineno,
+                            format!("unknown entry kind {other:?}"),
+                        ))
+                    }
+                };
+                serial = Some((parsed, kind));
             } else if serial.is_some() {
                 pending.push(line);
             } else if !line.trim().is_empty() {
@@ -195,12 +239,13 @@ impl PersistedCache {
         let entries: Vec<Arc<CacheEntry>> = self
             .entries
             .into_iter()
-            .map(|(serial, graph, answer)| {
+            .map(|(serial, graph, answer, kind)| {
                 let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
                 Arc::new(CacheEntry {
                     serial,
-                    graph,
+                    graph: Arc::new(graph),
                     answer,
+                    kind,
                     profile,
                 })
             })
@@ -260,8 +305,14 @@ mod tests {
                     3,
                     LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]),
                     vec![GraphId(0), GraphId(4)],
+                    QueryKind::Subgraph,
                 ),
-                (9, LabeledGraph::from_parts(vec![5], &[]), vec![]),
+                (
+                    9,
+                    LabeledGraph::from_parts(vec![5], &[]),
+                    vec![],
+                    QueryKind::Supergraph,
+                ),
             ],
             stats,
             next_serial: 42,
@@ -279,9 +330,14 @@ mod tests {
         assert_eq!(back.entries[0].0, 3);
         assert_eq!(back.entries[0].1.labels(), &[0, 1, 0]);
         assert_eq!(back.entries[0].2, vec![GraphId(0), GraphId(4)]);
+        assert_eq!(back.entries[0].3, QueryKind::Subgraph);
         assert_eq!(back.entries[1].2, Vec::<GraphId>::new());
+        assert_eq!(back.entries[1].3, QueryKind::Supergraph);
         assert_eq!(back.stats.get(3, columns::HITS), Some(Value::Int(7)));
-        assert_eq!(back.stats.get(3, columns::C_TOTAL), Some(Value::Float(12.5)));
+        assert_eq!(
+            back.stats.get(3, columns::C_TOTAL),
+            Some(Value::Float(12.5))
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -314,6 +370,38 @@ mod tests {
 
         std::fs::write(dir.join("entries.txt"), "next_serial 1\n").unwrap();
         std::fs::write(dir.join("stats.txt"), "  orphan int 3\n").unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_headers_default_to_subgraph() {
+        // Saves that predate direction tagging have bare `@entry <serial>`
+        // headers; they must load as subgraph-mode entries.
+        let dir = tmpdir("legacy");
+        sample().save(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("entries.txt")).unwrap();
+        let stripped: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("@entry ") {
+                    format!("@entry {}\n", rest.split_whitespace().next().unwrap())
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(dir.join("entries.txt"), stripped).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        assert!(back.entries.iter().all(|e| e.3 == QueryKind::Subgraph));
+        // A supergraph cache restoring its own legacy save tags them with
+        // its configured kind instead.
+        let back = PersistedCache::load_with_default_kind(&dir, QueryKind::Supergraph).unwrap();
+        assert!(back.entries.iter().all(|e| e.3 == QueryKind::Supergraph));
+
+        // Unknown kind tokens are rejected, not silently defaulted.
+        let bad = text.replace("@entry 3 sub", "@entry 3 sideways");
+        std::fs::write(dir.join("entries.txt"), bad).unwrap();
         assert!(PersistedCache::load(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,9 +4,10 @@
 
 use crate::entry::CacheSnapshot;
 use crate::stats::QuerySerial;
-use gc_index::paths::PathProfile;
-use gc_subiso::{MatchConfig, Matcher};
 use gc_graph::LabeledGraph;
+use gc_index::paths::PathProfile;
+use gc_methods::QueryKind;
+use gc_subiso::{MatchConfig, Matcher};
 
 /// Verified cache hits for one new query.
 #[derive(Debug, Clone, Default)]
@@ -26,20 +27,27 @@ pub struct HitSet {
 }
 
 /// Runs both processors for `query` against the current cache snapshot.
+///
+/// Only entries answered under the same query `kind` participate: a
+/// subgraph-mode answer set means "dataset graphs containing the query"
+/// while a supergraph-mode one means "dataset graphs contained in it", so
+/// cross-kind hits would prune with the wrong set semantics.
 pub fn find_hits(
     snapshot: &CacheSnapshot,
     query: &LabeledGraph,
+    kind: QueryKind,
     matcher: &dyn Matcher,
     cfg: &MatchConfig,
 ) -> HitSet {
     let profile = snapshot.index.profile_of(query);
-    find_hits_with_profile(snapshot, query, &profile, matcher, cfg)
+    find_hits_with_profile(snapshot, query, kind, &profile, matcher, cfg)
 }
 
 /// Like [`find_hits`] but reuses the query's precomputed feature profile.
 pub fn find_hits_with_profile(
     snapshot: &CacheSnapshot,
     query: &LabeledGraph,
+    kind: QueryKind,
     profile: &PathProfile,
     matcher: &dyn Matcher,
     cfg: &MatchConfig,
@@ -53,6 +61,9 @@ pub fn find_hits_with_profile(
 
     for &slot in &candidates.sub {
         let entry = &snapshot.entries[slot as usize];
+        if entry.kind != kind {
+            continue;
+        }
         let out = matcher.contains_with(query, &entry.graph, cfg);
         hits.tests += 1;
         hits.work += out.nodes_expanded;
@@ -65,6 +76,9 @@ pub fn find_hits_with_profile(
     }
     for &slot in &candidates.super_ {
         let entry = &snapshot.entries[slot as usize];
+        if entry.kind != kind {
+            continue;
+        }
         // Same-size slots were already decided by the sub pass: containment
         // in either direction at equal size is isomorphism.
         let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
@@ -98,7 +112,7 @@ mod tests {
         LabeledGraph::from_parts(labels.to_vec(), &edges)
     }
 
-    fn snapshot(graphs: Vec<LabeledGraph>) -> CacheSnapshot {
+    fn snapshot_of_kind(graphs: Vec<LabeledGraph>, kind: QueryKind) -> CacheSnapshot {
         let entries = graphs
             .into_iter()
             .enumerate()
@@ -106,12 +120,17 @@ mod tests {
                 Arc::new(CacheEntry {
                     serial: (i as u64 + 1) * 100,
                     profile: gc_index::paths::enumerate_paths(&graph, 4, u64::MAX),
-                    graph,
+                    graph: Arc::new(graph),
                     answer: vec![GraphId(i as u32)],
+                    kind,
                 })
             })
             .collect();
         CacheSnapshot::build(QueryIndexConfig::default(), entries)
+    }
+
+    fn snapshot(graphs: Vec<LabeledGraph>) -> CacheSnapshot {
+        snapshot_of_kind(graphs, QueryKind::Subgraph)
     }
 
     #[test]
@@ -122,7 +141,13 @@ mod tests {
             path_graph(&[7, 7, 7]),    // 300: unrelated
         ]);
         let g = path_graph(&[0, 1, 0]);
-        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        let hits = find_hits(
+            &snap,
+            &g,
+            QueryKind::Subgraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
         assert_eq!(hits.sub, vec![100]);
         assert_eq!(hits.super_, vec![200]);
         assert!(hits.exact.is_none());
@@ -133,7 +158,13 @@ mod tests {
     fn exact_hit_detected() {
         let snap = snapshot(vec![path_graph(&[0, 1, 0])]);
         let g = path_graph(&[0, 1, 0]);
-        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        let hits = find_hits(
+            &snap,
+            &g,
+            QueryKind::Subgraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
         assert_eq!(hits.exact, Some(100));
         assert_eq!(hits.sub, vec![100]);
         assert_eq!(hits.super_, vec![100]);
@@ -144,7 +175,13 @@ mod tests {
         // Same node and edge count, different structure/labels.
         let snap = snapshot(vec![path_graph(&[0, 1, 2])]);
         let g = path_graph(&[0, 2, 1]);
-        let hits = find_hits(&snap, &g, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        let hits = find_hits(
+            &snap,
+            &g,
+            QueryKind::Subgraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
         assert!(hits.exact.is_none());
         assert!(hits.sub.is_empty());
         assert!(hits.super_.is_empty());
@@ -160,7 +197,13 @@ mod tests {
         );
         let snap = snapshot(vec![hexagon]);
         let triangle = LabeledGraph::from_parts(vec![0; 3], &[(0, 1), (1, 2), (2, 0)]);
-        let hits = find_hits(&snap, &triangle, &Vf2::new(), &MatchConfig::UNBOUNDED);
+        let hits = find_hits(
+            &snap,
+            &triangle,
+            QueryKind::Subgraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
         assert!(hits.sub.is_empty(), "hexagon does not contain a triangle");
     }
 
@@ -170,10 +213,42 @@ mod tests {
         let hits = find_hits(
             &snap,
             &path_graph(&[0, 1]),
+            QueryKind::Subgraph,
             &Vf2::new(),
             &MatchConfig::UNBOUNDED,
         );
         assert!(hits.sub.is_empty() && hits.super_.is_empty() && hits.exact.is_none());
         assert_eq!(hits.tests, 0);
+    }
+
+    #[test]
+    fn cross_kind_entries_never_hit() {
+        // Entries answered under supergraph semantics are invisible to a
+        // subgraph query (and vice versa) — even an isomorphic one.
+        let snap = snapshot_of_kind(
+            vec![path_graph(&[0, 1, 0]), path_graph(&[0, 1])],
+            QueryKind::Supergraph,
+        );
+        let g = path_graph(&[0, 1, 0]);
+        let sub = find_hits(
+            &snap,
+            &g,
+            QueryKind::Subgraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
+        assert!(sub.sub.is_empty() && sub.super_.is_empty() && sub.exact.is_none());
+        assert_eq!(
+            sub.tests, 0,
+            "cross-kind entries are skipped before testing"
+        );
+        let sup = find_hits(
+            &snap,
+            &g,
+            QueryKind::Supergraph,
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+        );
+        assert_eq!(sup.exact, Some(100), "same-kind entries still hit");
     }
 }

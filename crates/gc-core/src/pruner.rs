@@ -197,8 +197,7 @@ mod tests {
         assert_eq!(r.direct_answer, ids(&[1, 2]));
         // After eq (1): {3,4,5}; eq (2) keeps only those in {2,3,9}: {3}.
         assert_eq!(r.remaining, ids(&[3]));
-        let removed_by_2: &Contribution =
-            r.contributions.iter().find(|c| c.serial == 2).unwrap();
+        let removed_by_2: &Contribution = r.contributions.iter().find(|c| c.serial == 2).unwrap();
         assert_eq!(removed_by_2.removed, ids(&[4, 5]));
     }
 

@@ -20,9 +20,9 @@
 //! verify each candidate with a sub-iso test before it becomes a hit.
 
 use crate::stats::QuerySerial;
-use gc_index::paths::{enumerate_paths, PathFeature, PathProfile};
 use gc_graph::LabeledGraph;
 use gc_index::fx::FxHashMap as HashMap;
+use gc_index::paths::{enumerate_paths, PathFeature, PathProfile};
 
 /// Configuration of the query index.
 #[derive(Debug, Clone, Copy)]
@@ -228,9 +228,7 @@ impl QueryIndex {
             if size_sub && (self.overflow[slot] || sat_sub[slot] == g_features) {
                 out.sub.push(slot as u32);
             }
-            if size_super
-                && (self.overflow[slot] || sat_super[slot] == self.distinct[slot])
-            {
+            if size_super && (self.overflow[slot] || sat_super[slot] == self.distinct[slot]) {
                 out.super_.push(slot as u32);
             }
         }

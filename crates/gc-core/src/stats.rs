@@ -6,6 +6,14 @@
 //! implements exactly that interface; rows are keyed by query serial
 //! number, and the columns used by GraphCache are named by the constants in
 //! [`columns`].
+//!
+//! # Concurrency
+//!
+//! [`StatsStore`] itself is a plain single-threaded map. In the service
+//! API it lives behind the shared state's statistics mutex (see
+//! `window::Shared`), which concurrent queries take once per query to
+//! credit hit contributions — so every operation here must stay O(row)
+//! cheap and must never block (no IO, no allocation beyond the row).
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -99,7 +107,10 @@ impl StatsStore {
 
     /// Sets a single cell.
     pub fn set(&mut self, key: QuerySerial, column: &'static str, value: impl Into<Value>) {
-        self.rows.entry(key).or_default().insert(column, value.into());
+        self.rows
+            .entry(key)
+            .or_default()
+            .insert(column, value.into());
     }
 
     /// Adds `delta` to an integer cell (creating it at 0).
@@ -136,6 +147,13 @@ impl StatsStore {
             .collect();
         out.sort_unstable_by_key(|(k, _)| *k);
         out
+    }
+
+    /// True when a row exists for `key`. Used by the hit-crediting path to
+    /// avoid resurrecting the row of an entry a concurrent maintenance
+    /// round just evicted (such a row would never be cleaned up again).
+    pub fn contains_row(&self, key: QuerySerial) -> bool {
+        self.rows.contains_key(&key)
     }
 
     /// Removes a row (when its query is evicted from the cache).

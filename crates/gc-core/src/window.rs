@@ -17,9 +17,10 @@ use crate::query_index::QueryIndexConfig;
 use crate::stats::{columns, QuerySerial, StatsStore};
 use gc_graph::{GraphId, LabeledGraph};
 use gc_index::paths::PathProfile;
+use gc_methods::QueryKind;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// One query waiting in the Window: the graph, its freshly computed answer,
@@ -28,10 +29,14 @@ use std::time::{Duration, Instant};
 pub struct WindowEntry {
     /// Query serial.
     pub serial: QuerySerial,
-    /// The query graph.
-    pub graph: LabeledGraph,
+    /// The query graph, shared with the execution that produced it (the
+    /// Window never deep-copies graphs).
+    pub graph: Arc<LabeledGraph>,
     /// Its answer set.
     pub answer: Vec<GraphId>,
+    /// The direction the answer was computed under (carried into the
+    /// cache entry so hits never cross query kinds).
+    pub kind: QueryKind,
     /// The query's feature profile (computed during execution; reused by
     /// the index rebuild).
     pub profile: PathProfile,
@@ -43,8 +48,14 @@ pub struct WindowEntry {
     pub expensiveness: f64,
 }
 
-/// State shared between the query path and the (possibly background)
-/// maintenance path.
+/// State shared between every [`GraphCache`](crate::GraphCache) handle on
+/// the query path and the (possibly background) maintenance path.
+///
+/// All mutable state lives here behind fine-grained synchronisation so the
+/// query path only needs `&self`: the snapshot behind an [`RwLock`] (held
+/// only for the pointer swap/clone), the statistics and admission stores
+/// behind [`Mutex`]es, the Window buffer behind its own [`Mutex`], and the
+/// serial counter as an atomic.
 pub(crate) struct Shared {
     /// Current cache snapshot; swapped wholesale on maintenance.
     pub snapshot: RwLock<Arc<CacheSnapshot>>,
@@ -52,6 +63,17 @@ pub(crate) struct Shared {
     pub stats: Mutex<StatsStore>,
     /// Admission controller.
     pub admission: Mutex<AdmissionControl>,
+    /// The Window buffer: executed queries waiting for the next
+    /// maintenance round (paper §6.2).
+    pub window: Mutex<Vec<WindowEntry>>,
+    /// Serialises snapshot read-modify-write cycles ([`maintain`] rounds
+    /// and [`GraphCache::restore`](crate::GraphCache::restore)). Without
+    /// it, two concurrent inline rounds would both build from the same old
+    /// snapshot and the second swap would silently drop the first round's
+    /// admissions and resurrect its evictions.
+    pub maint: Mutex<()>,
+    /// Serial-number source; queries claim `fetch_add(1) + 1` on arrival.
+    pub serial: AtomicU64,
     /// Cumulative maintenance time (µs) and rounds — the Fig. 10 overhead.
     pub maintenance_us: AtomicU64,
     /// Number of maintenance rounds executed.
@@ -64,6 +86,9 @@ impl Shared {
             snapshot: RwLock::new(Arc::new(CacheSnapshot::empty(index_cfg))),
             stats: Mutex::new(StatsStore::new()),
             admission: Mutex::new(admission),
+            window: Mutex::new(Vec::new()),
+            maint: Mutex::new(()),
+            serial: AtomicU64::new(0),
             maintenance_us: AtomicU64::new(0),
             maintenance_rounds: AtomicU64::new(0),
         }
@@ -72,6 +97,16 @@ impl Shared {
     /// The current snapshot (cheap Arc clone).
     pub(crate) fn load_snapshot(&self) -> Arc<CacheSnapshot> {
         self.snapshot.read().clone()
+    }
+
+    /// Claims the next query serial number.
+    pub(crate) fn next_serial(&self) -> QuerySerial {
+        self.serial.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The serial of the most recently admitted query.
+    pub(crate) fn current_serial(&self) -> QuerySerial {
+        self.serial.load(Ordering::Relaxed)
     }
 }
 
@@ -93,6 +128,12 @@ pub(crate) fn maintain(
 ) -> Duration {
     let t0 = Instant::now();
 
+    // One round at a time: the round reads the snapshot, builds its
+    // replacement, and swaps it in — concurrent rounds (possible in
+    // inline mode, where any full window flushes on the flushing query's
+    // thread) must not interleave those steps.
+    let _round = shared.maint.lock();
+
     // (1) Admission control over the batch.
     let admitted: Vec<WindowEntry> = {
         let mut ac = shared.admission.lock();
@@ -111,18 +152,22 @@ pub(crate) fn maintain(
         admitted
     };
 
+    // Serial uniqueness is a store invariant: a batch admitted on top of
+    // a restored snapshot can carry a serial the restore already holds
+    // (the batch predates the restore) — such duplicates are dropped in
+    // the snapshot's favour, and they must be dropped *before* sizing the
+    // eviction so they cannot push live entries out for nothing.
+    let old = shared.load_snapshot();
+    let admitted: Vec<WindowEntry> = admitted
+        .into_iter()
+        .filter(|e| old.entry(e.serial).is_none())
+        .collect();
     if admitted.is_empty() {
         // Nothing to add; the snapshot stays as-is (no rebuild needed).
-        let elapsed = t0.elapsed();
-        shared
-            .maintenance_us
-            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-        shared.maintenance_rounds.fetch_add(1, Ordering::Relaxed);
-        return elapsed;
+        return record_round(shared, t0);
     }
 
     // (2) Compute the new cache contents: evict as needed.
-    let old = shared.load_snapshot();
     let free = cfg.capacity.saturating_sub(old.len());
     let evict_needed = admitted.len().saturating_sub(free);
     let victims: Vec<QuerySerial> = if evict_needed > 0 {
@@ -165,8 +210,9 @@ pub(crate) fn maintain(
     for e in &admitted {
         new_entries.push(Arc::new(CacheEntry {
             serial: e.serial,
-            graph: e.graph.clone(),
+            graph: e.graph.clone(), // Arc clone — no graph copy
             answer: e.answer.clone(),
+            kind: e.kind,
             profile: e.profile.clone(),
         }));
     }
@@ -197,6 +243,12 @@ pub(crate) fn maintain(
     // (4) Swap — "simple in-memory reference (pointer) swaps".
     *shared.snapshot.write() = new_snapshot;
 
+    record_round(shared, t0)
+}
+
+/// Books one finished maintenance round into the overhead counters and
+/// returns its wall time (the Fig. 10 metric).
+fn record_round(shared: &Shared, t0: Instant) -> Duration {
     let elapsed = t0.elapsed();
     shared
         .maintenance_us
@@ -210,7 +262,7 @@ pub(crate) enum MaintMsg {
     /// A full window to process.
     Batch(Vec<WindowEntry>, QuerySerial),
     /// Barrier: reply when all prior batches are done.
-    Sync(crossbeam::channel::Sender<()>),
+    Sync(mpsc::Sender<()>),
 }
 
 /// Spawns the background Window Manager thread (paper §6.2: "implemented as
@@ -218,11 +270,8 @@ pub(crate) enum MaintMsg {
 pub(crate) fn spawn_manager(
     shared: Arc<Shared>,
     cfg: MaintenanceConfig,
-) -> (
-    crossbeam::channel::Sender<MaintMsg>,
-    std::thread::JoinHandle<()>,
-) {
-    let (tx, rx) = crossbeam::channel::unbounded::<MaintMsg>();
+) -> (mpsc::Sender<MaintMsg>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<MaintMsg>();
     let handle = std::thread::Builder::new()
         .name("gc-window-manager".into())
         .spawn(move || {
@@ -251,8 +300,9 @@ mod tests {
         let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
         WindowEntry {
             serial,
-            graph,
+            graph: Arc::new(graph),
             answer: vec![GraphId(0)],
+            kind: QueryKind::Subgraph,
             profile,
             filter_us: 10.0,
             verify_us: 100.0,
@@ -341,11 +391,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_rounds_do_not_lose_admissions() {
+        // Two inline rounds racing must serialise: without the maint lock
+        // both build from the same old snapshot and one round's admissions
+        // vanish on the second swap.
+        let s = Arc::new(shared());
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                sc.spawn(move || {
+                    maintain(
+                        &s,
+                        &cfg(100),
+                        vec![entry(t * 10 + 1, 1.0), entry(t * 10 + 2, 1.0)],
+                        t * 10 + 2,
+                    );
+                });
+            }
+        });
+        let snap = s.load_snapshot();
+        assert_eq!(snap.len(), 8, "every round's admissions survive");
+        for t in 0..4u64 {
+            assert!(snap.entry(t * 10 + 1).is_some());
+            assert!(snap.entry(t * 10 + 2).is_some());
+        }
+        assert_eq!(s.maintenance_rounds.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
     fn background_manager_processes_batches() {
         let s = Arc::new(shared());
         let (tx, handle) = spawn_manager(s.clone(), cfg(10));
         tx.send(MaintMsg::Batch(vec![entry(1, 1.0)], 1)).unwrap();
-        let (rtx, rrx) = crossbeam::channel::bounded(0);
+        let (rtx, rrx) = mpsc::channel();
         tx.send(MaintMsg::Sync(rtx)).unwrap();
         rrx.recv().unwrap();
         assert_eq!(s.load_snapshot().len(), 1);

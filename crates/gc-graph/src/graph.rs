@@ -167,9 +167,9 @@ impl LabeledGraph {
         let mut labels: Vec<Label> = Vec::new();
         let mut remapped: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
         let intern = |orig: NodeId,
-                          map: &mut Vec<Option<NodeId>>,
-                          back: &mut Vec<NodeId>,
-                          labels: &mut Vec<Label>| {
+                      map: &mut Vec<Option<NodeId>>,
+                      back: &mut Vec<NodeId>,
+                      labels: &mut Vec<Label>| {
             if let Some(id) = map[orig as usize] {
                 id
             } else {

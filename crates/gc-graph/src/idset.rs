@@ -10,7 +10,10 @@ use crate::GraphId;
 /// Asserts (in debug builds) that a slice is strictly ascending.
 #[inline]
 pub fn debug_assert_sorted(s: &[GraphId]) {
-    debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "id set not sorted/unique");
+    debug_assert!(
+        s.windows(2).all(|w| w[0] < w[1]),
+        "id set not sorted/unique"
+    );
 }
 
 /// Sorts and deduplicates a vector in place, making it a valid id set.
@@ -138,10 +141,7 @@ mod tests {
         let a = ids(&[0, 2, 4, 6, 8]);
         let b = ids(&[1, 2, 3, 4]);
         // |A| = |A∩B| + |A\B|
-        assert_eq!(
-            a.len(),
-            intersect(&a, &b).len() + difference(&a, &b).len()
-        );
+        assert_eq!(a.len(), intersect(&a, &b).len() + difference(&a, &b).len());
         // A∪B = (A\B) ∪ B
         assert_eq!(union(&a, &b), union(&difference(&a, &b), &b));
     }

@@ -85,16 +85,8 @@ fn read_record_body(lines: &mut NumberedLines<impl BufRead>) -> Result<LabeledGr
     for _ in 0..m {
         let (lineno, text) = lines.expect_nonblank("edge")?;
         let mut parts = text.split_whitespace();
-        let u: u32 = parse_num(
-            lineno,
-            parts.next().unwrap_or_default(),
-            "edge endpoint u",
-        )?;
-        let v: u32 = parse_num(
-            lineno,
-            parts.next().unwrap_or_default(),
-            "edge endpoint v",
-        )?;
+        let u: u32 = parse_num(lineno, parts.next().unwrap_or_default(), "edge endpoint u")?;
+        let v: u32 = parse_num(lineno, parts.next().unwrap_or_default(), "edge endpoint v")?;
         if parts.next().is_some() {
             return Err(GraphError::parse(lineno, "trailing tokens after edge"));
         }
@@ -148,7 +140,10 @@ impl<R: BufRead> NumberedLines<R> {
 
     fn expect_nonblank(&mut self, what: &str) -> Result<(usize, String), GraphError> {
         self.next_nonblank()?.ok_or_else(|| {
-            GraphError::parse(self.lineno + 1, format!("unexpected end of input: expected {what}"))
+            GraphError::parse(
+                self.lineno + 1,
+                format!("unexpected end of input: expected {what}"),
+            )
         })
     }
 }

@@ -105,8 +105,7 @@ pub fn random_connected_graph(
         return builder.build();
     }
     let max_edges = n * (n - 1) / 2;
-    let target_m = ((n as f64 * target_avg_degree / 2.0).round() as usize)
-        .clamp(n - 1, max_edges);
+    let target_m = ((n as f64 * target_avg_degree / 2.0).round() as usize).clamp(n - 1, max_edges);
     let mut attempts = 0usize;
     let attempt_cap = target_m.saturating_mul(50) + 1000;
     while present.len() < target_m && attempts < attempt_cap {

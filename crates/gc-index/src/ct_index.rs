@@ -175,7 +175,10 @@ mod tests {
         let tri = LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
         let cs = idx.filter(&tri);
         assert!(idset::contains(&cs, GraphId(1)));
-        assert!(!idset::contains(&cs, GraphId(0)), "path graph pruned by cycle bit");
+        assert!(
+            !idset::contains(&cs, GraphId(0)),
+            "path graph pruned by cycle bit"
+        );
     }
 
     #[test]

@@ -486,10 +486,8 @@ mod tests {
         // Node set {0,1,2,3} induces a square + chord; its spanning trees
         // include the 3-star at node 1 — which only exists as a non-induced
         // subtree. It must be enumerated.
-        let g = LabeledGraph::from_parts(
-            vec![0, 1, 2, 3],
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],
-        );
+        let g =
+            LabeledGraph::from_parts(vec![0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
         let c = codes_of(&g, &FeatureConfig::default());
         let star = tree_code(&[1, 0, 2, 3], &[(0, 1), (0, 2), (0, 3)]);
         assert!(c.contains(&star), "non-induced star tree missing");
@@ -508,10 +506,7 @@ mod tests {
     #[test]
     fn cycle_longer_than_cap_ignored() {
         // 5-cycle with cycle_max_nodes = 4 yields no cycle codes.
-        let g = LabeledGraph::from_parts(
-            vec![0; 5],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
-        );
+        let g = LabeledGraph::from_parts(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         let cfg = FeatureConfig {
             cycle_max_nodes: 4,
             ..Default::default()

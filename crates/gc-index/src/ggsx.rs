@@ -127,10 +127,7 @@ impl PathTrie {
     /// Decomposes a query into its feature multiset using this index's
     /// configuration. `None` signals enumeration overflow (treat every
     /// graph as a candidate).
-    pub fn query_features(
-        &self,
-        query: &LabeledGraph,
-    ) -> Option<Vec<(PathFeature, u32)>> {
+    pub fn query_features(&self, query: &LabeledGraph) -> Option<Vec<(PathFeature, u32)>> {
         match enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap) {
             PathProfile::Counts(c) => {
                 let mut v: Vec<(PathFeature, u32)> = c.into_iter().collect();

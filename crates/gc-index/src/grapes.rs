@@ -165,7 +165,8 @@ impl FilterIndex for GrapesIndex {
     }
 
     fn filter_supergraph(&self, query: &LabeledGraph) -> Option<CandidateSet> {
-        let profile = crate::paths::enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap);
+        let profile =
+            crate::paths::enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap);
         let Some(features) = profile.counts() else {
             return Some(idset::full(self.graph_count));
         };

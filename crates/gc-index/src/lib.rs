@@ -23,8 +23,8 @@
 
 pub mod ct_index;
 pub mod features;
-pub mod fx;
 pub mod fingerprint;
+pub mod fx;
 pub mod ggsx;
 pub mod grapes;
 pub mod paths;

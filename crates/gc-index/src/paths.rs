@@ -56,7 +56,16 @@ pub fn enumerate_paths(g: &LabeledGraph, max_len: usize, work_cap: u64) -> PathP
     for start in g.nodes() {
         seq.push(g.label(start));
         on_path[start as usize] = true;
-        if !dfs(g, start, max_len, &mut seq, &mut on_path, &mut counts, &mut work, work_cap) {
+        if !dfs(
+            g,
+            start,
+            max_len,
+            &mut seq,
+            &mut on_path,
+            &mut counts,
+            &mut work,
+            work_cap,
+        ) {
             return PathProfile::Overflow;
         }
         on_path[start as usize] = false;
@@ -94,7 +103,16 @@ fn dfs(
         if !on_path[w as usize] {
             on_path[w as usize] = true;
             seq.push(g.label(w));
-            let ok = dfs(g, w, remaining_from - 1, seq, on_path, counts, work, work_cap);
+            let ok = dfs(
+                g,
+                w,
+                remaining_from - 1,
+                seq,
+                on_path,
+                counts,
+                work,
+                work_cap,
+            );
             seq.pop();
             on_path[w as usize] = false;
             if !ok {
@@ -106,11 +124,7 @@ fn dfs(
 }
 
 /// Enumerates paths with per-feature start-node location lists (Grapes).
-pub fn enumerate_paths_located(
-    g: &LabeledGraph,
-    max_len: usize,
-    work_cap: u64,
-) -> LocatedProfile {
+pub fn enumerate_paths_located(g: &LabeledGraph, max_len: usize, work_cap: u64) -> LocatedProfile {
     let base = match enumerate_paths(g, max_len, work_cap) {
         PathProfile::Overflow => return LocatedProfile::Overflow,
         PathProfile::Counts(c) => c,
@@ -248,10 +262,7 @@ mod tests {
     #[test]
     fn subgraph_counts_dominated() {
         // Soundness cornerstone: sub ⊆ g ⇒ counts_sub ≤ counts_g.
-        let g = LabeledGraph::from_parts(
-            vec![0, 1, 0, 1],
-            &[(0, 1), (1, 2), (2, 3), (3, 0)],
-        );
+        let g = LabeledGraph::from_parts(vec![0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let (sub, _) = g.edge_subgraph(&[(0, 1), (1, 2)]);
         let cg = enumerate_paths(&g, 4, u64::MAX);
         let cs = enumerate_paths(&sub, 4, u64::MAX);
@@ -266,10 +277,7 @@ mod tests {
     #[test]
     fn overflow_reported() {
         let g = triangle();
-        assert!(matches!(
-            enumerate_paths(&g, 2, 2),
-            PathProfile::Overflow
-        ));
+        assert!(matches!(enumerate_paths(&g, 2, 2), PathProfile::Overflow));
         assert!(matches!(
             enumerate_paths_located(&g, 2, 2),
             LocatedProfile::Overflow

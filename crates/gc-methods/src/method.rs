@@ -216,12 +216,11 @@ impl Method {
     ) -> Vec<(GraphId, bool, u64)> {
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(candidates.len());
-        let mut shards: Vec<Vec<(GraphId, bool, u64)>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        let shards: Vec<Vec<(GraphId, bool, u64)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -236,12 +235,11 @@ impl Method {
                     })
                 })
                 .collect();
-            shards = handles
+            handles
                 .into_iter()
                 .map(|h| h.join().expect("verifier thread panicked"))
-                .collect();
-        })
-        .expect("crossbeam scope");
+                .collect()
+        });
         let mut all: Vec<(GraphId, bool, u64)> = shards.into_iter().flatten().collect();
         all.sort_unstable_by_key(|(id, _, _)| *id);
         all

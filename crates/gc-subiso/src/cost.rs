@@ -18,7 +18,9 @@ use gc_graph::LabeledGraph;
 /// Natural log of the falling factorial `N·(N−1)·…·(N−n+1) = N!/(N−n)!`.
 fn ln_falling_factorial(n_big: u64, n_small: u64) -> f64 {
     debug_assert!(n_small <= n_big);
-    ((n_big - n_small + 1)..=n_big).map(|k| (k as f64).ln()).sum()
+    ((n_big - n_small + 1)..=n_big)
+        .map(|k| (k as f64).ln())
+        .sum()
 }
 
 /// The paper's cost estimate `c(g, G)` given the raw parameters: `n` query
@@ -32,8 +34,8 @@ pub fn estimate_raw(n: u64, cap_n: u64, labels: u64) -> f64 {
     }
     let l = labels.max(1) as f64;
     // ln c = ln N + ln(N!/(N-n)!) - (n+1)·ln L
-    let ln_c = (cap_n.max(1) as f64).ln() + ln_falling_factorial(cap_n, n)
-        - (n as f64 + 1.0) * l.ln();
+    let ln_c =
+        (cap_n.max(1) as f64).ln() + ln_falling_factorial(cap_n, n) - (n as f64 + 1.0) * l.ln();
     if ln_c > f64::MAX.ln() {
         f64::MAX
     } else {

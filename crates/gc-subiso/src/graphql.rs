@@ -62,11 +62,7 @@ impl Matcher for GraphQl {
         run(self, pattern, target, cfg, &mut driver)
     }
 
-    fn find_embedding(
-        &self,
-        pattern: &LabeledGraph,
-        target: &LabeledGraph,
-    ) -> Option<Vec<NodeId>> {
+    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> Option<Vec<NodeId>> {
         let mut driver = Driver::find();
         run(self, pattern, target, &MatchConfig::UNBOUNDED, &mut driver);
         driver.embedding
@@ -293,7 +289,12 @@ impl State<'_> {
     }
 }
 
-fn search(st: &mut State<'_>, depth: usize, work: &mut Work, driver: &mut Driver) -> ControlFlow<()> {
+fn search(
+    st: &mut State<'_>,
+    depth: usize,
+    work: &mut Work,
+    driver: &mut Driver,
+) -> ControlFlow<()> {
     if depth == st.order.len() {
         return match driver.on_embedding(&st.core_p) {
             Found::Stop => ControlFlow::Break(()),

@@ -120,8 +120,7 @@ pub trait Matcher: Send + Sync {
 
     /// Returns one embedding as a mapping `pattern node → target node`, if
     /// any exists.
-    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph)
-        -> Option<Vec<NodeId>>;
+    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> Option<Vec<NodeId>>;
 
     /// Counts embeddings up to `limit` (use `u64::MAX` for all). Two
     /// embeddings differ when any pattern node maps to a different target

@@ -43,11 +43,7 @@ impl Matcher for Ullmann {
         run(pattern, target, cfg, &mut driver)
     }
 
-    fn find_embedding(
-        &self,
-        pattern: &LabeledGraph,
-        target: &LabeledGraph,
-    ) -> Option<Vec<NodeId>> {
+    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> Option<Vec<NodeId>> {
         let mut driver = Driver::find();
         run(pattern, target, &MatchConfig::UNBOUNDED, &mut driver);
         driver.embedding
@@ -81,8 +77,8 @@ fn run(
         let mut m = vec![false; np * nt];
         for u in pattern.nodes() {
             for v in target.nodes() {
-                m[u as usize * nt + v as usize] = pattern.label(u) == target.label(v)
-                    && pattern.degree(u) <= target.degree(v);
+                m[u as usize * nt + v as usize] =
+                    pattern.label(u) == target.label(v) && pattern.degree(u) <= target.degree(v);
             }
         }
         let mut st = State {
@@ -123,8 +119,7 @@ fn refine(st: &State<'_>, m: &mut [bool], work: &mut Work) -> ControlFlow<()> {
                 }
                 work.step()?;
                 let ok = st.p.neighbors(u).iter().all(|&up| {
-                    st.t
-                        .neighbors(v)
+                    st.t.neighbors(v)
                         .iter()
                         .any(|&vp| m[up as usize * nt + vp as usize])
                 });
@@ -166,10 +161,13 @@ fn search(
         }
         work.step()?;
         // Consistency with already-assigned neighbours.
-        let consistent = st.p.neighbors(u).iter().all(|&w| match st.core_p[w as usize] {
-            Some(img) => st.t.has_edge(img, v),
-            None => true,
-        });
+        let consistent =
+            st.p.neighbors(u)
+                .iter()
+                .all(|&w| match st.core_p[w as usize] {
+                    Some(img) => st.t.has_edge(img, v),
+                    None => true,
+                });
         if !consistent {
             continue;
         }

@@ -39,11 +39,7 @@ impl Matcher for Vf2 {
         run(pattern, target, cfg, &mut driver)
     }
 
-    fn find_embedding(
-        &self,
-        pattern: &LabeledGraph,
-        target: &LabeledGraph,
-    ) -> Option<Vec<NodeId>> {
+    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> Option<Vec<NodeId>> {
         let mut driver = Driver::find();
         run(pattern, target, &MatchConfig::UNBOUNDED, &mut driver);
         driver.embedding
@@ -333,10 +329,7 @@ mod tests {
     #[test]
     fn disconnected_pattern() {
         let p = LabeledGraph::from_parts(vec![0, 1, 2, 3], &[(0, 1), (2, 3)]);
-        let t = LabeledGraph::from_parts(
-            vec![0, 1, 9, 2, 3],
-            &[(0, 1), (1, 2), (2, 3), (3, 4)],
-        );
+        let t = LabeledGraph::from_parts(vec![0, 1, 9, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let m = Vf2::new();
         assert!(m.contains(&p, &t));
         let emb = m.find_embedding(&p, &t).unwrap();

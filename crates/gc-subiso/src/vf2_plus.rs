@@ -42,11 +42,7 @@ impl Matcher for Vf2Plus {
         run(pattern, target, cfg, &mut driver)
     }
 
-    fn find_embedding(
-        &self,
-        pattern: &LabeledGraph,
-        target: &LabeledGraph,
-    ) -> Option<Vec<NodeId>> {
+    fn find_embedding(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> Option<Vec<NodeId>> {
         let mut driver = Driver::find();
         run(pattern, target, &MatchConfig::UNBOUNDED, &mut driver);
         driver.embedding
@@ -131,10 +127,7 @@ impl Plan {
                 .expect("unplaced node exists");
             placed[best as usize] = true;
             // Anchor: the earliest-ordered neighbour, if any.
-            let a = order
-                .iter()
-                .copied()
-                .find(|&w| p.has_edge(w, best));
+            let a = order.iter().copied().find(|&w| p.has_edge(w, best));
             order.push(best);
             anchor.push(a);
             for &w in p.neighbors(best) {
@@ -199,7 +192,12 @@ impl State<'_> {
     }
 }
 
-fn search(st: &mut State<'_>, depth: usize, work: &mut Work, driver: &mut Driver) -> ControlFlow<()> {
+fn search(
+    st: &mut State<'_>,
+    depth: usize,
+    work: &mut Work,
+    driver: &mut Driver,
+) -> ControlFlow<()> {
     if depth == st.plan.order.len() {
         return match driver.on_embedding(&st.core_p) {
             Found::Stop => ControlFlow::Break(()),

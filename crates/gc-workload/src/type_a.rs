@@ -93,7 +93,10 @@ impl TypeAConfig {
 /// # Panics
 /// If the dataset is empty or `sizes` is empty.
 pub fn generate_type_a(dataset: &GraphDataset, cfg: &TypeAConfig) -> Workload {
-    assert!(!dataset.is_empty(), "cannot extract queries from an empty dataset");
+    assert!(
+        !dataset.is_empty(),
+        "cannot extract queries from an empty dataset"
+    );
     assert!(!cfg.sizes.is_empty(), "need at least one query size");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let graph_sampler = cfg.graph_selector.build(dataset.len());

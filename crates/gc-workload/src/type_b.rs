@@ -119,7 +119,10 @@ impl TypeBConfig {
 /// # Panics
 /// If the dataset is empty, `sizes` is empty, or pool construction starves.
 pub fn generate_type_b(dataset: &GraphDataset, cfg: &TypeBConfig) -> Workload {
-    assert!(!dataset.is_empty(), "cannot extract queries from an empty dataset");
+    assert!(
+        !dataset.is_empty(),
+        "cannot extract queries from an empty dataset"
+    );
     assert!(!cfg.sizes.is_empty(), "need at least one query size");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -139,11 +142,7 @@ pub fn generate_type_b(dataset: &GraphDataset, cfg: &TypeBConfig) -> Workload {
             answerable.push(q);
         }
     }
-    assert_eq!(
-        answerable.len(),
-        cfg.answer_pool,
-        "answerable pool starved"
-    );
+    assert_eq!(answerable.len(), cfg.answer_pool, "answerable pool starved");
 
     // No-answer pool needs filtering + verification machinery.
     let no_answer = if cfg.no_answer_pool > 0 && cfg.no_answer_prob > 0.0 {
@@ -216,8 +215,7 @@ fn build_no_answer_pool(
         // selected labels from the dataset, until the resulting query has a
         // non-empty candidate set but an empty answer set".
         for _ in 0..cfg.relabel_attempts {
-            let relabelled =
-                base.relabeled(|_, _| labels[rng.gen_range(0..labels.len())]);
+            let relabelled = base.relabeled(|_, _| labels[rng.gen_range(0..labels.len())]);
             let candidates = filter.filter(&relabelled);
             if candidates.is_empty() {
                 continue;
@@ -300,7 +298,11 @@ mod tests {
         let w = generate_type_b(&d, &small_cfg(0.5));
         let filter = PathTrie::build(&d, GgsxConfig::default());
         let vf2 = Vf2::new();
-        for q in w.queries.iter().filter(|q| q.origin == QueryOrigin::NoAnswer) {
+        for q in w
+            .queries
+            .iter()
+            .filter(|q| q.origin == QueryOrigin::NoAnswer)
+        {
             let cs = filter.filter(&q.graph);
             assert!(!cs.is_empty(), "no-answer query must pass filtering");
             assert!(

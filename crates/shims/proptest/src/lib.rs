@@ -1,0 +1,360 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal property-testing harness with the proptest API surface its tests
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`arbitrary::any`], `ProptestConfig::with_cases`, and the [`proptest!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: inputs are generated from a fixed-seed
+//! deterministic generator (every run explores the same cases) and failing
+//! cases are not shrunk — the panic message reports the case number so a
+//! failure is still reproducible by rerunning the test.
+
+/// Test-runner configuration and RNG plumbing.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The deterministic per-test generator (fixed seed: runs are
+    /// reproducible; pass a different constant here to explore new cases).
+    pub fn new_rng() -> TestRng {
+        TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and draws
+        /// from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(*self.start()..self.end() + 1)
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+}
+
+/// Strategies for `any::<T>()`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.gen::<u64>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Admissible element counts for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly drawn from the half-open range.
+        Between(Range<usize>),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = match &self.size {
+                SizeRange::Fixed(n) => *n,
+                SizeRange::Between(r) => rng.gen_range(r.clone()),
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property (plain `assert!` here; upstream
+/// proptest additionally records the failing case for shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::new_rng();
+            for case in 0..config.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                );
+                let run = || $body;
+                if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest: property {} failed at case {}/{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even(limit: usize) -> impl Strategy<Value = usize> {
+        (0..limit).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3..10usize, m in 1..=4u32) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((1..=4).contains(&m));
+        }
+
+        #[test]
+        fn mapped_values_even(n in arb_even(50)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_vec_lengths(
+            v in (1..5usize).prop_flat_map(|n| crate::collection::vec(0..10u32, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0..4usize, 0..4usize), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = crate::test_runner::new_rng();
+        let s = crate::collection::vec(0..5u32, 3usize);
+        assert_eq!(s.generate(&mut rng).len(), 3);
+        let s = crate::collection::vec(0..5u32, 1..4usize);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -38,7 +38,7 @@ fn main() {
 
     // The same session through GraphCache.
     let cached_method = MethodBuilder::ct_index().build(&dataset);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(100)
         .window(20)
         .policy(PolicyKind::Hd)
@@ -52,7 +52,10 @@ fn main() {
     }
     let gc = RunSummary::from_records(&gc_records, 20);
 
-    println!("\n                 {:>14} {:>14}", "CT-Index", "GC/CT-Index");
+    println!(
+        "\n                 {:>14} {:>14}",
+        "CT-Index", "GC/CT-Index"
+    );
     println!(
         "avg query time   {:>11.0} µs {:>11.0} µs",
         base.avg_query_time_us, gc.avg_query_time_us

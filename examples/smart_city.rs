@@ -20,7 +20,7 @@ fn main() {
     println!("district dataset: {}", dataset.stats());
 
     let method = MethodBuilder::grapes(1).build(&dataset);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(50)
         .window(1) // cache immediately so the session benefits right away
         .policy(PolicyKind::Hd)

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example supergraph_screening`
 
-use graphcache::core::QueryKind;
+use graphcache::core::{QueryKind, QueryRequest};
 use graphcache::graph::random::bfs_edge_subgraph;
 use graphcache::prelude::*;
 
@@ -18,8 +18,7 @@ fn main() {
     let mut alerts = Vec::new();
     for i in 0..120 {
         let src = molecules.graph(GraphId(i % molecules.len() as u32));
-        if let Some(frag) = bfs_edge_subgraph(src, i % 5, 3 + (i as usize % 4))
-        {
+        if let Some(frag) = bfs_edge_subgraph(src, i % 5, 3 + (i as usize % 4)) {
             alerts.push(frag);
         }
     }
@@ -30,7 +29,7 @@ fn main() {
     // (containment) direction via per-graph feature counting.
     let method = MethodBuilder::ggsx().build(&alert_db);
     let baseline = MethodBuilder::ggsx().build(&alert_db);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(60)
         .window(10)
         .policy(PolicyKind::Hd)
@@ -47,11 +46,14 @@ fn main() {
         for i in 0..60u32 {
             let mol = molecules.graph(GraphId((i * 3) % molecules.len() as u32));
             // Take a mid-size portion of the molecule as the screened unit.
-            let Some(unit) = bfs_edge_subgraph(mol, 0, 14)
-            else {
+            let Some(unit) = bfs_edge_subgraph(mol, 0, 14) else {
                 continue;
             };
-            let gc_result = cache.run(&unit);
+            // Typed submission: the request carries a correlation tag the
+            // pipeline can route the response by.
+            let response = cache.execute(QueryRequest::from(&unit).tag(u64::from(i)));
+            assert_eq!(response.tag, u64::from(i));
+            let gc_result = response.result;
             let base_result = baseline.run_directed(&unit, QueryKind::Supergraph);
             assert_eq!(gc_result.answer, base_result.answer, "screening mismatch");
             screened += 1;
@@ -62,9 +64,7 @@ fn main() {
         }
     }
 
-    println!(
-        "screened {screened} units | {flagged} contained at least one alert"
-    );
+    println!("screened {screened} units | {flagged} contained at least one alert");
     println!(
         "sub-iso tests: baseline = {tests_base}, with GraphCache = {tests_gc} ({:.1}x fewer)",
         tests_base as f64 / tests_gc.max(1) as f64

@@ -8,17 +8,32 @@
 //! * `gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE`
 //!   generates a query workload (queries are stored as a dataset file);
 //! * `gc query --dataset FILE --queries FILE [--method NAME] [--policy NAME]
-//!   [--capacity N] [--window N] [--admission] [--supergraph] [--no-cache] [--save DIR] [--restore DIR]`
+//!   [--capacity N] [--window N] [--threads N] [--admission] [--supergraph]
+//!   [--background] [--no-cache] [--save DIR] [--restore DIR]`
 //!   replays the queries and prints per-run statistics.
+//!
+//! `gc query` flags:
+//!
+//! * `--threads N` — fan the workload across `N` client threads via
+//!   `GraphCache::run_batch` (`0` = auto-detect cores; default `1` =
+//!   sequential replay, the paper's single-client setup; ignored with
+//!   `--no-cache`, which always replays sequentially);
+//! * `--background` — run the Window Manager on a background maintenance
+//!   thread (the paper's deployment design) instead of inline;
+//! * `--admission` — enable the adaptive admission controller;
+//! * `--supergraph` — supergraph (`G ⊆ g`) instead of subgraph semantics;
+//! * `--no-cache` — replay through the bare Method M (baseline timing);
+//! * `--save DIR` / `--restore DIR` — persist / preload the cache stores.
 //!
 //! Example session:
 //! ```text
 //! gc generate --profile aids --scale 0.1 --out aids.txt
 //! gc workload --dataset aids.txt --kind zz --count 200 --out queries.txt
 //! gc query --dataset aids.txt --queries queries.txt --method ggsx --policy hd
+//! gc query --dataset aids.txt --queries queries.txt --threads 8 --background
 //! ```
 
-use graphcache::core::{AdmissionConfig, GraphCache, PolicyKind, QueryKind};
+use graphcache::core::{AdmissionConfig, GraphCache, PolicyKind, QueryKind, QueryRequest};
 use graphcache::graph::{io, GraphDataset};
 use graphcache::methods::{Method, MethodBuilder};
 use graphcache::workload::{
@@ -31,6 +46,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("usage: gc <generate|stats|workload|query> [options]");
+        eprintln!(
+            "  gc generate --profile aids|pdbs|pcm|synthetic [--scale F] [--seed N] --out FILE"
+        );
+        eprintln!("  gc stats FILE");
+        eprintln!("  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE");
+        eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--policy NAME]");
+        eprintln!(
+            "           [--capacity N] [--window N] [--threads N] [--admission] [--supergraph]"
+        );
+        eprintln!("           [--background] [--no-cache] [--save DIR] [--restore DIR]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -83,7 +108,11 @@ fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Stri
         .ok_or_else(|| format!("missing required option --{key}"))
 }
 
-fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v:?}")),
@@ -143,11 +172,20 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
                     .seed(seed),
             )
         }
-        other => return Err(format!("unknown workload kind {other:?} (zz|zu|uu|b0|b20|b50)")),
+        other => {
+            return Err(format!(
+                "unknown workload kind {other:?} (zz|zu|uu|b0|b20|b50)"
+            ))
+        }
     };
     let as_dataset = GraphDataset::new(workload.graphs().cloned().collect());
     io::save_dataset(out, &as_dataset).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} queries, {})", out, workload.len(), workload.name);
+    println!(
+        "wrote {} ({} queries, {})",
+        out,
+        workload.len(),
+        workload.name
+    );
     Ok(())
 }
 
@@ -183,27 +221,45 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         QueryKind::Subgraph
     };
 
+    // --threads: 1 (default) replays sequentially, the paper's
+    // single-client setup; N > 1 fans out via run_batch; 0 auto-detects.
+    let threads: usize = num(&opts, "threads", 1usize)?;
+
     if opts.contains_key("no-cache") {
+        if threads != 1 {
+            eprintln!("gc: note: --threads is ignored with --no-cache (the baseline replays sequentially)");
+        }
         let method = build_method(method_name, &dataset)?;
+        let t0 = std::time::Instant::now();
         let mut total_us = 0.0;
         let mut tests = 0u64;
         for (i, q) in queries.graphs().iter().enumerate() {
             let r = method.run_directed(q, kind);
             total_us += r.total_time().as_secs_f64() * 1e6;
             tests += r.subiso_tests();
-            println!("query {i}: {} answers, {} tests", r.answer.len(), r.subiso_tests());
+            println!(
+                "query {i}: {} answers, {} tests",
+                r.answer.len(),
+                r.subiso_tests()
+            );
         }
+        let wall = t0.elapsed();
         println!(
             "\n{} queries | avg {:.0} µs | {} sub-iso tests (no cache)",
             queries.len(),
             total_us / queries.len().max(1) as f64,
             tests
         );
+        println!(
+            "wall clock {:.1} ms on 1 client thread(s) ({:.0} queries/s)",
+            wall.as_secs_f64() * 1e3,
+            queries.len() as f64 / wall.as_secs_f64().max(1e-9)
+        );
         return Ok(());
     }
 
     let method = build_method(method_name, &dataset)?;
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(num(&opts, "capacity", 100usize)?)
         .window(num(&opts, "window", 20usize)?)
         .policy(policy)
@@ -214,25 +270,41 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         })
         .query_kind(kind)
         .background(opts.contains_key("background"))
+        .threads(threads)
         .build(method);
     if let Some(dir) = opts.get("restore") {
         cache.restore(dir).map_err(|e| e.to_string())?;
         println!("restored {} cached queries from {dir}", cache.cache_len());
     }
 
+    let t0 = std::time::Instant::now();
+    let records: Vec<graphcache::core::QueryRecord> = if threads == 1 {
+        queries
+            .graphs()
+            .iter()
+            .map(|q| cache.run(q).record)
+            .collect()
+    } else {
+        cache
+            .run_batch(queries.graphs().iter().map(QueryRequest::from))
+            .into_iter()
+            .map(|resp| resp.result.record)
+            .collect()
+    };
+    let wall = t0.elapsed();
+
     let mut total_us = 0.0;
     let mut tests = 0u64;
     let mut hits = 0usize;
-    for (i, q) in queries.graphs().iter().enumerate() {
-        let r = cache.run(q);
-        total_us += r.record.query_time().as_secs_f64() * 1e6;
-        tests += r.record.subiso_tests;
-        hits += r.record.any_hit() as usize;
+    for (i, r) in records.iter().enumerate() {
+        total_us += r.query_time().as_secs_f64() * 1e6;
+        tests += r.subiso_tests;
+        hits += r.any_hit() as usize;
         println!(
             "query {i}: {} answers, {} tests{}",
-            r.answer.len(),
-            r.record.subiso_tests,
-            if r.record.exact_hit { " (exact hit)" } else { "" }
+            r.answer_size,
+            r.subiso_tests,
+            if r.exact_hit { " (exact hit)" } else { "" }
         );
     }
     println!(
@@ -242,6 +314,18 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         tests,
         hits,
         cache.cache_len()
+    );
+    let summary = graphcache::core::RunSummary::from_records(&records, 0);
+    println!(
+        "wall clock {:.1} ms on {} client thread(s) ({:.0} queries/s)",
+        wall.as_secs_f64() * 1e3,
+        if threads == 1 {
+            1
+        } else {
+            // run_batch never uses more workers than there are requests.
+            cache.batch_threads().min(records.len().max(1))
+        },
+        summary.throughput_qps(wall)
     );
     if let Some(dir) = opts.get("save") {
         cache.save(dir).map_err(|e| e.to_string())?;

@@ -2,7 +2,8 @@
 //!
 //! This umbrella crate re-exports the public API of every GraphCache
 //! component crate. See the repository README for an architecture overview
-//! and `DESIGN.md` for the mapping between the EDBT 2017 paper and the code.
+//! and the crate docs of [`core`] for the mapping between the EDBT 2017
+//! paper and the code.
 //!
 //! # Quick start
 //!
@@ -18,8 +19,9 @@
 //! // Method M: GraphGrepSX filtering + VF2 verification.
 //! let method = MethodBuilder::ggsx().build(&dataset);
 //!
-//! // GraphCache in front of Method M.
-//! let mut cache = GraphCache::builder()
+//! // GraphCache in front of Method M. The handle is a shared service:
+//! // `run` takes &self, and clones share the same cache.
+//! let cache = GraphCache::builder()
 //!     .capacity(100)
 //!     .window(20)
 //!     .policy(PolicyKind::Hd)
@@ -28,6 +30,21 @@
 //! let query = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
 //! let result = cache.run(&query);
 //! assert_eq!(result.answer.len(), 2); // contained in both dataset graphs
+//!
+//! // Concurrent clients can borrow the same instance...
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| assert_eq!(cache.run(&query).answer.len(), 2));
+//!     }
+//! });
+//!
+//! // ...or submit typed requests as a batch fanned over a thread pool.
+//! let responses = cache.run_batch(vec![
+//!     QueryRequest::new(query.clone()).tag(1),
+//!     QueryRequest::new(query.clone()).bypass_cache(true).tag(2),
+//! ]);
+//! assert_eq!(responses[0].tag, 1);
+//! assert_eq!(responses[0].result.answer, responses[1].result.answer);
 //! ```
 
 pub use gc_core as core;
@@ -39,7 +56,9 @@ pub use gc_workload as workload;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use gc_core::{GraphCache, GraphCacheBuilder, PolicyKind, QueryKind};
+    pub use gc_core::{
+        GraphCache, GraphCacheBuilder, PolicyKind, QueryKind, QueryRequest, QueryResponse,
+    };
     pub use gc_graph::{GraphBuilder, GraphDataset, GraphId, LabeledGraph};
     pub use gc_methods::{Method, MethodBuilder};
     pub use gc_subiso::{MatchStats, Matcher, MatcherKind};

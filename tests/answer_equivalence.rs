@@ -8,7 +8,7 @@ use graphcache::methods::{Method, MethodBuilder, MethodKind};
 use graphcache::prelude::*;
 use graphcache::workload::{generate_type_a, generate_type_b};
 
-fn check_equivalence(mut cache: GraphCache, baseline: &Method, workload: &Workload) {
+fn check_equivalence(cache: GraphCache, baseline: &Method, workload: &Workload) {
     for (i, q) in workload.graphs().enumerate() {
         let expected = baseline.run(q).answer;
         let got = cache.run(q).answer;
@@ -116,7 +116,7 @@ fn gc_matches_baseline_in_background_mode() {
     let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(80).seed(7));
     let method = MethodBuilder::ggsx().build(&d);
     let baseline = MethodBuilder::ggsx().build(&d);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(12)
         .window(4)
         .background(true)
@@ -136,7 +136,7 @@ fn exact_repeats_answered_identically_from_cache() {
     let workload = generate_type_a(&d, &TypeAConfig::uu().count(10).seed(8));
     let method = MethodBuilder::ct_index().build(&d);
     let baseline = MethodBuilder::ct_index().build(&d);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(20)
         .window(2)
         .cost_model(CostModel::Work)

@@ -20,7 +20,7 @@ fn tiny_hit_budget_never_changes_answers() {
     // Hit verification budget of 1 recursion step: almost every cache-hit
     // candidate aborts incomplete and is treated as a non-hit. Answers must
     // be identical to the uncached baseline regardless.
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(20)
         .window(4)
         .hit_match(MatchConfig::bounded(1))
@@ -37,7 +37,7 @@ fn tiny_hit_budget_reduces_hits_not_correctness() {
     let d = dataset();
     let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(60).seed(2));
     let run_with = |budget: MatchConfig| {
-        let mut cache = GraphCache::builder()
+        let cache = GraphCache::builder()
             .capacity(20)
             .window(4)
             .hit_match(budget)
@@ -70,7 +70,7 @@ fn budgeted_method_verifier_stays_sound() {
     let budget = MatchConfig::bounded(200);
     let referee = Ullmann::new();
     let baseline = MethodBuilder::ggsx().match_config(budget).build(&d);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(15)
         .window(4)
         .hit_match(budget)

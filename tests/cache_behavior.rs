@@ -21,7 +21,7 @@ fn build_cache(d: &GraphDataset, capacity: usize, window: usize) -> GraphCache {
 #[test]
 fn window_batches_admissions() {
     let d = dataset();
-    let mut gc = build_cache(&d, 50, 5);
+    let gc = build_cache(&d, 50, 5);
     let w = generate_type_a(&d, &TypeAConfig::uu().count(14).seed(1));
     for (i, q) in w.graphs().enumerate() {
         gc.run(q);
@@ -37,7 +37,7 @@ fn capacity_is_hard_bound_under_all_policies() {
     let d = dataset();
     let w = generate_type_a(&d, &TypeAConfig::uu().count(60).seed(2));
     for policy in PolicyKind::ALL {
-        let mut gc = GraphCache::builder()
+        let gc = GraphCache::builder()
             .capacity(7)
             .window(3)
             .policy(policy)
@@ -53,7 +53,7 @@ fn capacity_is_hard_bound_under_all_policies() {
 #[test]
 fn evicted_entries_lose_their_stats_rows() {
     let d = dataset();
-    let mut gc = build_cache(&d, 4, 2);
+    let gc = build_cache(&d, 4, 2);
     let w = generate_type_a(&d, &TypeAConfig::uu().count(20).seed(3));
     for q in w.graphs() {
         gc.run(q);
@@ -70,7 +70,7 @@ fn admission_control_blocks_cheap_queries() {
     let d = dataset();
     // Work-based cost model: expensiveness = verification work. With an
     // aggressive target fraction, only the heaviest queries enter.
-    let mut gc = GraphCache::builder()
+    let gc = GraphCache::builder()
         .capacity(50)
         .window(5)
         .admission(AdmissionConfig {
@@ -97,7 +97,7 @@ fn admission_control_blocks_cheap_queries() {
 #[test]
 fn maintenance_time_is_recorded() {
     let d = dataset();
-    let mut gc = build_cache(&d, 20, 5);
+    let gc = build_cache(&d, 20, 5);
     let w = generate_type_a(&d, &TypeAConfig::uu().count(25).seed(5));
     let mut inline_maintenance = std::time::Duration::ZERO;
     for q in w.graphs() {
@@ -112,7 +112,7 @@ fn maintenance_time_is_recorded() {
 #[test]
 fn hit_statistics_accumulate_on_cached_entries() {
     let d = dataset();
-    let mut gc = build_cache(&d, 30, 1);
+    let gc = build_cache(&d, 30, 1);
     let w = generate_type_a(&d, &TypeAConfig::zz(1.7).count(30).seed(6));
     let mut serials = Vec::new();
     for q in w.graphs() {
@@ -134,7 +134,7 @@ fn larger_cache_never_hurts_hit_rate() {
     let d = dataset();
     let w = generate_type_a(&d, &TypeAConfig::zz(1.4).count(120).seed(7));
     let hit_count = |capacity: usize| {
-        let mut gc = build_cache(&d, capacity, 5);
+        let gc = build_cache(&d, capacity, 5);
         let mut hits = 0usize;
         for q in w.graphs() {
             hits += gc.run(q).record.any_hit() as usize;
@@ -143,10 +143,7 @@ fn larger_cache_never_hurts_hit_rate() {
     };
     let small = hit_count(5);
     let large = hit_count(60);
-    assert!(
-        large >= small,
-        "bigger cache lost hits: {large} < {small}"
-    );
+    assert!(large >= small, "bigger cache lost hits: {large} < {small}");
 }
 
 #[test]
@@ -154,7 +151,7 @@ fn gc_memory_stays_modest_relative_to_ftv_index() {
     // The §7.3 space claim at miniature scale: GC's stores are a fraction
     // of a serious FTV index.
     let d = datasets::aids_like(0.2, 901);
-    let mut gc = GraphCache::builder()
+    let gc = GraphCache::builder()
         .capacity(100)
         .window(10)
         .cost_model(CostModel::Work)

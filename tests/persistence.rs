@@ -18,7 +18,7 @@ fn save_and_restore_preserves_hits_and_answers() {
     let dir = tmpdir("roundtrip");
 
     // First lifetime: run the workload, persist on shutdown.
-    let mut first = GraphCache::builder()
+    let first = GraphCache::builder()
         .capacity(20)
         .window(4)
         .cost_model(CostModel::Work)
@@ -34,7 +34,7 @@ fn save_and_restore_preserves_hits_and_answers() {
 
     // Second lifetime: restore, replay — answers identical, and previously
     // cached queries hit exactly.
-    let mut second = GraphCache::builder()
+    let second = GraphCache::builder()
         .capacity(20)
         .window(4)
         .cost_model(CostModel::Work)
@@ -61,7 +61,7 @@ fn restored_serials_do_not_collide() {
     let workload = generate_type_a(&d, &TypeAConfig::uu().count(10).seed(3));
     let dir = tmpdir("serials");
 
-    let mut first = GraphCache::builder()
+    let first = GraphCache::builder()
         .capacity(10)
         .window(2)
         .cost_model(CostModel::Work)
@@ -72,7 +72,7 @@ fn restored_serials_do_not_collide() {
     }
     first.save(&dir).unwrap();
 
-    let mut second = GraphCache::builder()
+    let second = GraphCache::builder()
         .capacity(10)
         .window(2)
         .cost_model(CostModel::Work)
@@ -92,7 +92,7 @@ fn save_flushes_background_maintenance() {
     let d = datasets::aids_like(0.04, 323);
     let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(20).seed(5));
     let dir = tmpdir("background");
-    let mut gc = GraphCache::builder()
+    let gc = GraphCache::builder()
         .capacity(15)
         .window(4)
         .background(true)

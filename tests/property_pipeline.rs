@@ -98,7 +98,7 @@ proptest! {
         let d = GraphDataset::new(graphs);
         let method = MethodBuilder::ggsx().build(&d);
         let baseline = MethodBuilder::ggsx().build(&d);
-        let mut cache = GraphCache::builder()
+        let cache = GraphCache::builder()
             .capacity(4)
             .window(2)
             .cost_model(CostModel::Work)

@@ -38,7 +38,7 @@ fn supergraph_answers_match_baseline() {
     let (db, queries) = fragments_and_queries();
     let method = MethodBuilder::si_vf2().build(&db);
     let baseline = MethodBuilder::si_vf2().build(&db);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(15)
         .window(4)
         .query_kind(QueryKind::Supergraph)
@@ -55,7 +55,7 @@ fn supergraph_answers_match_baseline() {
 fn supergraph_exact_hits_fire() {
     let (db, queries) = fragments_and_queries();
     let method = MethodBuilder::si_vf2().build(&db);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(30)
         .window(1)
         .query_kind(QueryKind::Supergraph)
@@ -74,7 +74,7 @@ fn supergraph_exact_hits_fire() {
 fn supergraph_expanding_hits_prune() {
     let (db, _) = fragments_and_queries();
     let method = MethodBuilder::si_vf2().build(&db);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(30)
         .window(1)
         .query_kind(QueryKind::Supergraph)
@@ -108,7 +108,7 @@ fn supergraph_empty_shortcut() {
     let (db, _) = fragments_and_queries();
     let method = MethodBuilder::si_vf2().build(&db);
     let baseline = MethodBuilder::si_vf2().build(&db);
-    let mut cache = GraphCache::builder()
+    let cache = GraphCache::builder()
         .capacity(30)
         .window(1)
         .query_kind(QueryKind::Supergraph)
