@@ -1,8 +1,13 @@
 //! Microbenchmarks of replacement-policy victim selection at various cache
 //! sizes (the Window Manager invokes this once per full window).
+//!
+//! The candidate set comes from [`gc_core::registry`], so any policy
+//! registered there — including the post-paper built-ins and future
+//! additions — is benchmarked automatically, with no edit here.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gc_core::policy::{PolicyKind, PolicyRow};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gc_core::policy::{PolicyRow, PolicyView};
+use gc_core::registry;
 
 fn rows(n: usize) -> Vec<PolicyRow> {
     (0..n as u64)
@@ -20,9 +25,29 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_select");
     for n in [100usize, 500, 5000] {
         let table = rows(n);
-        for kind in PolicyKind::ALL {
-            group.bench_with_input(BenchmarkId::new(kind.name(), n), &table, |b, table| {
-                b.iter(|| kind.select_victims(table, 20, n as u64 + 100).len())
+        for name in registry::eviction_names() {
+            group.bench_with_input(BenchmarkId::new(&name, n), &table, |b, table| {
+                // Stateful policies mutate in select_victims (credits are
+                // consumed, inflation moves), so each sample gets a freshly
+                // built and warmed policy via the untimed setup closure —
+                // every iteration then measures the same steady state, not
+                // a drifting (eventually empty) bookkeeping map.
+                b.iter_batched(
+                    || {
+                        let mut policy =
+                            registry::build_eviction(&name).expect("registry name builds");
+                        for row in table {
+                            policy.on_admit(row.serial, row.c_total);
+                        }
+                        policy
+                    },
+                    |mut policy| {
+                        policy
+                            .select_victims(&PolicyView::new(table, n as u64 + 100), 20)
+                            .len()
+                    },
+                    BatchSize::SmallInput,
+                )
             });
         }
     }

@@ -1,4 +1,5 @@
-//! Cache admission control (paper §6.2).
+//! Cache admission control (paper §6.2): the [`AdmissionPolicy`] trait and
+//! its built-in implementations.
 //!
 //! GraphCache's cache can get *polluted* by inexpensive queries: the cache
 //! then mostly accelerates queries that were cheap anyway and overall
@@ -8,6 +9,58 @@
 //! scoring above a threshold. The threshold is calibrated from the first
 //! few windows so that a predefined percentage of queries classify as
 //! expensive; a threshold of 0 disables the mechanism.
+//!
+//! Three strategies ship built in, all registered in [`crate::registry`]:
+//! [`AdmitAll`] (`"none"`), the paper's calibrated-threshold
+//! [`AdmissionControl`] (`"threshold"`) and the greedy back-off
+//! [`AdaptiveAdmission`] (`"adaptive"`).
+
+/// A pluggable cache admission strategy.
+///
+/// The query path calls [`observe`](Self::observe) once per executed query;
+/// the Window Manager calls [`admits`](Self::admits) for every window entry
+/// and [`end_window`](Self::end_window) once per maintenance round. State
+/// lives inside the implementor, behind the cache's shared admission lock —
+/// implementations need `Send` but no internal synchronisation.
+pub trait AdmissionPolicy: Send + std::fmt::Debug {
+    /// The policy's canonical registry name (e.g. `"adaptive"`).
+    fn name(&self) -> &str;
+
+    /// Feeds one executed query: its expensiveness score and the *benefit*
+    /// the cache delivered for it (an estimate of avoided work; 0 for
+    /// complete misses). Threshold-only policies may ignore `benefit`.
+    fn observe(&mut self, expensiveness: f64, benefit: f64);
+
+    /// Marks the end of a maintenance window.
+    fn end_window(&mut self);
+
+    /// Whether a query with this expensiveness may enter the cache.
+    fn admits(&self, expensiveness: f64) -> bool;
+
+    /// The current admission threshold, when the policy has one.
+    fn threshold(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The no-op admission policy (`"none"`): every executed query enters the
+/// cache, as in the paper's "C" configuration of Fig. 9.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn observe(&mut self, _expensiveness: f64, _benefit: f64) {}
+
+    fn end_window(&mut self) {}
+
+    fn admits(&self, _expensiveness: f64) -> bool {
+        true
+    }
+}
 
 /// Configuration of the admission control mechanism.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +157,30 @@ impl AdmissionControl {
             None => true,
             Some(t) => t == 0.0 || expensiveness >= t,
         }
+    }
+}
+
+impl AdmissionPolicy for AdmissionControl {
+    /// Registered as `"threshold"`; the benefit signal is ignored (the
+    /// calibrated threshold never moves after calibration).
+    fn name(&self) -> &str {
+        "threshold"
+    }
+
+    fn observe(&mut self, expensiveness: f64, _benefit: f64) {
+        AdmissionControl::observe(self, expensiveness);
+    }
+
+    fn end_window(&mut self) {
+        AdmissionControl::end_window(self);
+    }
+
+    fn admits(&self, expensiveness: f64) -> bool {
+        AdmissionControl::admits(self, expensiveness)
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        AdmissionControl::threshold(self)
     }
 }
 
@@ -208,6 +285,29 @@ impl AdaptiveAdmission {
     /// The current (possibly adapted) threshold.
     pub fn threshold(&self) -> Option<f64> {
         self.inner.threshold()
+    }
+}
+
+impl AdmissionPolicy for AdaptiveAdmission {
+    /// Registered as `"adaptive"`.
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn observe(&mut self, expensiveness: f64, benefit: f64) {
+        AdaptiveAdmission::observe(self, expensiveness, benefit);
+    }
+
+    fn end_window(&mut self) {
+        AdaptiveAdmission::end_window(self);
+    }
+
+    fn admits(&self, expensiveness: f64) -> bool {
+        AdaptiveAdmission::admits(self, expensiveness)
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        AdaptiveAdmission::threshold(self)
     }
 }
 
@@ -392,6 +492,41 @@ mod tests {
             (t_a - t_b).abs() / t_a.max(1e-9) < 0.01,
             "threshold should have converged: {t_a} vs {t_b}"
         );
+    }
+
+    #[test]
+    fn admit_all_is_permissive() {
+        let mut p: Box<dyn AdmissionPolicy> = Box::new(AdmitAll);
+        p.observe(1e9, 0.0);
+        p.end_window();
+        assert!(p.admits(0.0));
+        assert!(p.admits(f64::INFINITY));
+        assert_eq!(p.name(), "none");
+        assert!(p.threshold().is_none());
+    }
+
+    #[test]
+    fn trait_dispatch_matches_inherent_api() {
+        let cfg = AdmissionConfig {
+            enabled: true,
+            calibration_windows: 1,
+            target_expensive_fraction: 0.5,
+        };
+        let mut boxed: Box<dyn AdmissionPolicy> = Box::new(AdmissionControl::new(cfg));
+        for v in 1..=4 {
+            boxed.observe(v as f64, 0.0);
+        }
+        boxed.end_window();
+        let mut inherent = AdmissionControl::new(cfg);
+        for v in 1..=4 {
+            inherent.observe(v as f64);
+        }
+        inherent.end_window();
+        assert_eq!(boxed.threshold(), inherent.threshold());
+        assert_eq!(boxed.admits(3.0), inherent.admits(3.0));
+        assert_eq!(boxed.name(), "threshold");
+        let adaptive: &dyn AdmissionPolicy = &AdaptiveAdmission::new(cfg);
+        assert_eq!(adaptive.name(), "adaptive", "adaptive registry name");
     }
 
     #[test]

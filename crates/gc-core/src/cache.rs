@@ -6,12 +6,13 @@
 //! Handles are cheaply cloneable — every clone shares the same cache
 //! stores, statistics and Window.
 
-use crate::admission::{AdmissionConfig, AdmissionControl, CostModel};
+use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionPolicy, CostModel};
 use crate::metrics::QueryRecord;
-use crate::policy::PolicyKind;
+use crate::policy::{EvictionPolicy, KindPolicy, PolicyKind};
 use crate::processors;
 use crate::pruner::{self, HitAnswer, PruneOutcome};
 use crate::query_index::QueryIndexConfig;
+use crate::registry::{self, PolicyError};
 use crate::stats::{columns, QuerySerial, StatsStore};
 use crate::window::{self, MaintMsg, MaintenanceConfig, Shared, WindowEntry};
 use gc_graph::{idset, GraphId, LabeledGraph};
@@ -85,10 +86,50 @@ impl Default for GcConfig {
     }
 }
 
+/// How the builder selects the admission strategy: an explicit
+/// [`AdmissionConfig`] (the original API) or a registry spec string such as
+/// `"adaptive"` or `"threshold:windows=2"`. Both convert via [`From`], so
+/// [`GraphCacheBuilder::admission`] accepts either directly.
+#[derive(Debug, Clone)]
+pub enum AdmissionSpec {
+    /// Configure the paper's calibrated-threshold controller directly.
+    Config(AdmissionConfig),
+    /// Resolve a policy by name through [`crate::registry`].
+    Named(String),
+}
+
+impl From<AdmissionConfig> for AdmissionSpec {
+    fn from(cfg: AdmissionConfig) -> Self {
+        AdmissionSpec::Config(cfg)
+    }
+}
+
+impl From<&str> for AdmissionSpec {
+    fn from(spec: &str) -> Self {
+        AdmissionSpec::Named(spec.to_string())
+    }
+}
+
+impl From<String> for AdmissionSpec {
+    fn from(spec: String) -> Self {
+        AdmissionSpec::Named(spec)
+    }
+}
+
 /// Builder for [`GraphCache`].
+///
+/// Policies are picked either through the typed setters
+/// ([`policy`](Self::policy) / [`admission`](Self::admission) with an
+/// [`AdmissionConfig`]) or by registry name
+/// ([`eviction`](Self::eviction) / [`admission`](Self::admission) with a
+/// spec string). Name resolution happens at build time:
+/// [`try_build`](Self::try_build) surfaces unknown names as a
+/// [`PolicyError`], while [`build`](Self::build) panics on them.
 #[derive(Debug, Clone, Default)]
 pub struct GraphCacheBuilder {
     cfg: GcConfig,
+    eviction_spec: Option<String>,
+    admission_spec: Option<String>,
 }
 
 impl GraphCacheBuilder {
@@ -114,15 +155,36 @@ impl GraphCacheBuilder {
         self
     }
 
-    /// Replacement policy.
+    /// Replacement policy by [`PolicyKind`] (the paper's §6.3 strategies).
+    /// Overrides any earlier [`eviction`](Self::eviction) spec: the last
+    /// policy selection wins.
     pub fn policy(mut self, p: PolicyKind) -> Self {
         self.cfg.policy = p;
+        self.eviction_spec = None;
         self
     }
 
-    /// Admission control configuration.
-    pub fn admission(mut self, a: AdmissionConfig) -> Self {
-        self.cfg.admission = a;
+    /// Replacement policy by registry name, e.g. `.eviction("gcr")`,
+    /// `.eviction("slru:protected=0.5")`. Any name in [`crate::registry`]
+    /// — built-in or registered by the application — is accepted; the name
+    /// is resolved at build time ([`try_build`](Self::try_build) reports
+    /// unknown names, [`build`](Self::build) panics on them).
+    pub fn eviction(mut self, spec: impl Into<String>) -> Self {
+        self.eviction_spec = Some(spec.into());
+        self
+    }
+
+    /// Admission strategy: either an [`AdmissionConfig`] (the paper's
+    /// calibrated threshold, as before) or a registry name such as
+    /// `.admission("adaptive")`. See [`AdmissionSpec`].
+    pub fn admission(mut self, a: impl Into<AdmissionSpec>) -> Self {
+        match a.into() {
+            AdmissionSpec::Config(cfg) => {
+                self.cfg.admission = cfg;
+                self.admission_spec = None;
+            }
+            AdmissionSpec::Named(spec) => self.admission_spec = Some(spec),
+        }
         self
     }
 
@@ -170,8 +232,30 @@ impl GraphCacheBuilder {
     }
 
     /// Builds the cache in front of `method`.
+    ///
+    /// # Panics
+    /// If a registry spec passed to [`eviction`](Self::eviction) /
+    /// [`admission`](Self::admission) does not resolve — use
+    /// [`try_build`](Self::try_build) to handle that as an error instead.
     pub fn build(self, method: Method) -> GraphCache {
-        GraphCache::with_config(method, self.cfg)
+        self.try_build(method)
+            .unwrap_or_else(|e| panic!("GraphCacheBuilder: {e}"))
+    }
+
+    /// Builds the cache, reporting unresolvable policy specs as a
+    /// [`PolicyError`] (whose message lists the available names).
+    pub fn try_build(self, method: Method) -> Result<GraphCache, PolicyError> {
+        let eviction: Box<dyn EvictionPolicy> = match &self.eviction_spec {
+            Some(spec) => registry::build_eviction(spec)?,
+            None => Box::new(KindPolicy::new(self.cfg.policy)),
+        };
+        let admission: Box<dyn AdmissionPolicy> = match &self.admission_spec {
+            Some(spec) => registry::build_admission(spec)?,
+            None => Box::new(AdmissionControl::new(self.cfg.admission)),
+        };
+        Ok(GraphCache::with_policies(
+            method, self.cfg, eviction, admission,
+        ))
     }
 }
 
@@ -522,16 +606,35 @@ impl GraphCache {
         GraphCacheBuilder::default()
     }
 
-    /// Creates a cache with an explicit configuration.
+    /// Creates a cache with an explicit configuration; the replacement and
+    /// admission policies come from the config's [`PolicyKind`] and
+    /// [`AdmissionConfig`] fields.
     pub fn with_config(method: Method, cfg: GcConfig) -> Self {
+        GraphCache::with_policies(
+            method,
+            cfg,
+            Box::new(KindPolicy::new(cfg.policy)),
+            Box::new(AdmissionControl::new(cfg.admission)),
+        )
+    }
+
+    /// Creates a cache with explicitly constructed policy objects —
+    /// the escape hatch for strategies not in [`crate::registry`].
+    /// ([`GraphCacheBuilder`] covers the common paths: `policy`/`eviction`
+    /// and `admission`.)
+    pub fn with_policies(
+        method: Method,
+        cfg: GcConfig,
+        eviction: Box<dyn EvictionPolicy>,
+        admission: Box<dyn AdmissionPolicy>,
+    ) -> Self {
         let method = Arc::new(method);
-        let shared = Arc::new(Shared::new(cfg.index, AdmissionControl::new(cfg.admission)));
+        let shared = Arc::new(Shared::new(cfg.index, eviction, admission));
         let worker = cfg.background.then(|| {
             let (tx, handle) = window::spawn_manager(
                 shared.clone(),
                 MaintenanceConfig {
                     capacity: cfg.capacity,
-                    policy: cfg.policy,
                     index_cfg: cfg.index,
                 },
             );
@@ -567,6 +670,21 @@ impl GraphCache {
     /// The effective configuration.
     pub fn config(&self) -> &GcConfig {
         &self.cfg
+    }
+
+    /// The active eviction policy's registry name (e.g. `"hd"`, `"slru"`).
+    pub fn eviction_name(&self) -> String {
+        self.shared.eviction.lock().name().to_string()
+    }
+
+    /// The active admission policy's registry name (e.g. `"threshold"`).
+    pub fn admission_name(&self) -> String {
+        self.shared.admission.lock().name().to_string()
+    }
+
+    /// The admission policy's current threshold, when it has one.
+    pub fn admission_threshold(&self) -> Option<f64> {
+        self.shared.admission.lock().threshold()
     }
 
     /// The worker-thread count [`run_batch`](Self::run_batch) fans out to.
@@ -636,6 +754,7 @@ impl GraphCache {
                     .collect(),
                 stats: self.shared.stats.lock().clone(),
                 next_serial: self.shared.current_serial() + 1,
+                policy: Some(self.eviction_name()),
             }
         };
         // File IO happens after the lock is released.
@@ -667,6 +786,7 @@ impl GraphCache {
         // whole save was answered under one direction.
         let loaded =
             crate::persist::PersistedCache::load_with_default_kind(dir, self.cfg.query_kind)?;
+        let saved_policy = loaded.policy.clone();
         let (snapshot, stats, next_serial) = loaded.into_snapshot(self.cfg.index);
         // Drain queued background batches so none of them (built from the
         // pre-restore snapshot) lands after our swap.
@@ -682,6 +802,28 @@ impl GraphCache {
             next_serial.saturating_sub(1),
             std::sync::atomic::Ordering::Relaxed,
         );
+        // Policy-private state is never persisted, so whatever the policy
+        // accumulated in memory describes the *pre-restore* entries — and
+        // restored serials can collide with them (both counters start at
+        // 0). Reset unconditionally; the snapshot header only decides
+        // whether to warn: it records the eviction policy that accumulated
+        // the persisted statistics, and restoring those rows under a
+        // different policy is worth flagging even though the rows
+        // themselves are policy-agnostic. Legacy saves carry no header and
+        // reset quietly.
+        {
+            let mut eviction = self.shared.eviction.lock();
+            if let Some(saved) = saved_policy.as_deref() {
+                if saved != eviction.name() {
+                    eprintln!(
+                        "gc-core: warning: snapshot was saved under eviction policy \
+                         {saved:?} but this cache runs {:?}; resetting policy-private state",
+                        eviction.name()
+                    );
+                }
+            }
+            eviction.reset();
+        }
         Ok(())
     }
 
@@ -952,18 +1094,25 @@ impl GraphCache {
             .iter()
             .map(|&id| cost::estimate(query, self.method.dataset().graph(id)))
             .sum();
-        let mut stats = self.shared.stats.lock();
-        if !stats.contains_row(source) {
-            // The source entry was evicted (and its row removed) by a
-            // maintenance round that ran after our snapshot read; crediting
-            // now would recreate an orphan row nothing ever cleans up.
-            return;
+        let saved_cost = saved_cost.max(1.0);
+        {
+            let mut stats = self.shared.stats.lock();
+            if !stats.contains_row(source) {
+                // The source entry was evicted (and its row removed) by a
+                // maintenance round that ran after our snapshot read;
+                // crediting now would recreate an orphan row nothing ever
+                // cleans up.
+                return;
+            }
+            stats.add_int(source, columns::HITS, 1);
+            stats.add_int(source, columns::SPECIAL_HITS, 1);
+            stats.set(source, columns::LAST_HIT, now as i64);
+            stats.add_int(source, columns::R_TOTAL, answer.len().max(1) as i64);
+            stats.add_float(source, columns::C_TOTAL, saved_cost);
         }
-        stats.add_int(source, columns::HITS, 1);
-        stats.add_int(source, columns::SPECIAL_HITS, 1);
-        stats.set(source, columns::LAST_HIT, now as i64);
-        stats.add_int(source, columns::R_TOTAL, answer.len().max(1) as i64);
-        stats.add_float(source, columns::C_TOTAL, saved_cost.max(1.0));
+        // The eviction policy observes the hit after the stats lock is
+        // released (the two locks are never held together).
+        self.shared.eviction.lock().on_hit(source, now, saved_cost);
     }
 
     /// Credits every pruning contribution (paper §5.2: hit count, last-hit
@@ -978,26 +1127,39 @@ impl GraphCache {
             return;
         }
         let dataset = self.method.dataset();
-        let mut stats = self.shared.stats.lock();
-        for c in &pruned.contributions {
-            if !stats.contains_row(c.serial) {
-                // Evicted by a concurrent maintenance round; see
-                // `credit_exact`.
-                continue;
+        let mut hit_events: Vec<(QuerySerial, f64)> = Vec::new();
+        {
+            let mut stats = self.shared.stats.lock();
+            for c in &pruned.contributions {
+                if !stats.contains_row(c.serial) {
+                    // Evicted by a concurrent maintenance round; see
+                    // `credit_exact`.
+                    continue;
+                }
+                stats.add_int(c.serial, columns::HITS, 1);
+                stats.set(c.serial, columns::LAST_HIT, now as i64);
+                if matches!(pruned.outcome, PruneOutcome::EmptyShortcut(_)) {
+                    stats.add_int(c.serial, columns::SPECIAL_HITS, 1);
+                }
+                let mut saved = 0.0;
+                if !c.removed.is_empty() {
+                    saved = c
+                        .removed
+                        .iter()
+                        .map(|&id| cost::estimate(query, dataset.graph(id)))
+                        .sum();
+                    stats.add_int(c.serial, columns::R_TOTAL, c.removed.len() as i64);
+                    stats.add_float(c.serial, columns::C_TOTAL, saved);
+                }
+                hit_events.push((c.serial, saved));
             }
-            stats.add_int(c.serial, columns::HITS, 1);
-            stats.set(c.serial, columns::LAST_HIT, now as i64);
-            if matches!(pruned.outcome, PruneOutcome::EmptyShortcut(_)) {
-                stats.add_int(c.serial, columns::SPECIAL_HITS, 1);
-            }
-            if !c.removed.is_empty() {
-                let saved: f64 = c
-                    .removed
-                    .iter()
-                    .map(|&id| cost::estimate(query, dataset.graph(id)))
-                    .sum();
-                stats.add_int(c.serial, columns::R_TOTAL, c.removed.len() as i64);
-                stats.add_float(c.serial, columns::C_TOTAL, saved);
+        }
+        // Eviction-policy hit events fire after the stats lock is released
+        // (the two locks are never held together).
+        if !hit_events.is_empty() {
+            let mut eviction = self.shared.eviction.lock();
+            for (serial, saved) in hit_events {
+                eviction.on_hit(serial, now, saved);
             }
         }
     }
@@ -1018,7 +1180,16 @@ impl GraphCache {
             self.cfg
                 .cost_model
                 .expensiveness(filter_us, verify_us, record.verify_work);
-        self.shared.admission.lock().observe(expensiveness);
+        // Benefit signal for adaptive admission policies: how much work the
+        // cache saved this query. Exact hits avoid the entire verification
+        // (proxied by the answer size); otherwise it is the candidate-set
+        // reduction delivered by pruning.
+        let benefit = if record.exact_hit {
+            record.answer_size.max(1) as f64
+        } else {
+            record.cs_m_size.saturating_sub(record.cs_gc_size) as f64
+        };
+        self.shared.admission.lock().observe(expensiveness, benefit);
         // The entry is assembled before taking the window lock so the
         // critical section is a bare Vec push — concurrent queries must
         // not convoy on copy work that needs no synchronisation.
@@ -1051,7 +1222,6 @@ impl GraphCache {
             None => {
                 let cfg = MaintenanceConfig {
                     capacity: self.cfg.capacity,
-                    policy: self.cfg.policy,
                     index_cfg: self.cfg.index,
                 };
                 window::maintain(&self.shared, &cfg, batch, now)

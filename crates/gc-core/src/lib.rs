@@ -17,9 +17,15 @@
 //! * **Cache Manager** — entries + the combined sub/supergraph query index
 //!   ([`query_index`]) live in an immutable snapshot ([`entry`]); the
 //!   Window Manager ([`window`]) batches admissions through a Window,
-//!   consults the admission controller ([`admission`]) and the replacement
+//!   consults the admission policy ([`admission`]) and the replacement
 //!   policy ([`policy`]), rebuilds the index off the hot path and swaps it
 //!   in atomically.
+//! * **Policy engine** — replacement and admission are open trait APIs
+//!   ([`EvictionPolicy`] / [`AdmissionPolicy`]) constructed by name through
+//!   the string-keyed [`registry`]; the paper's strategies, the extra
+//!   built-ins in [`policies`], and user-registered implementations are
+//!   all selected the same way
+//!   (`GraphCache::builder().eviction("gcr").admission("adaptive")`).
 //!
 //! [`GraphCache`] is a shared service: `run`, [`GraphCache::execute`] and
 //! [`GraphCache::run_batch`] take `&self`, so one cache instance serves
@@ -42,7 +48,7 @@
 //! let cache = GraphCache::builder()
 //!     .capacity(100)
 //!     .window(20)
-//!     .policy(PolicyKind::Hd)
+//!     .policy(PolicyKind::Hd) // or by registry name: .eviction("gcr")
 //!     .build(method);
 //!
 //! let query = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
@@ -66,22 +72,29 @@ mod cache;
 pub mod entry;
 pub mod metrics;
 pub mod persist;
+pub mod policies;
 pub mod policy;
 pub mod processors;
 pub mod pruner;
 pub mod query_index;
+pub mod registry;
 pub mod stats;
 pub mod window;
 
-pub use admission::{AdaptiveAdmission, AdmissionConfig, AdmissionControl, CostModel};
+pub use admission::{
+    AdaptiveAdmission, AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmitAll, CostModel,
+};
 pub use cache::{
-    GcConfig, GraphCache, GraphCacheBuilder, QueryRequest, QueryResponse, QueryResult,
+    AdmissionSpec, GcConfig, GraphCache, GraphCacheBuilder, QueryRequest, QueryResponse,
+    QueryResult,
 };
 pub use entry::{CacheEntry, CacheSnapshot};
 pub use gc_methods::QueryKind;
 pub use metrics::{QueryRecord, RunSummary};
 pub use persist::{PersistedCache, PersistedEntry};
-pub use policy::{PolicyKind, PolicyRow};
+pub use policies::{GreedyDual, SegmentedLru};
+pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};
 pub use query_index::{QueryIndex, QueryIndexConfig};
+pub use registry::{PolicyError, PolicyParams, PolicyRegistry};
 pub use stats::{QuerySerial, StatsStore};
 pub use window::WindowEntry;

@@ -4,11 +4,14 @@
 //!
 //! Format: a directory with two line-oriented text files —
 //!
-//! * `entries.txt` — for each cached query: an `@entry <serial> [sub|super]`
-//!   header (the query direction the answer was computed under; `sub` when
-//!   omitted, for saves predating direction-tagged entries), the query
-//!   graph in the `gc_graph::io` record format, then an
-//!   `answers: <id> <id> …` line;
+//! * `entries.txt` — a `next_serial <n>` header, an optional
+//!   `policy <name>` header recording the eviction policy the statistics
+//!   were accumulated under (absent in saves predating the pluggable
+//!   policy engine), then for each cached query: an
+//!   `@entry <serial> [sub|super]` header (the query direction the answer
+//!   was computed under; `sub` when omitted, for saves predating
+//!   direction-tagged entries), the query graph in the `gc_graph::io`
+//!   record format, then an `answers: <id> <id> …` line;
 //! * `stats.txt` — one `row <serial>` line per statistics row followed by
 //!   `  <column> <int|float> <value>` lines.
 //!
@@ -39,6 +42,11 @@ pub struct PersistedCache {
     /// The serial counter at shutdown (so a restarted cache continues
     /// numbering without collisions).
     pub next_serial: QuerySerial,
+    /// Registry name of the eviction policy the statistics were
+    /// accumulated under; `None` for saves predating the policy engine.
+    /// Restoring under a different policy logs a warning (see
+    /// [`GraphCache::restore`](crate::GraphCache::restore)).
+    pub policy: Option<String>,
 }
 
 impl PersistedCache {
@@ -48,6 +56,9 @@ impl PersistedCache {
         std::fs::create_dir_all(dir)?;
         let mut ef = BufWriter::new(std::fs::File::create(dir.join("entries.txt"))?);
         writeln!(ef, "next_serial {}", self.next_serial)?;
+        if let Some(policy) = &self.policy {
+            writeln!(ef, "policy {policy}")?;
+        }
         for (serial, graph, answer, kind) in &self.entries {
             let kind_tok = match kind {
                 QueryKind::Subgraph => "sub",
@@ -175,6 +186,13 @@ impl PersistedCache {
                 serial = Some((parsed, kind));
             } else if serial.is_some() {
                 pending.push(line);
+            } else if let Some(p) = line.strip_prefix("policy ") {
+                // Optional header (saves predating the policy engine carry
+                // none); only valid once, before the first @entry.
+                if out.policy.is_some() || p.trim().is_empty() {
+                    return Err(GraphError::parse(lineno, "malformed policy header"));
+                }
+                out.policy = Some(p.trim().to_string());
             } else if !line.trim().is_empty() {
                 return Err(GraphError::parse(lineno, "content before first @entry"));
             }
@@ -316,6 +334,7 @@ mod tests {
             ],
             stats,
             next_serial: 42,
+            policy: Some("hd".to_string()),
         }
     }
 
@@ -326,6 +345,7 @@ mod tests {
         orig.save(&dir).unwrap();
         let back = PersistedCache::load(&dir).unwrap();
         assert_eq!(back.next_serial, 42);
+        assert_eq!(back.policy.as_deref(), Some("hd"));
         assert_eq!(back.entries.len(), 2);
         assert_eq!(back.entries[0].0, 3);
         assert_eq!(back.entries[0].1.labels(), &[0, 1, 0]);
@@ -417,6 +437,35 @@ mod tests {
         let back = PersistedCache::load(&dir).unwrap();
         assert!(back.entries.is_empty());
         assert!(back.stats.is_empty());
+        assert!(back.policy.is_none(), "no header written when unset");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_header_optional_and_strict() {
+        // Legacy saves (no `policy` line) load with `policy: None`.
+        let dir = tmpdir("policy-header");
+        sample().save(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("entries.txt")).unwrap();
+        let without: String = text
+            .lines()
+            .filter(|l| !l.starts_with("policy "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(dir.join("entries.txt"), &without).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        assert!(back.policy.is_none(), "legacy save still loads");
+        assert_eq!(back.entries.len(), 2);
+
+        // A duplicated policy header is rejected.
+        let doubled = text.replace("policy hd", "policy hd\npolicy lru");
+        std::fs::write(dir.join("entries.txt"), doubled).unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        // An empty policy name is rejected.
+        let empty_name = text.replace("policy hd", "policy  ");
+        std::fs::write(dir.join("entries.txt"), empty_name).unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,8 +1,9 @@
-//! Cache replacement policies (paper §6.3): LRU, POP, PIN, PINC and the
-//! hybrid dynamic policy HD.
+//! Cache replacement policies (paper §6.3): the [`EvictionPolicy`] trait,
+//! plus the paper's built-in strategies LRU, POP, PIN, PINC and the hybrid
+//! dynamic policy HD.
 //!
-//! Every policy assigns each cached query a *utility* and evicts the entries
-//! with the lowest utilities:
+//! Every built-in policy assigns each cached query a *utility* and evicts
+//! the entries with the lowest utilities:
 //!
 //! * **LRU** — utility = serial number of the last query the entry expedited
 //!   (its "last hit time");
@@ -17,8 +18,138 @@
 //!
 //! Age `A` is the difference between the most recent serial number assigned
 //! to any query and the cached query's own serial (paper §6.3, POP).
+//!
+//! Strategies beyond the paper's (and user-defined ones) implement
+//! [`EvictionPolicy`] directly and are constructed by name through
+//! [`crate::registry`]; see [`crate::policies`] for the extra built-ins.
 
 use crate::stats::QuerySerial;
+
+/// A read-only view of the candidate entries offered to an eviction
+/// decision: one [`PolicyRow`] per cached query, plus the current logical
+/// time (the most recent serial assigned to any query).
+///
+/// The view is rebuilt from the statistics store for every maintenance
+/// round, so policies never observe stale utilities.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyView<'a> {
+    rows: &'a [PolicyRow],
+    now: QuerySerial,
+}
+
+impl<'a> PolicyView<'a> {
+    /// Wraps the candidate rows at logical time `now`.
+    pub fn new(rows: &'a [PolicyRow], now: QuerySerial) -> Self {
+        PolicyView { rows, now }
+    }
+
+    /// The candidate entries (one row per cached query).
+    pub fn rows(&self) -> &'a [PolicyRow] {
+        self.rows
+    }
+
+    /// The most recent serial number assigned to any query.
+    pub fn now(&self) -> QuerySerial {
+        self.now
+    }
+
+    /// Number of candidate entries.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A row's age `A` (paper §6.3): `now - serial`, floored at 1 so
+    /// utility ratios never divide by zero.
+    pub fn age(&self, row: &PolicyRow) -> f64 {
+        self.now.saturating_sub(row.serial).max(1) as f64
+    }
+}
+
+/// A pluggable cache replacement strategy.
+///
+/// The Window Manager calls [`select_victims`](Self::select_victims) once
+/// per maintenance round that needs room; the event hooks let stateful
+/// policies (e.g. [`crate::policies::GreedyDual`]) maintain private
+/// bookkeeping between rounds. All per-policy state lives inside the
+/// implementor — the cache keeps it behind the shared eviction lock, so
+/// implementations need `Send` but no internal synchronisation.
+///
+/// Implementations are registered by name in [`crate::registry`] and
+/// selected via [`GraphCacheBuilder::eviction`](crate::GraphCacheBuilder::eviction);
+/// see the repository README ("Writing a custom policy") for a worked
+/// example.
+pub trait EvictionPolicy: Send + std::fmt::Debug {
+    /// The policy's canonical registry name (e.g. `"hd"`). Recorded in
+    /// persisted snapshots so a restore under a different policy can be
+    /// detected.
+    fn name(&self) -> &str;
+
+    /// Selects at most `evict` victims from the candidates in `view`,
+    /// lowest-retention-value first. Implementations must return serials
+    /// present in the view and must not return duplicates; returning fewer
+    /// than `evict` serials leaves the cache over capacity (the excess is
+    /// carried to the next round), so built-ins always return
+    /// `evict.min(view.len())` victims. Ties should break toward the older
+    /// entry (smaller serial) so victim selection stays deterministic.
+    fn select_victims(&mut self, view: &PolicyView<'_>, evict: usize) -> Vec<QuerySerial>;
+
+    /// A query was admitted to the cache stores. `cost` is the admission's
+    /// expensiveness score (see [`crate::admission::CostModel`]).
+    fn on_admit(&mut self, serial: QuerySerial, cost: f64) {
+        let _ = (serial, cost);
+    }
+
+    /// A cached entry expedited the query running at logical time `now`,
+    /// saving an estimated `saved_cost` (same unit as the statistics
+    /// store's `C` column).
+    fn on_hit(&mut self, serial: QuerySerial, now: QuerySerial, saved_cost: f64) {
+        let _ = (serial, now, saved_cost);
+    }
+
+    /// Discards all policy-private state. Called on every snapshot
+    /// restore: private state is never persisted and describes the
+    /// pre-restore entries (whose serials can collide with restored ones),
+    /// so keeping it would misattribute bookkeeping. The statistics rows
+    /// themselves survive the restore — they are policy-agnostic.
+    fn reset(&mut self) {}
+}
+
+/// [`EvictionPolicy`] adapter for the paper's utility-based [`PolicyKind`]
+/// strategies. Stateless: every decision derives from the [`PolicyView`]
+/// alone, so victim selection is bit-identical to calling
+/// [`PolicyKind::select_victims`] directly (the parity test in
+/// `tests/policy_engine.rs` asserts this).
+#[derive(Debug, Clone, Copy)]
+pub struct KindPolicy {
+    kind: PolicyKind,
+}
+
+impl KindPolicy {
+    /// Wraps a [`PolicyKind`].
+    pub fn new(kind: PolicyKind) -> Self {
+        KindPolicy { kind }
+    }
+
+    /// The wrapped kind.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+}
+
+impl EvictionPolicy for KindPolicy {
+    fn name(&self) -> &str {
+        self.kind.registry_name()
+    }
+
+    fn select_victims(&mut self, view: &PolicyView<'_>, evict: usize) -> Vec<QuerySerial> {
+        self.kind.select_victims(view.rows(), evict, view.now())
+    }
+}
 
 /// The per-entry statistics a policy consumes — a row of `GCstats`
 /// (cf. Table 1 of the paper).
@@ -70,6 +201,18 @@ impl PolicyKind {
             PolicyKind::Pin => "PIN",
             PolicyKind::Pinc => "PINC",
             PolicyKind::Hd => "HD",
+        }
+    }
+
+    /// The lowercase name this kind is registered under in
+    /// [`crate::registry`] (also the `--eviction` CLI spelling).
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Pop => "pop",
+            PolicyKind::Pin => "pin",
+            PolicyKind::Pinc => "pinc",
+            PolicyKind::Hd => "hd",
         }
     }
 
@@ -276,5 +419,37 @@ mod tests {
         assert_eq!(PolicyKind::ALL.len(), 5);
         assert_eq!(PolicyKind::Hd.name(), "HD");
         assert_eq!(PolicyKind::Lru.name(), "LRU");
+        assert_eq!(PolicyKind::Hd.registry_name(), "hd");
+    }
+
+    #[test]
+    fn kind_policy_matches_enum_dispatch() {
+        let rows = table1();
+        for kind in PolicyKind::ALL {
+            let direct = kind.select_victims(&rows, 2, 100);
+            let via_trait = KindPolicy::new(kind).select_victims(&PolicyView::new(&rows, 100), 2);
+            assert_eq!(direct, via_trait, "{}", kind.name());
+            assert_eq!(KindPolicy::new(kind).name(), kind.registry_name());
+        }
+    }
+
+    #[test]
+    fn policy_view_accessors() {
+        let rows = table1();
+        let view = PolicyView::new(&rows, 100);
+        assert_eq!(view.len(), 6);
+        assert!(!view.is_empty());
+        assert_eq!(view.now(), 100);
+        assert_eq!(view.age(&rows[0]), 89.0);
+        // now == serial clamps to age 1.
+        let same = PolicyRow {
+            serial: 100,
+            last_hit: 100,
+            hits: 0,
+            r_total: 0,
+            c_total: 0.0,
+        };
+        assert_eq!(view.age(&same), 1.0);
+        assert!(PolicyView::new(&[], 5).is_empty());
     }
 }

@@ -10,9 +10,9 @@
 //! arriving at the system while this procedure is taking place continue
 //! being served by the old index").
 
-use crate::admission::AdmissionControl;
+use crate::admission::AdmissionPolicy;
 use crate::entry::{CacheEntry, CacheSnapshot};
-use crate::policy::{PolicyKind, PolicyRow};
+use crate::policy::{EvictionPolicy, PolicyRow, PolicyView};
 use crate::query_index::QueryIndexConfig;
 use crate::stats::{columns, QuerySerial, StatsStore};
 use gc_graph::{GraphId, LabeledGraph};
@@ -61,8 +61,12 @@ pub(crate) struct Shared {
     pub snapshot: RwLock<Arc<CacheSnapshot>>,
     /// Statistics of cached queries (GCstats).
     pub stats: Mutex<StatsStore>,
-    /// Admission controller.
-    pub admission: Mutex<AdmissionControl>,
+    /// The admission policy (trait object — see [`crate::registry`]).
+    pub admission: Mutex<Box<dyn AdmissionPolicy>>,
+    /// The eviction policy. Per-policy private state lives inside the
+    /// trait object, behind this lock, so the query path's event hooks
+    /// and the maintenance path's victim selection never race.
+    pub eviction: Mutex<Box<dyn EvictionPolicy>>,
     /// The Window buffer: executed queries waiting for the next
     /// maintenance round (paper §6.2).
     pub window: Mutex<Vec<WindowEntry>>,
@@ -81,11 +85,16 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    pub(crate) fn new(index_cfg: QueryIndexConfig, admission: AdmissionControl) -> Self {
+    pub(crate) fn new(
+        index_cfg: QueryIndexConfig,
+        eviction: Box<dyn EvictionPolicy>,
+        admission: Box<dyn AdmissionPolicy>,
+    ) -> Self {
         Shared {
             snapshot: RwLock::new(Arc::new(CacheSnapshot::empty(index_cfg))),
             stats: Mutex::new(StatsStore::new()),
             admission: Mutex::new(admission),
+            eviction: Mutex::new(eviction),
             window: Mutex::new(Vec::new()),
             maint: Mutex::new(()),
             serial: AtomicU64::new(0),
@@ -110,11 +119,11 @@ impl Shared {
     }
 }
 
-/// Static maintenance parameters.
+/// Static maintenance parameters. The policies themselves live in
+/// [`Shared`] (they are stateful trait objects, not configuration).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct MaintenanceConfig {
     pub capacity: usize,
-    pub policy: PolicyKind,
     pub index_cfg: QueryIndexConfig,
 }
 
@@ -167,37 +176,53 @@ pub(crate) fn maintain(
         return record_round(shared, t0);
     }
 
-    // (2) Compute the new cache contents: evict as needed.
+    // (2) Compute the new cache contents: evict as needed. The candidate
+    // rows are assembled from the statistics store (and the stats lock
+    // released) before the eviction policy is consulted — policies run
+    // behind their own lock and never see store internals, only the
+    // PolicyView.
     let free = cfg.capacity.saturating_sub(old.len());
     let evict_needed = admitted.len().saturating_sub(free);
-    let victims: Vec<QuerySerial> = if evict_needed > 0 {
-        let stats = shared.stats.lock();
-        let rows: Vec<PolicyRow> = old
-            .entries
-            .iter()
-            .map(|e| PolicyRow {
-                serial: e.serial,
-                last_hit: stats
-                    .get(e.serial, columns::LAST_HIT)
-                    .map(|v| v.as_i64() as u64)
-                    .unwrap_or(e.serial),
-                hits: stats
-                    .get(e.serial, columns::HITS)
-                    .map(|v| v.as_i64() as u64)
-                    .unwrap_or(0),
-                r_total: stats
-                    .get(e.serial, columns::R_TOTAL)
-                    .map(|v| v.as_i64() as u64)
-                    .unwrap_or(0),
-                c_total: stats
-                    .get(e.serial, columns::C_TOTAL)
-                    .map(|v| v.as_f64())
-                    .unwrap_or(0.0),
-            })
-            .collect();
-        cfg.policy.select_victims(&rows, evict_needed, now)
-    } else {
-        Vec::new()
+    let victims: Vec<QuerySerial> = {
+        let rows: Vec<PolicyRow> = if evict_needed > 0 {
+            let stats = shared.stats.lock();
+            old.entries
+                .iter()
+                .map(|e| PolicyRow {
+                    serial: e.serial,
+                    last_hit: stats
+                        .get(e.serial, columns::LAST_HIT)
+                        .map(|v| v.as_i64() as u64)
+                        .unwrap_or(e.serial),
+                    hits: stats
+                        .get(e.serial, columns::HITS)
+                        .map(|v| v.as_i64() as u64)
+                        .unwrap_or(0),
+                    r_total: stats
+                        .get(e.serial, columns::R_TOTAL)
+                        .map(|v| v.as_i64() as u64)
+                        .unwrap_or(0),
+                    c_total: stats
+                        .get(e.serial, columns::C_TOTAL)
+                        .map(|v| v.as_f64())
+                        .unwrap_or(0.0),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut eviction = shared.eviction.lock();
+        let victims = if evict_needed > 0 {
+            eviction.select_victims(&PolicyView::new(&rows, now), evict_needed)
+        } else {
+            Vec::new()
+        };
+        // Tell the policy about this round's admissions while still
+        // holding its lock, so no hit event can slip between the two.
+        for e in &admitted {
+            eviction.on_admit(e.serial, e.expensiveness);
+        }
+        victims
     };
 
     // (3) Build the new snapshot off the hot path.
@@ -293,7 +318,8 @@ pub(crate) fn spawn_manager(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::admission::AdmissionConfig;
+    use crate::admission::{AdmissionConfig, AdmissionControl};
+    use crate::policy::{KindPolicy, PolicyKind};
 
     fn entry(serial: QuerySerial, expensiveness: f64) -> WindowEntry {
         let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
@@ -313,14 +339,14 @@ mod tests {
     fn shared() -> Shared {
         Shared::new(
             QueryIndexConfig::default(),
-            AdmissionControl::new(AdmissionConfig::default()),
+            Box::new(KindPolicy::new(PolicyKind::Lru)),
+            Box::new(AdmissionControl::new(AdmissionConfig::default())),
         )
     }
 
     fn cfg(capacity: usize) -> MaintenanceConfig {
         MaintenanceConfig {
             capacity,
-            policy: PolicyKind::Lru,
             index_cfg: QueryIndexConfig::default(),
         }
     }
@@ -371,16 +397,17 @@ mod tests {
     fn empty_batch_after_admission_skips_rebuild() {
         let s = Shared::new(
             QueryIndexConfig::default(),
-            AdmissionControl::new(AdmissionConfig {
+            Box::new(KindPolicy::new(PolicyKind::Lru)),
+            Box::new(AdmissionControl::new(AdmissionConfig {
                 enabled: true,
                 calibration_windows: 0,
                 target_expensive_fraction: 0.5,
-            }),
+            })),
         );
         // Calibrate instantly with one cheap observation.
         {
             let mut ac = s.admission.lock();
-            ac.observe(100.0);
+            ac.observe(100.0, 0.0);
             ac.end_window();
         }
         let before = Arc::as_ptr(&s.load_snapshot());

@@ -40,6 +40,47 @@ impl MethodKind {
         }
     }
 
+    /// Every method, in registry-name order.
+    pub const ALL: [MethodKind; 7] = [
+        MethodKind::Ggsx,
+        MethodKind::Grapes1,
+        MethodKind::Grapes6,
+        MethodKind::CtIndex,
+        MethodKind::SiVf2,
+        MethodKind::SiVf2Plus,
+        MethodKind::SiGraphQl,
+    ];
+
+    /// The lowercase name used to select this method on the CLI and in
+    /// config files — the same name-keyed selection style as
+    /// `gc-core`'s policy registry.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            MethodKind::Ggsx => "ggsx",
+            MethodKind::Grapes1 => "grapes1",
+            MethodKind::Grapes6 => "grapes6",
+            MethodKind::CtIndex => "ct-index",
+            MethodKind::SiVf2 => "vf2",
+            MethodKind::SiVf2Plus => "vf2+",
+            MethodKind::SiGraphQl => "gql",
+        }
+    }
+
+    /// Resolves a registry name (or one of its aliases: `ct` for
+    /// `ct-index`, `vf2plus` for `vf2+`, `graphql` for `gql`) to a kind.
+    pub fn from_registry_name(name: &str) -> Option<MethodKind> {
+        match name {
+            "ggsx" => Some(MethodKind::Ggsx),
+            "grapes1" => Some(MethodKind::Grapes1),
+            "grapes6" => Some(MethodKind::Grapes6),
+            "ct" | "ct-index" => Some(MethodKind::CtIndex),
+            "vf2" => Some(MethodKind::SiVf2),
+            "vf2+" | "vf2plus" => Some(MethodKind::SiVf2Plus),
+            "gql" | "graphql" => Some(MethodKind::SiGraphQl),
+            _ => None,
+        }
+    }
+
     /// All FTV methods (the ones with a dataset index).
     pub const FTV: [MethodKind; 4] = [
         MethodKind::CtIndex,

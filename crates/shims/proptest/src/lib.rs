@@ -192,7 +192,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Admissible element counts for [`vec`]: a fixed size or a range.
+    /// Admissible element counts for [`fn@vec`]: a fixed size or a range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.
@@ -213,7 +213,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -7,10 +7,10 @@
 //! * `gc stats FILE` prints dataset shape statistics;
 //! * `gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE`
 //!   generates a query workload (queries are stored as a dataset file);
-//! * `gc query --dataset FILE --queries FILE [--method NAME] [--policy NAME]
-//!   [--capacity N] [--window N] [--threads N] [--admission] [--supergraph]
-//!   [--background] [--no-cache] [--save DIR] [--restore DIR]`
-//!   replays the queries and prints per-run statistics.
+//! * `gc query --dataset FILE --queries FILE [--method NAME]
+//!   [--eviction NAME] [--admission [NAME]] [--capacity N] [--window N]
+//!   [--threads N] [--supergraph] [--background] [--no-cache] [--save DIR]
+//!   [--restore DIR]` replays the queries and prints per-run statistics.
 //!
 //! `gc query` flags:
 //!
@@ -20,7 +20,13 @@
 //!   `--no-cache`, which always replays sequentially);
 //! * `--background` — run the Window Manager on a background maintenance
 //!   thread (the paper's deployment design) instead of inline;
-//! * `--admission` — enable the adaptive admission controller;
+//! * `--eviction NAME` — replacement policy by registry name
+//!   (`lru|pop|pin|pinc|hd|gcr|slru|greedy-dual|…`, with optional
+//!   parameters like `slru:protected=0.5`); `--policy NAME` is accepted as
+//!   an alias. Unknown names fail with the list of available policies.
+//! * `--admission [NAME]` — admission policy by registry name
+//!   (`none|threshold|adaptive|…`); a bare `--admission` enables the
+//!   paper's calibrated threshold (as before the registry existed);
 //! * `--supergraph` — supergraph (`G ⊆ g`) instead of subgraph semantics;
 //! * `--no-cache` — replay through the bare Method M (baseline timing);
 //! * `--save DIR` / `--restore DIR` — persist / preload the cache stores.
@@ -29,13 +35,14 @@
 //! ```text
 //! gc generate --profile aids --scale 0.1 --out aids.txt
 //! gc workload --dataset aids.txt --kind zz --count 200 --out queries.txt
-//! gc query --dataset aids.txt --queries queries.txt --method ggsx --policy hd
+//! gc query --dataset aids.txt --queries queries.txt --method ggsx --eviction hd
+//! gc query --dataset aids.txt --queries queries.txt --eviction slru:protected=0.5 --admission adaptive
 //! gc query --dataset aids.txt --queries queries.txt --threads 8 --background
 //! ```
 
-use graphcache::core::{AdmissionConfig, GraphCache, PolicyKind, QueryKind, QueryRequest};
+use graphcache::core::{registry, GraphCache, QueryKind, QueryRequest};
 use graphcache::graph::{io, GraphDataset};
-use graphcache::methods::{Method, MethodBuilder};
+use graphcache::methods::{Method, MethodKind};
 use graphcache::workload::{
     generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig,
 };
@@ -51,11 +58,11 @@ fn main() -> ExitCode {
         );
         eprintln!("  gc stats FILE");
         eprintln!("  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE");
-        eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--policy NAME]");
+        eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
+        eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
         eprintln!(
-            "           [--capacity N] [--window N] [--threads N] [--admission] [--supergraph]"
+            "           [--supergraph] [--background] [--no-cache] [--save DIR] [--restore DIR]"
         );
-        eprintln!("           [--background] [--no-cache] [--save DIR] [--restore DIR]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -83,10 +90,23 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Bare flags take no value.
-            const FLAGS: [&str; 4] = ["admission", "supergraph", "no-cache", "background"];
+            const FLAGS: [&str; 3] = ["supergraph", "no-cache", "background"];
             if FLAGS.contains(&key) {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
+            } else if key == "admission" {
+                // Optional value: a bare `--admission` keeps its historical
+                // meaning (the paper's calibrated threshold).
+                match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(v) => {
+                        opts.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    None => {
+                        opts.insert(key.to_string(), "threshold".to_string());
+                        i += 1;
+                    }
+                }
             } else {
                 let v = args
                     .get(i + 1)
@@ -190,31 +210,37 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
 }
 
 fn build_method(name: &str, dataset: &GraphDataset) -> Result<Method, String> {
-    Ok(match name {
-        "ggsx" => MethodBuilder::ggsx().build(dataset),
-        "grapes1" => MethodBuilder::grapes(1).build(dataset),
-        "grapes6" => MethodBuilder::grapes(6).build(dataset),
-        "ct" | "ct-index" => MethodBuilder::ct_index().build(dataset),
-        "vf2" => MethodBuilder::si_vf2().build(dataset),
-        "vf2+" | "vf2plus" => MethodBuilder::si_vf2_plus().build(dataset),
-        "gql" => MethodBuilder::si_graphql().build(dataset),
-        other => return Err(format!("unknown method {other:?}")),
-    })
+    match MethodKind::from_registry_name(name) {
+        Some(kind) => Ok(kind.build(dataset)),
+        None => {
+            let available: Vec<&str> = MethodKind::ALL.iter().map(|k| k.registry_name()).collect();
+            Err(format!(
+                "unknown method {name:?} (available: {})",
+                available.join(", ")
+            ))
+        }
+    }
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (opts, _) = parse_opts(args)?;
+    let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
+    // Replacement policy via the registry; --policy stays as an alias of
+    // --eviction for existing scripts. Validate before the dataset loads
+    // so a typo fails with the available-policy listing instantly instead
+    // of after the expensive file parsing.
+    let eviction = opts
+        .get("eviction")
+        .or_else(|| opts.get("policy"))
+        .map(|s| s.as_str())
+        .unwrap_or("hd");
+    registry::build_eviction(eviction).map_err(|e| e.to_string())?;
+    let admission = opts.get("admission").map(|s| s.as_str());
+    if let Some(spec) = admission {
+        registry::build_admission(spec).map_err(|e| e.to_string())?;
+    }
     let dataset = io::load_dataset(req(&opts, "dataset")?).map_err(|e| e.to_string())?;
     let queries = io::load_dataset(req(&opts, "queries")?).map_err(|e| e.to_string())?;
-    let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
-    let policy = match opts.get("policy").map(|s| s.as_str()).unwrap_or("hd") {
-        "lru" => PolicyKind::Lru,
-        "pop" => PolicyKind::Pop,
-        "pin" => PolicyKind::Pin,
-        "pinc" => PolicyKind::Pinc,
-        "hd" => PolicyKind::Hd,
-        other => return Err(format!("unknown policy {other:?}")),
-    };
     let kind = if opts.contains_key("supergraph") {
         QueryKind::Supergraph
     } else {
@@ -259,19 +285,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 
     let method = build_method(method_name, &dataset)?;
-    let cache = GraphCache::builder()
+    let mut builder = GraphCache::builder()
         .capacity(num(&opts, "capacity", 100usize)?)
         .window(num(&opts, "window", 20usize)?)
-        .policy(policy)
-        .admission(if opts.contains_key("admission") {
-            AdmissionConfig::enabled()
-        } else {
-            AdmissionConfig::default()
-        })
+        .eviction(eviction)
         .query_kind(kind)
         .background(opts.contains_key("background"))
-        .threads(threads)
-        .build(method);
+        .threads(threads);
+    if let Some(spec) = admission {
+        builder = builder.admission(spec);
+    }
+    let cache = builder.try_build(method).map_err(|e| e.to_string())?;
     if let Some(dir) = opts.get("restore") {
         cache.restore(dir).map_err(|e| e.to_string())?;
         println!("restored {} cached queries from {dir}", cache.cache_len());
@@ -308,12 +332,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
     }
     println!(
-        "\n{} queries | avg {:.0} µs | {} sub-iso tests | {} cache-assisted | {} cached entries",
+        "\n{} queries | avg {:.0} µs | {} sub-iso tests | {} cache-assisted | {} cached entries | eviction {} | admission {}",
         queries.len(),
         total_us / queries.len().max(1) as f64,
         tests,
         hits,
-        cache.cache_len()
+        cache.cache_len(),
+        cache.eviction_name(),
+        cache.admission_name()
     );
     let summary = graphcache::core::RunSummary::from_records(&records, 0);
     println!(

@@ -57,7 +57,8 @@ pub use gc_workload as workload;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use gc_core::{
-        GraphCache, GraphCacheBuilder, PolicyKind, QueryKind, QueryRequest, QueryResponse,
+        AdmissionPolicy, EvictionPolicy, GraphCache, GraphCacheBuilder, PolicyKind, QueryKind,
+        QueryRequest, QueryResponse,
     };
     pub use gc_graph::{GraphBuilder, GraphDataset, GraphId, LabeledGraph};
     pub use gc_methods::{Method, MethodBuilder};
