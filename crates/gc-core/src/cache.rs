@@ -7,7 +7,7 @@
 //! stores, statistics and Window.
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionPolicy, CostModel};
-use crate::metrics::QueryRecord;
+use crate::metrics::{MaintStats, QueryRecord};
 use crate::policy::{EvictionPolicy, KindPolicy, PolicyKind};
 use crate::processors;
 use crate::pruner::{self, HitAnswer, PruneOutcome};
@@ -66,6 +66,12 @@ pub struct GcConfig {
     /// lazily, so sequential use only ever creates one regardless of the
     /// cap.
     pub threads: usize,
+    /// Number of cache shards (serial-hashed snapshot partitions; see
+    /// [`crate::entry`]). A maintenance round patches only the shards its
+    /// victim/admit delta touches, and concurrent readers pin shards
+    /// independently. `0` (the default) sizes the shard count from the
+    /// effective thread count, clamped to 64.
+    pub shards: usize,
 }
 
 impl Default for GcConfig {
@@ -82,6 +88,7 @@ impl Default for GcConfig {
             background: false,
             parallel_dispatch: false,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -228,6 +235,14 @@ impl GraphCacheBuilder {
     /// Worker threads for [`GraphCache::run_batch`] (0 = auto-detect).
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.threads = n;
+        self
+    }
+
+    /// Number of cache shards (0 = size from the effective thread count).
+    /// More shards mean smaller maintenance patches and less reader/writer
+    /// interference; the shard count is fixed for the cache's lifetime.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
         self
     }
 
@@ -629,13 +644,18 @@ impl GraphCache {
         admission: Box<dyn AdmissionPolicy>,
     ) -> Self {
         let method = Arc::new(method);
-        let shared = Arc::new(Shared::new(cfg.index, eviction, admission));
+        let shared = Arc::new(Shared::new(
+            cfg.index,
+            effective_shards(&cfg),
+            eviction,
+            admission,
+        ));
         let worker = cfg.background.then(|| {
             let (tx, handle) = window::spawn_manager(
                 shared.clone(),
                 MaintenanceConfig {
                     capacity: cfg.capacity,
-                    index_cfg: cfg.index,
+                    compact_debt: window::DEFAULT_COMPACT_DEBT,
                 },
             );
             Arc::new(ManagerHandle {
@@ -692,6 +712,11 @@ impl GraphCache {
         effective_threads(self.cfg.threads)
     }
 
+    /// The number of snapshot shards this cache maintains.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
     /// Number of queries currently cached.
     pub fn cache_len(&self) -> usize {
         self.shared.load_snapshot().len()
@@ -711,10 +736,29 @@ impl GraphCache {
         )
     }
 
+    /// Cumulative per-phase maintenance breakdown: victim selection, index
+    /// delta and statistics-upkeep durations, plus entries touched, shards
+    /// patched and compactions (see [`MaintStats`]).
+    pub fn maint_stats(&self) -> MaintStats {
+        self.shared.maint_stats()
+    }
+
     /// Approximate memory footprint of the cache stores (entries + query
-    /// index + statistics), for the §7.3 space-overhead comparison.
+    /// indexes + statistics + the pending Window buffer), for the §7.3
+    /// space-overhead comparison. The Window buffer counts because its
+    /// queries hold graphs, answers and profiles that only the cache
+    /// retains — omitting them would understate the overhead.
     pub fn memory_bytes(&self) -> usize {
-        self.shared.load_snapshot().memory_bytes() + self.shared.stats.lock().memory_bytes()
+        let pending: usize = self
+            .shared
+            .window
+            .lock()
+            .iter()
+            .map(|e| e.memory_bytes())
+            .sum();
+        self.shared.load_snapshot().memory_bytes()
+            + self.shared.stats.lock().memory_bytes()
+            + pending
     }
 
     /// Reads a statistics cell of a cached query (testing/diagnostics).
@@ -748,8 +792,7 @@ impl GraphCache {
             let snapshot = self.shared.load_snapshot();
             crate::persist::PersistedCache {
                 entries: snapshot
-                    .entries
-                    .iter()
+                    .iter_entries()
                     .map(|e| (e.serial, e.graph.as_ref().clone(), e.answer.clone(), e.kind))
                     .collect(),
                 stats: self.shared.stats.lock().clone(),
@@ -767,9 +810,12 @@ impl GraphCache {
     ///
     /// Takes `&self` — restoring into a live service is safe: queued
     /// background maintenance is flushed first, the restore serialises
-    /// with maintenance rounds, and the entry snapshot itself swaps
-    /// atomically, so queries racing the restore see either the old or
-    /// the new entries. Pre-restore queries still waiting in the Window
+    /// with maintenance rounds, and each shard swaps atomically under its
+    /// own lock. A query racing the restore may assemble a view mixing
+    /// pre-restore and restored shards; since every serial routes to
+    /// exactly one shard such a view is merely an intermediate cache
+    /// state (answers are unaffected — the cache only removes work).
+    /// Pre-restore queries still waiting in the Window
     /// are discarded (mirroring [`save`](Self::save), which never
     /// persists them); a maintenance batch already in flight when the
     /// restore lands races it — depending on which acquires the
@@ -787,7 +833,10 @@ impl GraphCache {
         let loaded =
             crate::persist::PersistedCache::load_with_default_kind(dir, self.cfg.query_kind)?;
         let saved_policy = loaded.policy.clone();
-        let (snapshot, stats, next_serial) = loaded.into_snapshot(self.cfg.index);
+        // The persisted format carries no shard layout: entries are
+        // re-routed into this instance's shard count on load.
+        let (snapshot, stats, next_serial) =
+            loaded.into_snapshot_sharded(self.cfg.index, self.shared.shards.len());
         // Drain queued background batches so none of them (built from the
         // pre-restore snapshot) lands after our swap.
         self.flush_pending();
@@ -796,7 +845,7 @@ impl GraphCache {
         // dropped, not merged: their serials could collide with restored
         // entries.
         self.shared.window.lock().clear();
-        *self.shared.snapshot.write() = Arc::new(snapshot);
+        self.shared.install_snapshot(snapshot);
         *self.shared.stats.lock() = stats;
         self.shared.serial.fetch_max(
             next_serial.saturating_sub(1),
@@ -962,9 +1011,9 @@ impl GraphCache {
         let t_gc = Instant::now();
         let snapshot = self.shared.load_snapshot();
         // The query's feature profile is computed once here and reused for
-        // candidate probing now and for index (re)building if the query is
-        // later admitted to the cache.
-        let profile = snapshot.index.profile_of(query);
+        // candidate probing across every shard and for index patching if
+        // the query is later admitted to the cache.
+        let profile = snapshot.profile_of(query);
         let hits = processors::find_hits_with_profile(
             &snapshot,
             query,
@@ -1222,7 +1271,7 @@ impl GraphCache {
             None => {
                 let cfg = MaintenanceConfig {
                     capacity: self.cfg.capacity,
-                    index_cfg: self.cfg.index,
+                    compact_debt: window::DEFAULT_COMPACT_DEBT,
                 };
                 window::maintain(&self.shared, &cfg, batch, now)
             }
@@ -1238,6 +1287,18 @@ fn effective_threads(configured: usize) -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+}
+
+/// Resolves the snapshot shard count: explicit when configured, otherwise
+/// sized from the effective thread count (one shard per expected client
+/// thread keeps reader interference and patch sizes down) and clamped so
+/// tiny caches are not shredded into dozens of near-empty partitions.
+fn effective_shards(cfg: &GcConfig) -> usize {
+    if cfg.shards > 0 {
+        cfg.shards
+    } else {
+        effective_threads(cfg.threads).clamp(1, 64)
     }
 }
 
@@ -1436,6 +1497,24 @@ mod tests {
         assert_eq!(gc.window_len(), 0, "window flushed at W=2");
         assert!(gc.config().capacity == 10);
         assert_eq!(gc.method().name(), "GGSX");
+    }
+
+    #[test]
+    fn memory_accounting_includes_pending_window() {
+        let method = MethodBuilder::ggsx().build(&dataset());
+        let gc = GraphCache::builder()
+            .capacity(10)
+            .window(10)
+            .cost_model(CostModel::Work)
+            .build(method);
+        let before = gc.memory_bytes();
+        gc.run(&path_graph(&[0, 1]));
+        assert_eq!(gc.window_len(), 1, "query still pending in the window");
+        assert_eq!(gc.cache_len(), 0, "no maintenance round yet");
+        assert!(
+            gc.memory_bytes() > before,
+            "pending window entries must count toward the space overhead"
+        );
     }
 
     #[test]

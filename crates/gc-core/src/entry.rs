@@ -1,9 +1,19 @@
-//! Cache entries and immutable cache snapshots.
+//! Cache entries, index shards, and immutable sharded cache snapshots.
+//!
+//! The cache contents are partitioned into `N` serial-hashed [`Shard`]s,
+//! each pairing its entries with its own [`QueryIndex`]. A maintenance
+//! round only touches the shards its victims/admissions hash into —
+//! patching them incrementally (tombstone removals, appended insertions)
+//! and compacting a shard only when its tombstone debt crosses a
+//! threshold — so maintenance cost is O(delta + touched shards), not
+//! O(|cache|). Readers assemble a [`CacheSnapshot`] view from per-shard
+//! `Arc`s; the paper's "old index keeps serving reads" invariant holds per
+//! shard (see [`crate::window`]).
 
-use crate::query_index::{QueryIndex, QueryIndexConfig};
+use crate::query_index::{HitCandidates, QueryIndex, QueryIndexConfig};
 use crate::stats::QuerySerial;
 use gc_graph::{GraphId, LabeledGraph};
-use gc_index::paths::PathProfile;
+use gc_index::paths::{enumerate_paths, PathProfile};
 use gc_methods::QueryKind;
 use std::sync::Arc;
 
@@ -30,36 +40,52 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
-    /// Approximate memory footprint in bytes.
+    /// Approximate memory footprint in bytes, including the retained
+    /// feature profile (kept for index patching, so it counts toward the
+    /// §7.3 space overhead just as it does while pending in the Window).
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes() + self.answer.len() * std::mem::size_of::<GraphId>() + 24
+        self.graph.memory_bytes()
+            + self.answer.len() * std::mem::size_of::<GraphId>()
+            + self.profile.memory_bytes()
+            + 24
     }
 }
 
-/// An immutable snapshot of the cache contents plus the query index built
-/// over them. The Window Manager builds a *new* snapshot off the hot path
-/// and swaps it in with a single pointer store (paper §6.2: "implemented as
-/// simple in-memory reference (pointer) swaps").
-#[derive(Debug)]
-pub struct CacheSnapshot {
-    /// Cached entries; the query index's slots are positions in this vector.
-    pub entries: Vec<Arc<CacheEntry>>,
-    /// The combined subgraph/supergraph index over the cached query graphs.
-    pub index: QueryIndex,
+/// Routes a serial to its shard: a fixed multiplicative hash, so every
+/// layer (snapshot build, lookup, maintenance delta, persistence restore)
+/// agrees on placement without coordination.
+pub fn shard_for(serial: QuerySerial, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (serial.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
-impl CacheSnapshot {
-    /// An empty snapshot (system start: "GraphCache's data stores are
-    /// initially all empty", §5.1).
+/// One cache partition: its entries plus the query index over them.
+///
+/// Slots are positions in the shard's entry vector; a removed entry leaves
+/// a `None` tombstone so surviving slots never shift and the index postings
+/// stay valid. [`compact`](Self::compact) rebuilds both densely when the
+/// debt grows. Shards are patched through `Arc::make_mut` by the Window
+/// Manager: with no concurrent reader holding the `Arc` the patch is
+/// in-place, otherwise it copies-on-write and readers keep the old state.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Entry per slot, aligned with the index; `None` marks a tombstone.
+    entries: Vec<Option<Arc<CacheEntry>>>,
+    /// The combined subgraph/supergraph index over this shard's entries.
+    index: QueryIndex,
+}
+
+impl Shard {
+    /// An empty shard.
     pub fn empty(cfg: QueryIndexConfig) -> Self {
-        CacheSnapshot {
+        Shard {
             entries: Vec::new(),
-            index: QueryIndex::build(cfg, std::iter::empty()),
+            index: QueryIndex::build_from_profiles(cfg, std::iter::empty()),
         }
     }
 
-    /// Builds a snapshot (and its index) from a set of entries, reusing
-    /// each entry's stored feature profile.
+    /// Builds a dense shard (and its index) from entries, reusing each
+    /// entry's stored feature profile.
     pub fn build(cfg: QueryIndexConfig, entries: Vec<Arc<CacheEntry>>) -> Self {
         let index = QueryIndex::build_from_profiles(
             cfg,
@@ -71,29 +97,235 @@ impl CacheSnapshot {
                 )
             }),
         );
-        CacheSnapshot { entries, index }
+        Shard {
+            entries: entries.into_iter().map(Some).collect(),
+            index,
+        }
     }
 
-    /// Number of cached queries.
+    /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
+    }
+
+    /// True when the shard holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The shard's query index.
+    pub fn index(&self) -> &QueryIndex {
+        &self.index
+    }
+
+    /// Looks up a live entry by serial (O(1) via the index's slot map).
+    pub fn entry(&self, serial: QuerySerial) -> Option<&Arc<CacheEntry>> {
+        self.index
+            .slot_of(serial)
+            .and_then(|slot| self.entries[slot as usize].as_ref())
+    }
+
+    /// The entry at an index slot (`None` for tombstoned slots).
+    pub fn entry_at(&self, slot: u32) -> Option<&Arc<CacheEntry>> {
+        self.entries.get(slot as usize).and_then(|e| e.as_ref())
+    }
+
+    /// Iterates the live entries in slot order.
+    pub fn live_entries(&self) -> impl Iterator<Item = &Arc<CacheEntry>> {
+        self.entries.iter().flatten()
+    }
+
+    /// Admits an entry: appends a slot and indexes its profile. The serial
+    /// must not already be live in this shard.
+    pub fn insert(&mut self, entry: Arc<CacheEntry>) {
+        let slot = self.index.insert_profile(
+            entry.serial,
+            (
+                entry.graph.node_count() as u32,
+                entry.graph.edge_count() as u32,
+            ),
+            &entry.profile,
+        );
+        debug_assert_eq!(slot as usize, self.entries.len());
+        self.entries.push(Some(entry));
+    }
+
+    /// Evicts an entry: tombstones its slot in place. Returns whether the
+    /// serial was live here.
+    pub fn remove(&mut self, serial: QuerySerial) -> bool {
+        match self.index.remove(serial) {
+            Some(slot) => {
+                self.entries[slot as usize] = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fraction of slots that are tombstones — the compaction-debt signal
+    /// the Window Manager compares against its threshold.
+    pub fn tombstone_debt(&self) -> f64 {
+        let slots = self.index.slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.index.tombstones() as f64 / slots as f64
+        }
+    }
+
+    /// A dense rebuild of this shard from its live entries (slot order
+    /// preserved), reclaiming tombstoned postings — the per-shard
+    /// full-rebuild fallback, O(|shard|). Non-mutating so the Window
+    /// Manager can build it off-lock and swap it in with a pointer store.
+    pub fn compacted(&self) -> Shard {
+        Shard::build(
+            self.index.config(),
+            self.live_entries().cloned().collect::<Vec<_>>(),
+        )
+    }
+
+    /// In-place [`compacted`](Self::compacted) (owned-state callers).
+    pub fn compact(&mut self) {
+        *self = self.compacted();
+    }
+
+    /// Approximate memory footprint of entries + index, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.live_entries().map(|e| e.memory_bytes()).sum::<usize>() + self.index.memory_bytes()
+    }
+}
+
+/// An immutable view of the cache contents: one `Arc` per shard, assembled
+/// by a reader from the per-shard locks. The Window Manager patches (or
+/// swaps) only the shards a maintenance round touches; a reader's snapshot
+/// keeps every shard it captured alive, exactly as the paper's old index
+/// keeps serving in-flight queries — per shard (paper §6.2: swaps are
+/// "simple in-memory reference (pointer) swaps").
+#[derive(Debug, Clone)]
+pub struct CacheSnapshot {
+    cfg: QueryIndexConfig,
+    shards: Vec<Arc<Shard>>,
+}
+
+impl CacheSnapshot {
+    /// An empty single-shard snapshot (system start: "GraphCache's data
+    /// stores are initially all empty", §5.1).
+    pub fn empty(cfg: QueryIndexConfig) -> Self {
+        Self::empty_sharded(cfg, 1)
+    }
+
+    /// An empty snapshot with `shards` partitions.
+    pub fn empty_sharded(cfg: QueryIndexConfig, shards: usize) -> Self {
+        CacheSnapshot {
+            cfg,
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(Shard::empty(cfg)))
+                .collect(),
+        }
+    }
+
+    /// Builds a single-shard snapshot from a set of entries, reusing each
+    /// entry's stored feature profile.
+    pub fn build(cfg: QueryIndexConfig, entries: Vec<Arc<CacheEntry>>) -> Self {
+        Self::build_sharded(cfg, 1, entries)
+    }
+
+    /// Builds a snapshot with `shards` partitions; entries are routed by
+    /// [`shard_for`] and keep their relative order within each shard.
+    pub fn build_sharded(
+        cfg: QueryIndexConfig,
+        shards: usize,
+        entries: Vec<Arc<CacheEntry>>,
+    ) -> Self {
+        let n = shards.max(1);
+        let mut parts: Vec<Vec<Arc<CacheEntry>>> = (0..n).map(|_| Vec::new()).collect();
+        for e in entries {
+            parts[shard_for(e.serial, n)].push(e);
+        }
+        CacheSnapshot {
+            cfg,
+            shards: parts
+                .into_iter()
+                .map(|p| Arc::new(Shard::build(cfg, p)))
+                .collect(),
+        }
+    }
+
+    /// Assembles a snapshot view from already-built shards.
+    pub fn from_shards(cfg: QueryIndexConfig, shards: Vec<Arc<Shard>>) -> Self {
+        debug_assert!(!shards.is_empty());
+        CacheSnapshot { cfg, shards }
+    }
+
+    /// The shards, in routing order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// Decomposes the view into its shards (used when installing a rebuilt
+    /// snapshot, e.g. on restore).
+    pub fn into_shards(self) -> Vec<Arc<Shard>> {
+        self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The index configuration shared by every shard.
+    pub fn index_cfg(&self) -> QueryIndexConfig {
+        self.cfg
+    }
+
+    /// Number of cached queries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// True when the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(|s| s.is_empty())
     }
 
-    /// Looks up an entry by serial (linear scan; snapshots are small —
-    /// C ≤ a few hundred in all the paper's configurations).
+    /// Looks up an entry by serial in its home shard.
     pub fn entry(&self, serial: QuerySerial) -> Option<&Arc<CacheEntry>> {
-        self.entries.iter().find(|e| e.serial == serial)
+        self.shards[shard_for(serial, self.shards.len())].entry(serial)
     }
 
-    /// Approximate memory footprint of entries + index, in bytes (the space
-    /// overhead the paper compares against FTV index sizes, §7.3).
+    /// Iterates all live entries, shard by shard in slot order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &Arc<CacheEntry>> {
+        self.shards.iter().flat_map(|s| s.live_entries())
+    }
+
+    /// Enumerates a query's feature profile under this snapshot's index
+    /// configuration (computed once per query, reused for candidate probing
+    /// across every shard and for eventual admission).
+    pub fn profile_of(&self, query: &LabeledGraph) -> PathProfile {
+        enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap)
+    }
+
+    /// Candidate *serials* for a query, both directions, merged across
+    /// shards (diagnostics and equivalence tests; the hot path works
+    /// per shard on slots — see [`crate::processors`]).
+    pub fn candidate_serials(&self, query: &LabeledGraph) -> (Vec<QuerySerial>, Vec<QuerySerial>) {
+        let profile = self.profile_of(query);
+        let (qn, qm) = (query.node_count() as u32, query.edge_count() as u32);
+        let mut sub = Vec::new();
+        let mut super_ = Vec::new();
+        for shard in &self.shards {
+            let HitCandidates { sub: s, super_: p } =
+                shard.index().candidates_from_profile(&profile, qn, qm);
+            sub.extend(s.iter().map(|&slot| shard.index().serial(slot)));
+            super_.extend(p.iter().map(|&slot| shard.index().serial(slot)));
+        }
+        (sub, super_)
+    }
+
+    /// Approximate memory footprint of entries + indexes, in bytes (the
+    /// space overhead the paper compares against FTV index sizes, §7.3).
     pub fn memory_bytes(&self) -> usize {
-        self.entries.iter().map(|e| e.memory_bytes()).sum::<usize>() + self.index.memory_bytes()
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
     }
 }
 
@@ -118,6 +350,7 @@ mod tests {
         let s = CacheSnapshot::empty(QueryIndexConfig::default());
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+        assert_eq!(s.shard_count(), 1);
         assert!(s.entry(1).is_none());
     }
 
@@ -128,5 +361,61 @@ mod tests {
         assert_eq!(s.entry(9).unwrap().serial, 9);
         assert!(s.entry(7).is_none());
         assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sharded_build_routes_and_looks_up() {
+        let serials: Vec<QuerySerial> = (1..=20).collect();
+        let s = CacheSnapshot::build_sharded(
+            QueryIndexConfig::default(),
+            4,
+            serials.iter().map(|&x| entry(x)).collect(),
+        );
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.len(), 20);
+        for &x in &serials {
+            assert_eq!(s.entry(x).unwrap().serial, x);
+            // The entry lives in exactly its routed shard.
+            assert!(s.shards()[shard_for(x, 4)].entry(x).is_some());
+        }
+        let mut seen: Vec<QuerySerial> = s.iter_entries().map(|e| e.serial).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, serials);
+    }
+
+    #[test]
+    fn shard_insert_remove_compact() {
+        let mut shard = Shard::build(
+            QueryIndexConfig::default(),
+            vec![entry(1), entry(2), entry(3)],
+        );
+        assert!(shard.remove(2));
+        assert!(!shard.remove(2), "double remove is a no-op");
+        assert_eq!(shard.len(), 2);
+        assert!(shard.entry(2).is_none());
+        assert!(shard.entry(3).is_some());
+        assert!((shard.tombstone_debt() - 1.0 / 3.0).abs() < 1e-9);
+
+        shard.insert(entry(4));
+        assert_eq!(shard.len(), 3);
+        assert_eq!(shard.entry(4).unwrap().serial, 4);
+
+        shard.compact();
+        assert_eq!(shard.len(), 3);
+        assert_eq!(shard.tombstone_debt(), 0.0);
+        assert_eq!(shard.index().slots(), 3, "dense after compaction");
+        let order: Vec<QuerySerial> = shard.live_entries().map(|e| e.serial).collect();
+        assert_eq!(order, vec![1, 3, 4], "slot order preserved");
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 7, 16] {
+            for serial in 0..200u64 {
+                let s = shard_for(serial, n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(serial, n), "deterministic");
+            }
+        }
     }
 }

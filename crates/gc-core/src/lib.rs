@@ -15,11 +15,13 @@
 //!   cases), verifies the remainder with M's verifier, and records
 //!   statistics ([`metrics`], [`stats`]).
 //! * **Cache Manager** — entries + the combined sub/supergraph query index
-//!   ([`query_index`]) live in an immutable snapshot ([`entry`]); the
-//!   Window Manager ([`window`]) batches admissions through a Window,
-//!   consults the admission policy ([`admission`]) and the replacement
-//!   policy ([`policy`]), rebuilds the index off the hot path and swaps it
-//!   in atomically.
+//!   ([`query_index`]) live in serial-hashed, independently swapped shards
+//!   ([`entry`]); the Window Manager ([`window`]) batches admissions
+//!   through a Window, consults the admission policy ([`admission`]) and
+//!   the replacement policy ([`policy`]), and applies the victim/admit
+//!   delta incrementally to just the touched shards (per-shard compaction
+//!   reclaims tombstones), so maintenance cost scales with the delta, not
+//!   the cache size.
 //! * **Policy engine** — replacement and admission are open trait APIs
 //!   ([`EvictionPolicy`] / [`AdmissionPolicy`]) constructed by name through
 //!   the string-keyed [`registry`]; the paper's strategies, the extra
@@ -88,9 +90,9 @@ pub use cache::{
     AdmissionSpec, GcConfig, GraphCache, GraphCacheBuilder, QueryRequest, QueryResponse,
     QueryResult,
 };
-pub use entry::{CacheEntry, CacheSnapshot};
+pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
 pub use gc_methods::QueryKind;
-pub use metrics::{QueryRecord, RunSummary};
+pub use metrics::{MaintStats, QueryRecord, RunSummary};
 pub use persist::{PersistedCache, PersistedEntry};
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};

@@ -57,6 +57,47 @@ impl QueryRecord {
     }
 }
 
+/// Cumulative per-phase breakdown of cache maintenance — what the Window
+/// Manager spent each round on and how much cache state it touched.
+/// Returned by [`GraphCache::maint_stats`](crate::GraphCache::maint_stats)
+/// and printed by `gc query --maint-stats`.
+///
+/// With the sharded delta path, `index_delta` scales with the round's
+/// victim/admit delta (plus any compactions), not with the cache size;
+/// `shards_patched` vs `rounds × shard count` shows how much of the cache
+/// each round actually touched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MaintStats {
+    /// Maintenance rounds executed.
+    pub rounds: u64,
+    /// Total wall time across rounds (equals
+    /// [`GraphCache::maintenance_total`](crate::GraphCache::maintenance_total)).
+    pub total: Duration,
+    /// Time assembling policy rows and selecting victims.
+    pub victim_select: Duration,
+    /// Time applying the victim/admit delta to shard indexes (including
+    /// any compaction fallbacks).
+    pub index_delta: Duration,
+    /// Time upkeeping statistics rows (drop victims, seed admissions).
+    pub stats_upkeep: Duration,
+    /// Entries admitted into the cache.
+    pub entries_admitted: u64,
+    /// Entries evicted from the cache.
+    pub entries_evicted: u64,
+    /// Shard patches applied (a shard touched by k rounds counts k times).
+    pub shards_patched: u64,
+    /// Per-shard dense rebuilds triggered by tombstone debt.
+    pub compactions: u64,
+}
+
+impl MaintStats {
+    /// Entries touched by maintenance (admissions + evictions) — the delta
+    /// volume `index_delta` should scale with.
+    pub fn entries_touched(&self) -> u64 {
+        self.entries_admitted + self.entries_evicted
+    }
+}
+
 /// Aggregates over a run of queries; the paper's reported metrics are
 /// "query time and number of sub-iso tests per query, along with the
 /// speedups introduced by GC" (§7.2).

@@ -251,9 +251,24 @@ impl PersistedCache {
         Ok(out)
     }
 
-    /// Materialises a [`CacheSnapshot`] from the loaded entries (the query
-    /// index is rebuilt, exactly as the paper's startup path does).
+    /// Materialises a single-shard [`CacheSnapshot`] from the loaded
+    /// entries (the query index is rebuilt, exactly as the paper's startup
+    /// path does). See [`into_snapshot_sharded`](Self::into_snapshot_sharded)
+    /// for restoring into a sharded cache.
     pub fn into_snapshot(self, cfg: QueryIndexConfig) -> (CacheSnapshot, StatsStore, QuerySerial) {
+        self.into_snapshot_sharded(cfg, 1)
+    }
+
+    /// Materialises a [`CacheSnapshot`] with `shards` partitions from the
+    /// loaded entries. The on-disk format carries no shard layout — shard
+    /// counts are runtime configuration, so a save taken under one count
+    /// restores cleanly under any other; entries are re-routed by serial
+    /// hash on load.
+    pub fn into_snapshot_sharded(
+        self,
+        cfg: QueryIndexConfig,
+        shards: usize,
+    ) -> (CacheSnapshot, StatsStore, QuerySerial) {
         let entries: Vec<Arc<CacheEntry>> = self
             .entries
             .into_iter()
@@ -269,7 +284,7 @@ impl PersistedCache {
             })
             .collect();
         (
-            CacheSnapshot::build(cfg, entries),
+            CacheSnapshot::build_sharded(cfg, shards, entries),
             self.stats,
             self.next_serial,
         )
@@ -373,8 +388,30 @@ mod tests {
         assert!(snap.entry(3).is_some());
         // The rebuilt index answers candidate queries over loaded entries.
         let probe = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
-        let cands = snap.index.candidates(&probe);
-        assert!(!cands.sub.is_empty());
+        let (sub, _) = snap.candidate_serials(&probe);
+        assert!(!sub.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_materialisation_routes_entries() {
+        let dir = tmpdir("sharded");
+        sample().save(&dir).unwrap();
+        let loaded = PersistedCache::load(&dir).unwrap();
+        let (snap, _, _) = loaded.into_snapshot_sharded(QueryIndexConfig::default(), 4);
+        assert_eq!(snap.shard_count(), 4);
+        assert_eq!(snap.len(), 2);
+        assert!(snap.entry(3).is_some());
+        assert!(snap.entry(9).is_some());
+        // Candidates match the single-shard materialisation (as sets).
+        let probe = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+        let (mut sub, _) = snap.candidate_serials(&probe);
+        let loaded = PersistedCache::load(&dir).unwrap();
+        let (flat, _, _) = loaded.into_snapshot(QueryIndexConfig::default());
+        let (mut flat_sub, _) = flat.candidate_serials(&probe);
+        sub.sort_unstable();
+        flat_sub.sort_unstable();
+        assert_eq!(sub, flat_sub);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -39,11 +39,16 @@ pub fn find_hits(
     matcher: &dyn Matcher,
     cfg: &MatchConfig,
 ) -> HitSet {
-    let profile = snapshot.index.profile_of(query);
+    let profile = snapshot.profile_of(query);
     find_hits_with_profile(snapshot, query, kind, &profile, matcher, cfg)
 }
 
 /// Like [`find_hits`] but reuses the query's precomputed feature profile.
+///
+/// Candidate probing fans across the snapshot's shards: the query's
+/// feature profile is computed once and swept against each shard's index,
+/// and the verified hits are merged (shards partition the cache by serial,
+/// so no candidate appears twice).
 pub fn find_hits_with_profile(
     snapshot: &CacheSnapshot,
     query: &LabeledGraph,
@@ -55,44 +60,52 @@ pub fn find_hits_with_profile(
     let mut hits = HitSet::default();
     let qn = query.node_count();
     let qm = query.edge_count();
-    let candidates = snapshot
-        .index
-        .candidates_from_profile(profile, qn as u32, qm as u32);
+    for shard in snapshot.shards() {
+        let candidates = shard
+            .index()
+            .candidates_from_profile(profile, qn as u32, qm as u32);
 
-    for &slot in &candidates.sub {
-        let entry = &snapshot.entries[slot as usize];
-        if entry.kind != kind {
-            continue;
-        }
-        let out = matcher.contains_with(query, &entry.graph, cfg);
-        hits.tests += 1;
-        hits.work += out.nodes_expanded;
-        if out.found {
-            hits.sub.push(entry.serial);
-            if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
-                hits.exact.get_or_insert(entry.serial);
+        for &slot in &candidates.sub {
+            // Candidate slots are always live (tombstones never leave the
+            // index sweep), so the lookup cannot miss.
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
+            if entry.kind != kind {
+                continue;
+            }
+            let out = matcher.contains_with(query, &entry.graph, cfg);
+            hits.tests += 1;
+            hits.work += out.nodes_expanded;
+            if out.found {
+                hits.sub.push(entry.serial);
+                if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
+                    hits.exact.get_or_insert(entry.serial);
+                }
             }
         }
-    }
-    for &slot in &candidates.super_ {
-        let entry = &snapshot.entries[slot as usize];
-        if entry.kind != kind {
-            continue;
-        }
-        // Same-size slots were already decided by the sub pass: containment
-        // in either direction at equal size is isomorphism.
-        let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
-        if same_size {
-            if hits.sub.contains(&entry.serial) {
+        for &slot in &candidates.super_ {
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
+            if entry.kind != kind {
+                continue;
+            }
+            // Same-size slots were already decided by the sub pass:
+            // containment in either direction at equal size is isomorphism.
+            let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
+            if same_size {
+                if hits.sub.contains(&entry.serial) {
+                    hits.super_.push(entry.serial);
+                }
+                continue;
+            }
+            let out = matcher.contains_with(&entry.graph, query, cfg);
+            hits.tests += 1;
+            hits.work += out.nodes_expanded;
+            if out.found {
                 hits.super_.push(entry.serial);
             }
-            continue;
-        }
-        let out = matcher.contains_with(&entry.graph, query, cfg);
-        hits.tests += 1;
-        hits.work += out.nodes_expanded;
-        if out.found {
-            hits.super_.push(entry.serial);
         }
     }
     hits

@@ -54,7 +54,19 @@ pub struct HitCandidates {
 
 /// The combined index. Slots are positions in the entry vector the index
 /// was built from.
-#[derive(Debug)]
+///
+/// The index is *maintainable*: [`insert_profile`](Self::insert_profile)
+/// appends a new slot and [`remove`](Self::remove) tombstones one in place
+/// (postings are left behind; the candidate sweep skips dead slots). The
+/// Window Manager patches a clone of the live index with each round's
+/// delta instead of rebuilding from scratch, and compacts — a full
+/// rebuild over the surviving slots — only when
+/// [`tombstones`](Self::tombstones) accumulate past a debt threshold.
+/// Incremental maintenance is build-equivalent: after any
+/// insert/remove/compact sequence the index returns the same candidates
+/// (as serials) as a fresh [`build`](Self::build) over the live entries in
+/// slot order (see the equivalence proptests in `tests/`).
+#[derive(Debug, Clone)]
 pub struct QueryIndex {
     cfg: QueryIndexConfig,
     postings: HashMap<PathFeature, Vec<(u32, u32)>>,
@@ -65,6 +77,12 @@ pub struct QueryIndex {
     /// Per slot: enumeration overflowed, treat conservatively.
     overflow: Vec<bool>,
     serials: Vec<QuerySerial>,
+    /// Per slot: false once the slot has been tombstoned by `remove`.
+    live: Vec<bool>,
+    /// Live serial → slot, for O(1) removal and exact-serial lookup.
+    slot_of: HashMap<QuerySerial, u32>,
+    /// Number of tombstoned slots (the compaction-debt numerator).
+    tombstones: usize,
 }
 
 impl QueryIndex {
@@ -95,40 +113,95 @@ impl QueryIndex {
         cfg: QueryIndexConfig,
         entries: impl Iterator<Item = (QuerySerial, (u32, u32), &'a PathProfile)>,
     ) -> Self {
-        let mut postings: HashMap<PathFeature, Vec<(u32, u32)>> = HashMap::default();
-        let mut distinct = Vec::new();
-        let mut sizes = Vec::new();
-        let mut overflow = Vec::new();
-        let mut serials = Vec::new();
-        for (slot, (serial, size, profile)) in entries.enumerate() {
-            let slot = slot as u32;
-            serials.push(serial);
-            sizes.push(size);
-            match profile {
-                PathProfile::Counts(counts) => {
-                    distinct.push(counts.len() as u32);
-                    overflow.push(false);
-                    for (feature, &count) in counts {
-                        postings
-                            .entry(feature.clone())
-                            .or_default()
-                            .push((slot, count));
-                    }
-                }
-                PathProfile::Overflow => {
-                    distinct.push(0);
-                    overflow.push(true);
+        let mut index = QueryIndex {
+            cfg,
+            postings: HashMap::default(),
+            distinct: Vec::new(),
+            sizes: Vec::new(),
+            overflow: Vec::new(),
+            serials: Vec::new(),
+            live: Vec::new(),
+            slot_of: HashMap::default(),
+            tombstones: 0,
+        };
+        for (serial, size, profile) in entries {
+            index.insert_profile(serial, size, profile);
+        }
+        index
+    }
+
+    /// Appends a new slot for `serial` and threads its features into the
+    /// postings. Returns the assigned slot. The serial must not already be
+    /// live in this index (a store invariant the Window Manager enforces
+    /// before admission).
+    pub fn insert_profile(
+        &mut self,
+        serial: QuerySerial,
+        size: (u32, u32),
+        profile: &PathProfile,
+    ) -> u32 {
+        debug_assert!(
+            !self.slot_of.contains_key(&serial),
+            "serial {serial} inserted twice"
+        );
+        let slot = self.serials.len() as u32;
+        self.serials.push(serial);
+        self.sizes.push(size);
+        self.live.push(true);
+        self.slot_of.insert(serial, slot);
+        match profile {
+            PathProfile::Counts(counts) => {
+                self.distinct.push(counts.len() as u32);
+                self.overflow.push(false);
+                for (feature, &count) in counts {
+                    self.postings
+                        .entry(feature.clone())
+                        .or_default()
+                        .push((slot, count));
                 }
             }
+            PathProfile::Overflow => {
+                self.distinct.push(0);
+                self.overflow.push(true);
+            }
         }
-        QueryIndex {
-            cfg,
-            postings,
-            distinct,
-            sizes,
-            overflow,
-            serials,
-        }
+        slot
+    }
+
+    /// Tombstones the slot holding `serial`: the slot stops appearing in
+    /// candidate sets but its postings stay in place until a compaction
+    /// rebuilds the index densely. Returns the freed slot, or `None` when
+    /// the serial is not live here.
+    pub fn remove(&mut self, serial: QuerySerial) -> Option<u32> {
+        let slot = self.slot_of.remove(&serial)?;
+        self.live[slot as usize] = false;
+        self.tombstones += 1;
+        Some(slot)
+    }
+
+    /// Number of tombstoned slots still carrying postings.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Total slots, live and dead (the candidate sweep's array bound).
+    pub fn slots(&self) -> usize {
+        self.serials.len()
+    }
+
+    /// The slot currently holding `serial`, when it is live.
+    pub fn slot_of(&self, serial: QuerySerial) -> Option<u32> {
+        self.slot_of.get(&serial).copied()
+    }
+
+    /// True when the slot has not been tombstoned.
+    pub fn is_live(&self, slot: u32) -> bool {
+        self.live[slot as usize]
+    }
+
+    /// The index configuration it was built under.
+    pub fn config(&self) -> QueryIndexConfig {
+        self.cfg
     }
 
     /// Enumerates a query's feature profile under this index's
@@ -138,14 +211,14 @@ impl QueryIndex {
         enumerate_paths(query, self.cfg.max_path_len, self.cfg.work_cap)
     }
 
-    /// Number of indexed cached queries.
+    /// Number of *live* indexed queries (tombstoned slots excluded).
     pub fn len(&self) -> usize {
-        self.serials.len()
+        self.serials.len() - self.tombstones
     }
 
-    /// True when no queries are indexed.
+    /// True when no live queries are indexed.
     pub fn is_empty(&self) -> bool {
-        self.serials.is_empty()
+        self.len() == 0
     }
 
     /// The serial stored at a slot.
@@ -176,17 +249,20 @@ impl QueryIndex {
         qn: u32,
         qm: u32,
     ) -> HitCandidates {
-        let n = self.len();
-        if n == 0 {
+        let n = self.slots();
+        if n == 0 || self.is_empty() {
             return HitCandidates::default();
         }
         let features = match profile.counts() {
             Some(c) => c,
             None => {
-                // Query enumeration overflowed: every size-compatible slot
-                // stays a candidate (sound; the verifier will sort it out).
+                // Query enumeration overflowed: every size-compatible live
+                // slot stays a candidate (sound; the verifier sorts it out).
                 let mut out = HitCandidates::default();
                 for slot in 0..n as u32 {
+                    if !self.live[slot as usize] {
+                        continue;
+                    }
                     let (sn, sm) = self.sizes[slot as usize];
                     if sn >= qn && sm >= qm {
                         out.sub.push(slot);
@@ -222,6 +298,9 @@ impl QueryIndex {
 
         let mut out = HitCandidates::default();
         for slot in 0..n {
+            if !self.live[slot] {
+                continue;
+            }
             let (sn, sm) = self.sizes[slot];
             let size_sub = sn >= qn && sm >= qm;
             let size_super = sn <= qn && sm <= qm;
@@ -235,14 +314,15 @@ impl QueryIndex {
         out
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Approximate memory footprint in bytes (tombstoned slots still count
+    /// until a compaction reclaims their postings).
     pub fn memory_bytes(&self) -> usize {
         let postings: usize = self
             .postings
             .iter()
             .map(|(k, v)| k.len() * 4 + v.len() * 8 + 48)
             .sum();
-        postings + self.serials.len() * 24
+        postings + self.serials.len() * 24 + self.slot_of.len() * 16
     }
 }
 
@@ -363,6 +443,91 @@ mod tests {
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.serial(0), 0);
         assert_eq!(idx.size(0), (3, 2));
+        assert_eq!(idx.slot_of(0), Some(0));
+        assert!(idx.is_live(0));
         assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn remove_tombstones_slot() {
+        let mut idx = build(&[path_graph(&[0, 1, 0]), path_graph(&[5, 5])]);
+        assert_eq!(idx.remove(0), Some(0));
+        assert_eq!(idx.remove(0), None, "already dead");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.slots(), 2, "postings stay until compaction");
+        assert_eq!(idx.tombstones(), 1);
+        assert!(!idx.is_live(0));
+        assert!(idx.slot_of(0).is_none());
+        // The dead slot no longer produces candidates…
+        let c = idx.candidates(&path_graph(&[0, 1]));
+        assert!(c.sub.is_empty() && c.super_.is_empty());
+        // …but the surviving one still does.
+        let c = idx.candidates(&path_graph(&[5, 5]));
+        assert_eq!(c.sub, vec![1]);
+    }
+
+    #[test]
+    fn insert_appends_live_slot() {
+        let mut idx = build(&[path_graph(&[0, 1, 0])]);
+        let g = path_graph(&[5, 5]);
+        let profile = enumerate_paths(&g, 4, u64::MAX);
+        let slot = idx.insert_profile(70, (2, 1), &profile);
+        assert_eq!(slot, 1);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.serial(1), 70);
+        let c = idx.candidates(&path_graph(&[5, 5]));
+        assert_eq!(c.sub, vec![1]);
+        assert_eq!(c.super_, vec![1]);
+    }
+
+    /// After a mixed insert/remove history, candidates (mapped to serials)
+    /// match a fresh build over the surviving entries in slot order.
+    #[test]
+    fn incremental_matches_fresh_build() {
+        let graphs = [
+            path_graph(&[0, 1, 0]),
+            path_graph(&[5, 5]),
+            path_graph(&[0, 1]),
+            path_graph(&[1, 0, 1, 0]),
+        ];
+        let mut idx = QueryIndex::build(
+            QueryIndexConfig::default(),
+            graphs
+                .iter()
+                .take(2)
+                .enumerate()
+                .map(|(i, g)| (i as u64, g)),
+        );
+        idx.remove(0);
+        for (i, g) in graphs.iter().enumerate().skip(2) {
+            let profile = enumerate_paths(g, 4, u64::MAX);
+            idx.insert_profile(
+                i as u64,
+                (g.node_count() as u32, g.edge_count() as u32),
+                &profile,
+            );
+        }
+        // Live entries in slot order: serials 1, 2, 3.
+        let fresh = QueryIndex::build(
+            QueryIndexConfig::default(),
+            [1usize, 2, 3].iter().map(|&i| (i as u64, &graphs[i])),
+        );
+        for probe in [
+            path_graph(&[0, 1]),
+            path_graph(&[5, 5]),
+            path_graph(&[0, 1, 0]),
+            path_graph(&[1, 0, 1, 0, 1]),
+        ] {
+            let got = idx.candidates(&probe);
+            let want = fresh.candidates(&probe);
+            let to_serials = |idx: &QueryIndex, slots: &[u32]| -> Vec<QuerySerial> {
+                slots.iter().map(|&s| idx.serial(s)).collect()
+            };
+            assert_eq!(to_serials(&idx, &got.sub), to_serials(&fresh, &want.sub));
+            assert_eq!(
+                to_serials(&idx, &got.super_),
+                to_serials(&fresh, &want.super_)
+            );
+        }
     }
 }

@@ -1,17 +1,42 @@
 //! The Window Manager (paper §6.2): batched cache admission, replacement
-//! and re-indexing, with the rebuilt snapshot swapped in atomically.
+//! and re-indexing, with incremental, sharded snapshot maintenance.
 //!
 //! New queries accumulate in the Window (default W = 20). When it fills,
 //! the manager (1) runs admission control over the batch, (2) asks the
-//! replacement policy for victims if the cache lacks room, (3) builds a
-//! *new* snapshot — entries plus a freshly built query index — and
-//! (4) swaps it in under a short write lock. Queries arriving during the
-//! rebuild keep using the old snapshot, exactly as in the paper ("queries
-//! arriving at the system while this procedure is taking place continue
-//! being served by the old index").
+//! replacement policy for victims if the cache lacks room, and (3) applies
+//! the victim/admit *delta* to the cache shards.
+//!
+//! # The sharded delta path
+//!
+//! The cache snapshot is partitioned into `N` serial-hashed shards (see
+//! [`crate::entry`]), each behind its own `RwLock<Arc<Shard>>`. A
+//! maintenance round groups its delta by shard and patches only the shards
+//! that victims or admissions actually hash into: evictions tombstone
+//! their slot in place, admissions append a slot, and the patch goes
+//! through `Arc::make_mut` — in place when no reader holds the shard,
+//! copy-on-write when one does. Shards the delta misses are never locked
+//! and their `Arc`s are untouched, so maintenance cost is
+//! O(delta + touched shards), not O(|cache|).
+//!
+//! Tombstoned slots keep their index postings until the shard's
+//! *compaction threshold* is crossed (`MaintenanceConfig::compact_debt`,
+//! default 50% dead slots), at which point that shard alone falls back to
+//! a dense full rebuild. This bounds both wasted postings memory and the
+//! per-probe sweep over dead slots.
+//!
+//! The paper's invariant — "queries arriving at the system while this
+//! procedure is taking place continue being served by the old index" —
+//! holds per shard: a query's snapshot view pins the shard `Arc`s it
+//! captured, a patch never mutates a shard some reader still holds
+//! (copy-on-write takes over), and each shard flips atomically under its
+//! own lock. Readers racing a round may observe some shards pre-patch and
+//! others post-patch; since shards partition the serial space this is
+//! merely an intermediate cache state (a transiently smaller/larger
+//! candidate pool), never a torn shard.
 
 use crate::admission::AdmissionPolicy;
-use crate::entry::{CacheEntry, CacheSnapshot};
+use crate::entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
+use crate::metrics::MaintStats;
 use crate::policy::{EvictionPolicy, PolicyRow, PolicyView};
 use crate::query_index::QueryIndexConfig;
 use crate::stats::{columns, QuerySerial, StatsStore};
@@ -22,6 +47,10 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Default [`MaintenanceConfig::compact_debt`]: a shard compacts once half
+/// its slots are tombstones.
+pub(crate) const DEFAULT_COMPACT_DEBT: f64 = 0.5;
 
 /// One query waiting in the Window: the graph, its freshly computed answer,
 /// and the static/timing statistics the Window stores keep (paper §6.1).
@@ -48,17 +77,73 @@ pub struct WindowEntry {
     pub expensiveness: f64,
 }
 
+impl WindowEntry {
+    /// Approximate memory footprint in bytes — the pending-buffer share of
+    /// [`GraphCache::memory_bytes`](crate::GraphCache::memory_bytes).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self.answer.len() * std::mem::size_of::<GraphId>()
+            + self.profile.memory_bytes()
+            + 64
+    }
+}
+
+/// Per-round maintenance breakdown counters (atomics: the query path reads
+/// them without taking the maintenance lock). Snapshotted into the public
+/// [`MaintStats`].
+#[derive(Debug, Default)]
+pub(crate) struct MaintCounters {
+    victim_select_us: AtomicU64,
+    index_delta_us: AtomicU64,
+    stats_upkeep_us: AtomicU64,
+    entries_admitted: AtomicU64,
+    entries_evicted: AtomicU64,
+    shards_patched: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl MaintCounters {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        victim_select: Duration,
+        index_delta: Duration,
+        stats_upkeep: Duration,
+        admitted: usize,
+        evicted: usize,
+        shards_patched: u64,
+        compactions: u64,
+    ) {
+        self.victim_select_us
+            .fetch_add(victim_select.as_micros() as u64, Ordering::Relaxed);
+        self.index_delta_us
+            .fetch_add(index_delta.as_micros() as u64, Ordering::Relaxed);
+        self.stats_upkeep_us
+            .fetch_add(stats_upkeep.as_micros() as u64, Ordering::Relaxed);
+        self.entries_admitted
+            .fetch_add(admitted as u64, Ordering::Relaxed);
+        self.entries_evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        self.shards_patched
+            .fetch_add(shards_patched, Ordering::Relaxed);
+        self.compactions.fetch_add(compactions, Ordering::Relaxed);
+    }
+}
+
 /// State shared between every [`GraphCache`](crate::GraphCache) handle on
 /// the query path and the (possibly background) maintenance path.
 ///
 /// All mutable state lives here behind fine-grained synchronisation so the
-/// query path only needs `&self`: the snapshot behind an [`RwLock`] (held
-/// only for the pointer swap/clone), the statistics and admission stores
-/// behind [`Mutex`]es, the Window buffer behind its own [`Mutex`], and the
-/// serial counter as an atomic.
+/// query path only needs `&self`: each cache shard behind its own
+/// [`RwLock`] (held only for the `Arc` clone / patch), the statistics and
+/// admission stores behind [`Mutex`]es, the Window buffer behind its own
+/// [`Mutex`], and the serial counter as an atomic.
 pub(crate) struct Shared {
-    /// Current cache snapshot; swapped wholesale on maintenance.
-    pub snapshot: RwLock<Arc<CacheSnapshot>>,
+    /// The cache shards; a maintenance round locks only the shards its
+    /// delta touches, readers clone each shard's `Arc` independently.
+    pub shards: Vec<RwLock<Arc<Shard>>>,
+    /// Index configuration shared by every shard.
+    pub index_cfg: QueryIndexConfig,
     /// Statistics of cached queries (GCstats).
     pub stats: Mutex<StatsStore>,
     /// The admission policy (trait object — see [`crate::registry`]).
@@ -72,9 +157,9 @@ pub(crate) struct Shared {
     pub window: Mutex<Vec<WindowEntry>>,
     /// Serialises snapshot read-modify-write cycles ([`maintain`] rounds
     /// and [`GraphCache::restore`](crate::GraphCache::restore)). Without
-    /// it, two concurrent inline rounds would both build from the same old
-    /// snapshot and the second swap would silently drop the first round's
-    /// admissions and resurrect its evictions.
+    /// it, two concurrent inline rounds would interleave their per-shard
+    /// patches and the later round would select victims against a state
+    /// the earlier round is still changing.
     pub maint: Mutex<()>,
     /// Serial-number source; queries claim `fetch_add(1) + 1` on arrival.
     pub serial: AtomicU64,
@@ -82,16 +167,22 @@ pub(crate) struct Shared {
     pub maintenance_us: AtomicU64,
     /// Number of maintenance rounds executed.
     pub maintenance_rounds: AtomicU64,
+    /// Per-phase maintenance breakdown (see [`MaintStats`]).
+    pub maint_counters: MaintCounters,
 }
 
 impl Shared {
     pub(crate) fn new(
         index_cfg: QueryIndexConfig,
+        shard_count: usize,
         eviction: Box<dyn EvictionPolicy>,
         admission: Box<dyn AdmissionPolicy>,
     ) -> Self {
         Shared {
-            snapshot: RwLock::new(Arc::new(CacheSnapshot::empty(index_cfg))),
+            shards: (0..shard_count.max(1))
+                .map(|_| RwLock::new(Arc::new(Shard::empty(index_cfg))))
+                .collect(),
+            index_cfg,
             stats: Mutex::new(StatsStore::new()),
             admission: Mutex::new(admission),
             eviction: Mutex::new(eviction),
@@ -100,12 +191,29 @@ impl Shared {
             serial: AtomicU64::new(0),
             maintenance_us: AtomicU64::new(0),
             maintenance_rounds: AtomicU64::new(0),
+            maint_counters: MaintCounters::default(),
         }
     }
 
-    /// The current snapshot (cheap Arc clone).
-    pub(crate) fn load_snapshot(&self) -> Arc<CacheSnapshot> {
-        self.snapshot.read().clone()
+    /// The current snapshot view: one cheap `Arc` clone per shard. Shards
+    /// captured here stay alive (and unchanged) for the view's lifetime
+    /// even while maintenance patches the live state.
+    pub(crate) fn load_snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot::from_shards(
+            self.index_cfg,
+            self.shards.iter().map(|s| s.read().clone()).collect(),
+        )
+    }
+
+    /// Replaces every shard with the given snapshot's (restore path). The
+    /// caller must hold the maintenance lock and must have built the
+    /// snapshot with a matching shard count.
+    pub(crate) fn install_snapshot(&self, snapshot: CacheSnapshot) {
+        let shards = snapshot.into_shards();
+        debug_assert_eq!(shards.len(), self.shards.len());
+        for (lock, shard) in self.shards.iter().zip(shards) {
+            *lock.write() = shard;
+        }
     }
 
     /// Claims the next query serial number.
@@ -117,6 +225,22 @@ impl Shared {
     pub(crate) fn current_serial(&self) -> QuerySerial {
         self.serial.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of the cumulative per-phase maintenance breakdown.
+    pub(crate) fn maint_stats(&self) -> MaintStats {
+        let c = &self.maint_counters;
+        MaintStats {
+            rounds: self.maintenance_rounds.load(Ordering::Relaxed),
+            total: Duration::from_micros(self.maintenance_us.load(Ordering::Relaxed)),
+            victim_select: Duration::from_micros(c.victim_select_us.load(Ordering::Relaxed)),
+            index_delta: Duration::from_micros(c.index_delta_us.load(Ordering::Relaxed)),
+            stats_upkeep: Duration::from_micros(c.stats_upkeep_us.load(Ordering::Relaxed)),
+            entries_admitted: c.entries_admitted.load(Ordering::Relaxed),
+            entries_evicted: c.entries_evicted.load(Ordering::Relaxed),
+            shards_patched: c.shards_patched.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Static maintenance parameters. The policies themselves live in
@@ -124,7 +248,10 @@ impl Shared {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct MaintenanceConfig {
     pub capacity: usize,
-    pub index_cfg: QueryIndexConfig,
+    /// Tombstone-debt fraction above which a patched shard falls back to a
+    /// dense rebuild (see the module docs). The index configuration itself
+    /// travels inside each shard's index.
+    pub compact_debt: f64,
 }
 
 /// Executes one maintenance round over a full window batch. Returns the
@@ -137,10 +264,10 @@ pub(crate) fn maintain(
 ) -> Duration {
     let t0 = Instant::now();
 
-    // One round at a time: the round reads the snapshot, builds its
-    // replacement, and swaps it in — concurrent rounds (possible in
-    // inline mode, where any full window flushes on the flushing query's
-    // thread) must not interleave those steps.
+    // One round at a time: the round reads the shard states, selects
+    // victims against them, and patches shard by shard — concurrent rounds
+    // (possible in inline mode, where any full window flushes on the
+    // flushing query's thread) must not interleave those steps.
     let _round = shared.maint.lock();
 
     // (1) Admission control over the batch.
@@ -172,22 +299,21 @@ pub(crate) fn maintain(
         .filter(|e| old.entry(e.serial).is_none())
         .collect();
     if admitted.is_empty() {
-        // Nothing to add; the snapshot stays as-is (no rebuild needed).
+        // Nothing to add; every shard stays as-is (no patch, no swap).
         return record_round(shared, t0);
     }
 
-    // (2) Compute the new cache contents: evict as needed. The candidate
-    // rows are assembled from the statistics store (and the stats lock
-    // released) before the eviction policy is consulted — policies run
-    // behind their own lock and never see store internals, only the
-    // PolicyView.
+    // (2) Select victims as needed. The candidate rows are assembled from
+    // the statistics store (and the stats lock released) before the
+    // eviction policy is consulted — policies run behind their own lock
+    // and never see store internals, only the PolicyView.
+    let t_victims = Instant::now();
     let free = cfg.capacity.saturating_sub(old.len());
     let evict_needed = admitted.len().saturating_sub(free);
     let victims: Vec<QuerySerial> = {
         let rows: Vec<PolicyRow> = if evict_needed > 0 {
             let stats = shared.stats.lock();
-            old.entries
-                .iter()
+            old.iter_entries()
                 .map(|e| PolicyRow {
                     serial: e.serial,
                     last_hit: stats
@@ -224,16 +350,23 @@ pub(crate) fn maintain(
         }
         victims
     };
+    let victim_select = t_victims.elapsed();
 
-    // (3) Build the new snapshot off the hot path.
-    let mut new_entries: Vec<Arc<CacheEntry>> = old
-        .entries
-        .iter()
-        .filter(|e| !victims.contains(&e.serial))
-        .cloned()
-        .collect();
+    // Release the old view before patching: with no other reader holding a
+    // shard's Arc, `Arc::make_mut` below patches in place instead of
+    // copying the whole shard.
+    drop(old);
+
+    // (3) Group the delta by shard and patch only the touched shards.
+    let t_delta = Instant::now();
+    let n = shared.shards.len();
+    let mut removes: Vec<Vec<QuerySerial>> = vec![Vec::new(); n];
+    for &v in &victims {
+        removes[shard_for(v, n)].push(v);
+    }
+    let mut inserts: Vec<Vec<Arc<CacheEntry>>> = vec![Vec::new(); n];
     for e in &admitted {
-        new_entries.push(Arc::new(CacheEntry {
+        inserts[shard_for(e.serial, n)].push(Arc::new(CacheEntry {
             serial: e.serial,
             graph: e.graph.clone(), // Arc clone — no graph copy
             answer: e.answer.clone(),
@@ -241,10 +374,47 @@ pub(crate) fn maintain(
             profile: e.profile.clone(),
         }));
     }
-    let new_snapshot = Arc::new(CacheSnapshot::build(cfg.index_cfg, new_entries));
+    let mut shards_patched = 0u64;
+    let mut compactions = 0u64;
+    for (i, (removes, inserts)) in removes.into_iter().zip(inserts).enumerate() {
+        if removes.is_empty() && inserts.is_empty() {
+            continue; // untouched shard: never locked, Arc untouched
+        }
+        shards_patched += 1;
+        let over_debt = {
+            let mut guard = shared.shards[i].write();
+            // In place when this lock holds the only reference;
+            // copy-on-write when an in-flight query still reads the shard
+            // (it keeps the old state — the paper's old-index-serves-reads
+            // invariant, per shard). Either way the lock is held only for
+            // the O(delta) patch.
+            let shard = Arc::make_mut(&mut *guard);
+            for v in removes {
+                shard.remove(v);
+            }
+            for e in inserts {
+                shard.insert(e);
+            }
+            shard.tombstone_debt() > cfg.compact_debt
+        };
+        if over_debt {
+            // Compaction is the O(|shard|) fallback, so it runs OFF the
+            // shard lock: rebuild densely from the live entries, then swap
+            // with a pointer store. The maintenance lock serialises
+            // writers, so the shard cannot change between the rebuild and
+            // the swap; readers keep probing the tombstoned (but correct)
+            // shard meanwhile — exactly the paper's rebuild-then-swap.
+            compactions += 1;
+            let current = shared.shards[i].read().clone();
+            let rebuilt = Arc::new(current.compacted());
+            *shared.shards[i].write() = rebuilt;
+        }
+    }
+    let index_delta = t_delta.elapsed();
 
-    // Statistics rows: drop victims, seed the admitted (paper removes
+    // (4) Statistics rows: drop victims, seed the admitted (paper removes
     // evicted statistics "lazily"; we do it in the same round).
+    let t_stats = Instant::now();
     {
         let mut stats = shared.stats.lock();
         for v in &victims {
@@ -264,10 +434,17 @@ pub(crate) fn maintain(
             stats.set(e.serial, columns::LAST_HIT, e.serial as i64);
         }
     }
+    let stats_upkeep = t_stats.elapsed();
 
-    // (4) Swap — "simple in-memory reference (pointer) swaps".
-    *shared.snapshot.write() = new_snapshot;
-
+    shared.maint_counters.record(
+        victim_select,
+        index_delta,
+        stats_upkeep,
+        admitted.len(),
+        victims.len(),
+        shards_patched,
+        compactions,
+    );
     record_round(shared, t0)
 }
 
@@ -336,18 +513,23 @@ mod tests {
         }
     }
 
-    fn shared() -> Shared {
+    fn shared_with(shards: usize) -> Shared {
         Shared::new(
             QueryIndexConfig::default(),
+            shards,
             Box::new(KindPolicy::new(PolicyKind::Lru)),
             Box::new(AdmissionControl::new(AdmissionConfig::default())),
         )
     }
 
+    fn shared() -> Shared {
+        shared_with(1)
+    }
+
     fn cfg(capacity: usize) -> MaintenanceConfig {
         MaintenanceConfig {
             capacity,
-            index_cfg: QueryIndexConfig::default(),
+            compact_debt: DEFAULT_COMPACT_DEBT,
         }
     }
 
@@ -361,6 +543,11 @@ mod tests {
         let stats = s.stats.lock();
         assert!(stats.get(1, columns::NODES).is_some());
         assert_eq!(s.maintenance_rounds.load(Ordering::Relaxed), 1);
+        let m = s.maint_stats();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.entries_admitted, 2);
+        assert_eq!(m.entries_evicted, 0);
+        assert_eq!(m.shards_patched, 1);
     }
 
     #[test]
@@ -377,6 +564,7 @@ mod tests {
         assert!(snap.entry(3).is_some());
         // Victim's stats row dropped.
         assert!(s.stats.lock().get(1, columns::NODES).is_none());
+        assert_eq!(s.maint_stats().entries_evicted, 1);
     }
 
     #[test]
@@ -397,6 +585,7 @@ mod tests {
     fn empty_batch_after_admission_skips_rebuild() {
         let s = Shared::new(
             QueryIndexConfig::default(),
+            1,
             Box::new(KindPolicy::new(PolicyKind::Lru)),
             Box::new(AdmissionControl::new(AdmissionConfig {
                 enabled: true,
@@ -410,19 +599,89 @@ mod tests {
             ac.observe(100.0, 0.0);
             ac.end_window();
         }
-        let before = Arc::as_ptr(&s.load_snapshot());
+        let before = Arc::as_ptr(&s.load_snapshot().shards()[0]);
         maintain(&s, &cfg(10), vec![entry(1, 0.0)], 1); // 0.0 < threshold
-        let after = Arc::as_ptr(&s.load_snapshot());
-        assert_eq!(before, after, "snapshot untouched");
+        let after = Arc::as_ptr(&s.load_snapshot().shards()[0]);
+        assert_eq!(before, after, "shard untouched");
         assert_eq!(s.load_snapshot().len(), 0);
+    }
+
+    /// The sharded twin of the fast path above: a round whose delta misses
+    /// a shard must leave that shard's `Arc` pointer untouched.
+    #[test]
+    fn untouched_shards_keep_their_arc() {
+        let n = 4usize;
+        let s = shared_with(n);
+        // Find serials that all land in one shard.
+        let target = shard_for(1, n);
+        let in_target: Vec<QuerySerial> = (1..200).filter(|&x| shard_for(x, n) == target).collect();
+        assert!(in_target.len() >= 2);
+
+        let before: Vec<*const Shard> = s.shards.iter().map(|l| Arc::as_ptr(&*l.read())).collect();
+        maintain(
+            &s,
+            &cfg(100),
+            vec![entry(in_target[0], 1.0), entry(in_target[1], 1.0)],
+            in_target[1],
+        );
+        let after: Vec<*const Shard> = s.shards.iter().map(|l| Arc::as_ptr(&*l.read())).collect();
+        for i in 0..n {
+            if i == target {
+                continue; // the touched shard may patch in place or swap
+            }
+            assert_eq!(before[i], after[i], "shard {i} missed by the delta");
+        }
+        assert_eq!(s.load_snapshot().len(), 2);
+        assert_eq!(s.maint_stats().shards_patched, 1);
+    }
+
+    /// A reader holding a pre-round snapshot keeps seeing the old shard
+    /// state while the round patches copy-on-write.
+    #[test]
+    fn inflight_reader_keeps_old_shard_state() {
+        let s = shared();
+        maintain(&s, &cfg(10), vec![entry(1, 1.0)], 1);
+        let pinned = s.load_snapshot(); // in-flight query's view
+        maintain(&s, &cfg(10), vec![entry(2, 1.0)], 2);
+        assert_eq!(pinned.len(), 1, "old view unchanged");
+        assert!(pinned.entry(2).is_none());
+        let fresh = s.load_snapshot();
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.entry(2).is_some());
+    }
+
+    /// Rounds of churn drive tombstone debt over the threshold and trigger
+    /// per-shard compactions; live contents are unaffected.
+    #[test]
+    fn churn_triggers_compaction() {
+        let s = shared();
+        let capacity = 4usize;
+        let mut serial = 0u64;
+        for _ in 0..10 {
+            let batch: Vec<WindowEntry> = (0..4)
+                .map(|_| {
+                    serial += 1;
+                    entry(serial, 1.0)
+                })
+                .collect();
+            maintain(&s, &cfg(capacity), batch, serial);
+        }
+        let m = s.maint_stats();
+        assert!(m.compactions > 0, "churn must compact: {m:?}");
+        let snap = s.load_snapshot();
+        assert_eq!(snap.len(), capacity);
+        // Debt is bounded by the threshold after compaction rounds.
+        for shard in snap.shards() {
+            assert!(shard.tombstone_debt() <= DEFAULT_COMPACT_DEBT + 1e-9);
+        }
     }
 
     #[test]
     fn concurrent_rounds_do_not_lose_admissions() {
-        // Two inline rounds racing must serialise: without the maint lock
-        // both build from the same old snapshot and one round's admissions
-        // vanish on the second swap.
-        let s = Arc::new(shared());
+        // Inline rounds racing must serialise: without the maint lock the
+        // per-shard patches of different rounds would interleave and a
+        // round could select victims against a half-applied state.
+        let s = Arc::new(shared_with(2));
         std::thread::scope(|sc| {
             for t in 0..4u64 {
                 let s = s.clone();

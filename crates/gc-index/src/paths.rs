@@ -33,6 +33,16 @@ impl PathProfile {
             PathProfile::Overflow => None,
         }
     }
+
+    /// Approximate memory footprint in bytes (keys, counts, table slack).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            PathProfile::Counts(c) => {
+                c.keys().map(|k| k.len() * 4 + 24).sum::<usize>() + c.len() * 8 + 48
+            }
+            PathProfile::Overflow => 0,
+        }
+    }
 }
 
 /// Like [`enumerate_paths`] but also records, for every feature, the set of

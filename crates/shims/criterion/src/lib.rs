@@ -65,19 +65,24 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` repeatedly (one warm-up call plus the configured sample
-    /// count) and records one wall-clock duration per sample.
+    /// count) and records one wall-clock duration per sample. As in
+    /// upstream criterion, the routine's return value is dropped *outside*
+    /// the timed region, so deallocating a large output does not pollute
+    /// the measurement.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         std::hint::black_box(f()); // warm-up, untimed
         for _ in 0..self.samples {
             let t0 = Instant::now();
-            std::hint::black_box(f());
+            let out = f();
             self.results.push(t0.elapsed());
+            drop(std::hint::black_box(out));
         }
     }
 
     /// Like [`iter`](Self::iter), but `setup` runs outside the timed
     /// region — use it when per-iteration state (caches, buffers) must be
     /// rebuilt fresh without its construction polluting the measurement.
+    /// The routine's output is likewise dropped untimed.
     pub fn iter_batched<I, O>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -88,8 +93,9 @@ impl Bencher {
         for _ in 0..self.samples {
             let input = setup();
             let t0 = Instant::now();
-            std::hint::black_box(routine(input));
+            let out = routine(input);
             self.results.push(t0.elapsed());
+            drop(std::hint::black_box(out));
         }
     }
 }

@@ -9,8 +9,9 @@
 //!   generates a query workload (queries are stored as a dataset file);
 //! * `gc query --dataset FILE --queries FILE [--method NAME]
 //!   [--eviction NAME] [--admission [NAME]] [--capacity N] [--window N]
-//!   [--threads N] [--supergraph] [--background] [--no-cache] [--save DIR]
-//!   [--restore DIR]` replays the queries and prints per-run statistics.
+//!   [--threads N] [--shards N] [--supergraph] [--background] [--no-cache]
+//!   [--maint-stats] [--save DIR] [--restore DIR]` replays the queries and
+//!   prints per-run statistics.
 //!
 //! `gc query` flags:
 //!
@@ -18,8 +19,14 @@
 //!   `GraphCache::run_batch` (`0` = auto-detect cores; default `1` =
 //!   sequential replay, the paper's single-client setup; ignored with
 //!   `--no-cache`, which always replays sequentially);
+//! * `--shards N` — partition the cache snapshot into `N` serial-hashed
+//!   shards so maintenance rounds patch only the shards their delta
+//!   touches (`0` = size from the thread count, the default);
 //! * `--background` — run the Window Manager on a background maintenance
 //!   thread (the paper's deployment design) instead of inline;
+//! * `--maint-stats` — print the per-phase maintenance breakdown (victim
+//!   selection / index delta / stats upkeep, entries touched, shards
+//!   patched, compactions) after the replay;
 //! * `--eviction NAME` — replacement policy by registry name
 //!   (`lru|pop|pin|pinc|hd|gcr|slru|greedy-dual|…`, with optional
 //!   parameters like `slru:protected=0.5`); `--policy NAME` is accepted as
@@ -60,9 +67,8 @@ fn main() -> ExitCode {
         eprintln!("  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE");
         eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
         eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
-        eprintln!(
-            "           [--supergraph] [--background] [--no-cache] [--save DIR] [--restore DIR]"
-        );
+        eprintln!("           [--shards N] [--supergraph] [--background] [--no-cache]");
+        eprintln!("           [--maint-stats] [--save DIR] [--restore DIR]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -90,7 +96,7 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Bare flags take no value.
-            const FLAGS: [&str; 3] = ["supergraph", "no-cache", "background"];
+            const FLAGS: [&str; 4] = ["supergraph", "no-cache", "background", "maint-stats"];
             if FLAGS.contains(&key) {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
@@ -291,7 +297,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .eviction(eviction)
         .query_kind(kind)
         .background(opts.contains_key("background"))
-        .threads(threads);
+        .threads(threads)
+        .shards(num(&opts, "shards", 0usize)?);
     if let Some(spec) = admission {
         builder = builder.admission(spec);
     }
@@ -353,6 +360,29 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         },
         summary.throughput_qps(wall)
     );
+    if opts.contains_key("maint-stats") {
+        cache.flush_pending();
+        let m = cache.maint_stats();
+        println!(
+            "maintenance: {} rounds | total {:.1} ms | victim select {:.1} ms | \
+             index delta {:.1} ms | stats upkeep {:.1} ms",
+            m.rounds,
+            m.total.as_secs_f64() * 1e3,
+            m.victim_select.as_secs_f64() * 1e3,
+            m.index_delta.as_secs_f64() * 1e3,
+            m.stats_upkeep.as_secs_f64() * 1e3,
+        );
+        println!(
+            "maintenance: {} admitted, {} evicted ({} entries touched) | \
+             {} shard patches across {} shards | {} compactions",
+            m.entries_admitted,
+            m.entries_evicted,
+            m.entries_touched(),
+            m.shards_patched,
+            cache.shard_count(),
+            m.compactions,
+        );
+    }
     if let Some(dir) = opts.get("save") {
         cache.save(dir).map_err(|e| e.to_string())?;
         println!("saved cache state to {dir}");

@@ -1,0 +1,217 @@
+//! Incremental == full: equivalence of delta-maintained sharded indexes
+//! with stop-the-world rebuilds.
+//!
+//! * **Property** — after any random admit/evict/compact sequence, the
+//!   incrementally patched shards return the same candidates as a fresh
+//!   `CacheSnapshot::build_sharded` over the surviving entries — and a
+//!   compacted shard returns *byte-identical* `HitCandidates` (same slots,
+//!   same order) to a freshly built shard over the same entries.
+//! * **Replay** — a sharded cache answers a Zipf workload exactly like a
+//!   single-shard one (and like the bare method), and both converge on the
+//!   same cached set under the same deterministic policy.
+
+use graphcache::core::{
+    shard_for, CacheEntry, CacheSnapshot, CostModel, GraphCache, QueryIndexConfig, QuerySerial,
+    Shard,
+};
+use graphcache::index::paths::enumerate_paths;
+use graphcache::prelude::*;
+use graphcache::workload::generate_type_a;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn path_graph(labels: &[u32]) -> LabeledGraph {
+    let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+    LabeledGraph::from_parts(labels.to_vec(), &edges)
+}
+
+/// A small deterministic query graph derived from a seed: a labelled path,
+/// sometimes closed into a cycle, over a 4-letter alphabet so containment
+/// relations between generated graphs are common.
+fn seeded_graph(seed: u64) -> LabeledGraph {
+    let len = 2 + (seed % 4) as usize;
+    let labels: Vec<u32> = (0..len).map(|i| ((seed >> (2 * i)) & 3) as u32).collect();
+    let mut edges: Vec<(u32, u32)> = (0..len as u32 - 1).map(|i| (i, i + 1)).collect();
+    if len > 2 && seed.is_multiple_of(5) {
+        edges.push((len as u32 - 1, 0)); // close the cycle
+    }
+    LabeledGraph::from_parts(labels, &edges)
+}
+
+fn entry_for(serial: QuerySerial, seed: u64) -> Arc<CacheEntry> {
+    let graph = seeded_graph(seed);
+    let cfg = QueryIndexConfig::default();
+    let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
+    Arc::new(CacheEntry {
+        serial,
+        graph: Arc::new(graph),
+        answer: vec![GraphId((serial % 3) as u32)],
+        kind: QueryKind::Subgraph,
+        profile,
+    })
+}
+
+fn probes() -> Vec<LabeledGraph> {
+    vec![
+        path_graph(&[0, 1]),
+        path_graph(&[1, 0, 1]),
+        path_graph(&[2, 3]),
+        path_graph(&[0, 0, 0]),
+        path_graph(&[3, 2, 1, 0]),
+        path_graph(&[1, 1]),
+        path_graph(&[0, 1, 2, 3, 0, 1]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random admit/evict/compact traces leave the sharded incremental
+    /// state candidate-equivalent to a fresh build of the live entries.
+    #[test]
+    fn incremental_equals_full_rebuild(
+        ops in pvec((0u8..4, 0u64..1_000_000), 1..80usize),
+        n_shards in 1usize..6,
+    ) {
+        let cfg = QueryIndexConfig::default();
+        // The incrementally maintained state: one Arc per shard, patched
+        // exactly like window::maintain patches the live shards.
+        let mut shards: Vec<Arc<Shard>> =
+            (0..n_shards).map(|_| Arc::new(Shard::empty(cfg))).collect();
+        // Ground truth: the live entries in admission order.
+        let mut live: Vec<Arc<CacheEntry>> = Vec::new();
+        let mut next_serial: QuerySerial = 0;
+
+        for &(op, seed) in &ops {
+            match op {
+                // Admit a new entry (ops 0 and 1: admissions dominate so
+                // the cache actually grows).
+                0 | 1 => {
+                    next_serial += 1;
+                    let e = entry_for(next_serial, seed);
+                    live.push(e.clone());
+                    Arc::make_mut(&mut shards[shard_for(e.serial, n_shards)]).insert(e);
+                }
+                // Evict a random live entry (tombstone in place).
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live.remove(seed as usize % live.len());
+                    let removed = Arc::make_mut(
+                        &mut shards[shard_for(victim.serial, n_shards)],
+                    )
+                    .remove(victim.serial);
+                    prop_assert!(removed, "live entry must be removable");
+                }
+                // Compact a random shard (the debt-threshold fallback).
+                _ => {
+                    Arc::make_mut(&mut shards[seed as usize % n_shards]).compact();
+                }
+            }
+        }
+
+        let incremental = CacheSnapshot::from_shards(cfg, shards.clone());
+        let fresh = CacheSnapshot::build_sharded(cfg, n_shards, live.clone());
+        prop_assert_eq!(incremental.len(), live.len());
+
+        for probe in probes() {
+            // Candidate serials agree exactly (same order: shards preserve
+            // admission order of their surviving entries).
+            let got = incremental.candidate_serials(&probe);
+            let want = fresh.candidate_serials(&probe);
+            prop_assert_eq!(&got, &want, "probe {:?}", &probe);
+            // And as sets they match the monolithic single-shard build.
+            let flat = CacheSnapshot::build(cfg, live.clone());
+            let (mut fs, mut fp) = flat.candidate_serials(&probe);
+            let (mut gs, mut gp) = got;
+            fs.sort_unstable();
+            fp.sort_unstable();
+            gs.sort_unstable();
+            gp.sort_unstable();
+            prop_assert_eq!(gs, fs);
+            prop_assert_eq!(gp, fp);
+        }
+
+        // After compaction, each shard's HitCandidates are byte-identical
+        // (same slots, same order) to a freshly built shard.
+        for (i, shard) in shards.iter().enumerate() {
+            let mut compacted = shard.as_ref().clone();
+            compacted.compact();
+            let rebuilt = Shard::build(
+                cfg,
+                shard.live_entries().cloned().collect::<Vec<_>>(),
+            );
+            for probe in probes() {
+                let profile = enumerate_paths(&probe, cfg.max_path_len, cfg.work_cap);
+                let (qn, qm) = (probe.node_count() as u32, probe.edge_count() as u32);
+                let a = compacted.index().candidates_from_profile(&profile, qn, qm);
+                let b = rebuilt.index().candidates_from_profile(&profile, qn, qm);
+                prop_assert_eq!(a.sub, b.sub, "shard {} sub slots", i);
+                prop_assert_eq!(a.super_, b.super_, "shard {} super slots", i);
+            }
+        }
+    }
+
+    /// Entry lookup routes to the right shard for any serial and count.
+    #[test]
+    fn entry_lookup_after_churn(
+        serials in pvec(1u64..10_000, 1..40usize),
+        n_shards in 1usize..8,
+    ) {
+        let cfg = QueryIndexConfig::default();
+        let mut unique = serials.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let entries: Vec<Arc<CacheEntry>> =
+            unique.iter().map(|&s| entry_for(s, s)).collect();
+        let snap = CacheSnapshot::build_sharded(cfg, n_shards, entries);
+        for &s in &unique {
+            prop_assert_eq!(snap.entry(s).map(|e| e.serial), Some(s));
+        }
+        prop_assert!(snap.entry(0).is_none());
+        prop_assert!(snap.entry(10_001).is_none());
+    }
+}
+
+/// A sharded cache replays a Zipf workload with exactly the answers of a
+/// single-shard cache and of the bare method, and converges on the same
+/// cached set (victim selection is global, so sharding must not change
+/// policy outcomes).
+#[test]
+fn sharded_cache_replay_matches_single_shard() {
+    let d = datasets::aids_like(0.04, 77);
+    let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(150).seed(33));
+    let baseline = MethodBuilder::ggsx().build(&d);
+    let build = |shards: usize| {
+        GraphCache::builder()
+            .capacity(8)
+            .window(5)
+            .cost_model(CostModel::Work)
+            .shards(shards)
+            .build(MethodBuilder::ggsx().build(&d))
+    };
+    let flat = build(1);
+    let sharded = build(5);
+    assert_eq!(sharded.shard_count(), 5);
+    for q in workload.graphs() {
+        let want = baseline.run(q).answer;
+        assert_eq!(flat.run(q).answer, want);
+        assert_eq!(sharded.run(q).answer, want);
+    }
+    let cached = |c: &GraphCache| {
+        c.with_stats(|s| {
+            let mut keys: Vec<QuerySerial> = s.keys().collect();
+            keys.sort_unstable();
+            keys
+        })
+    };
+    assert_eq!(cached(&flat), cached(&sharded), "same cached set");
+    assert!(sharded.cache_len() <= 8);
+    // Maintenance actually exercised the delta path.
+    let m = sharded.maint_stats();
+    assert!(m.rounds > 0);
+    assert!(m.entries_admitted > 0);
+    assert!(m.shards_patched > 0);
+}
