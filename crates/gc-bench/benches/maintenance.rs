@@ -42,13 +42,13 @@ fn entry_for(serial: u64) -> Arc<CacheEntry> {
     let graph = seeded_graph(serial.wrapping_mul(0x9E37_79B9));
     let cfg = QueryIndexConfig::default();
     let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
-    Arc::new(CacheEntry {
+    Arc::new(CacheEntry::new(
         serial,
-        graph: Arc::new(graph),
-        answer: vec![GraphId((serial % 64) as u32)],
-        kind: QueryKind::Subgraph,
+        Arc::new(graph),
+        vec![GraphId((serial % 64) as u32)],
+        QueryKind::Subgraph,
         profile,
-    })
+    ))
 }
 
 /// Applies one round's delta to the shards, exactly as `window::maintain`

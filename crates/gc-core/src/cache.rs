@@ -52,6 +52,27 @@ pub struct GcConfig {
     /// Search limits for cache-hit verification tests. Individual requests
     /// may override this per query ([`QueryRequest::hit_match`]).
     pub hit_match: MatchConfig,
+    /// Shared verification work pool per query: hit-candidate tests are
+    /// verified cheapest-first and each deducts its matcher work
+    /// (`nodes_expanded`) from this pool; when it runs dry the sweep stops
+    /// with a partial (still sound) hit set and the query is marked
+    /// [`truncated`](crate::QueryRecord::truncated). Unlike
+    /// [`hit_match`](Self::hit_match), which bounds each *individual*
+    /// test, this caps the query's total hit-detection spend so one
+    /// candidate-heavy query cannot burn more matcher work than a cache
+    /// hit could ever save (paper §5). `None` = unbounded. Individual
+    /// requests may override this ([`QueryRequest::verify_budget`]).
+    pub verify_budget: Option<u64>,
+    /// Worker threads for *hit-candidate verification* within one query:
+    /// when a query's ordered candidate queue is large, the sweep fans
+    /// across this many scoped threads. Deliberately separate from
+    /// [`threads`](Self::threads) (client concurrency) — tying them
+    /// together would oversubscribe `run_batch` (each of N client workers
+    /// spawning N more) and make budgeted hit sets depend on thread
+    /// timing. The default `1` keeps verification sequential and fully
+    /// deterministic; raise it for latency-sensitive single-stream
+    /// workloads with candidate-heavy queries.
+    pub verify_threads: usize,
     /// Run the Window Manager on a background thread (the paper's design);
     /// `false` runs maintenance inline for deterministic tests.
     pub background: bool,
@@ -85,6 +106,8 @@ impl Default for GcConfig {
             cost_model: CostModel::WallTime,
             index: QueryIndexConfig::default(),
             hit_match: MatchConfig::UNBOUNDED,
+            verify_budget: None,
+            verify_threads: 1,
             background: false,
             parallel_dispatch: false,
             threads: 0,
@@ -219,6 +242,20 @@ impl GraphCacheBuilder {
         self
     }
 
+    /// Per-query verification work pool for hit detection (see
+    /// [`GcConfig::verify_budget`]).
+    pub fn verify_budget(mut self, budget: u64) -> Self {
+        self.cfg.verify_budget = Some(budget);
+        self
+    }
+
+    /// Worker threads for parallel hit-candidate verification within one
+    /// query (see [`GcConfig::verify_threads`]; default 1 = sequential).
+    pub fn verify_threads(mut self, n: usize) -> Self {
+        self.cfg.verify_threads = n.max(1);
+        self
+    }
+
     /// Background (true) vs inline (false) window maintenance.
     pub fn background(mut self, bg: bool) -> Self {
         self.cfg.background = bg;
@@ -310,6 +347,13 @@ pub struct QueryRequest {
     /// Per-query override of the hit-verification budget
     /// ([`GcConfig::hit_match`]).
     pub hit_match: Option<MatchConfig>,
+    /// Per-query override of the shared verification work pool
+    /// ([`GcConfig::verify_budget`]).
+    pub verify_budget: Option<u64>,
+    /// The request's hit budget: stop hit verification once this many hits
+    /// have been confirmed (fewer hits only means less pruning — answers
+    /// are unaffected). `None` = verify every candidate the budget allows.
+    pub max_hits: Option<usize>,
     /// Skip the cache entirely: the query runs through the uncached
     /// Method M and is neither admitted to the Window nor credited in the
     /// statistics. Useful for baselines and for queries known to be
@@ -328,6 +372,8 @@ impl QueryRequest {
             graph: graph.into(),
             kind: None,
             hit_match: None,
+            verify_budget: None,
+            max_hits: None,
             bypass_cache: false,
             tag: 0,
         }
@@ -342,6 +388,19 @@ impl QueryRequest {
     /// Overrides the hit-verification search budget for this request only.
     pub fn hit_match(mut self, cfg: MatchConfig) -> Self {
         self.hit_match = Some(cfg);
+        self
+    }
+
+    /// Overrides the shared verification work pool for this request only.
+    pub fn verify_budget(mut self, budget: u64) -> Self {
+        self.verify_budget = Some(budget);
+        self
+    }
+
+    /// Caps the number of verified hits for this request (early exit once
+    /// the hit budget is satisfied).
+    pub fn max_hits(mut self, n: usize) -> Self {
+        self.max_hits = Some(n);
         self
     }
 
@@ -374,6 +433,16 @@ impl From<&LabeledGraph> for QueryRequest {
     fn from(graph: &LabeledGraph) -> Self {
         QueryRequest::new(graph.clone())
     }
+}
+
+/// Per-query override knobs forwarded from a [`QueryRequest`] into the
+/// cached execution path (all `None` on the plain [`GraphCache::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct RunOverrides {
+    kind: Option<QueryKind>,
+    hit_match: Option<MatchConfig>,
+    verify_budget: Option<u64>,
+    max_hits: Option<usize>,
 }
 
 /// Outcome of one [`QueryRequest`]: the wrapped [`QueryResult`] plus
@@ -793,7 +862,15 @@ impl GraphCache {
             crate::persist::PersistedCache {
                 entries: snapshot
                     .iter_entries()
-                    .map(|e| (e.serial, e.graph.as_ref().clone(), e.answer.clone(), e.kind))
+                    .map(|e| {
+                        (
+                            e.serial,
+                            e.graph.as_ref().clone(),
+                            e.answer.clone(),
+                            e.kind,
+                            e.fingerprint,
+                        )
+                    })
                     .collect(),
                 stats: self.shared.stats.lock().clone(),
                 next_serial: self.shared.current_serial() + 1,
@@ -896,7 +973,7 @@ impl GraphCache {
         // The one unavoidable copy on this borrowed-graph entry point: the
         // graph is shared from here on (filter pool, Window, cache entry
         // all take Arc clones).
-        self.run_overridden(&Arc::new(query.clone()), None, None)
+        self.run_overridden(&Arc::new(query.clone()), RunOverrides::default())
     }
 
     /// Executes one typed request, honouring its per-query overrides.
@@ -952,7 +1029,15 @@ impl GraphCache {
                 request.kind.unwrap_or(self.cfg.query_kind),
             )
         } else {
-            self.run_overridden(&request.graph, request.kind, request.hit_match)
+            self.run_overridden(
+                &request.graph,
+                RunOverrides {
+                    kind: request.kind,
+                    hit_match: request.hit_match,
+                    verify_budget: request.verify_budget,
+                    max_hits: request.max_hits,
+                },
+            )
         };
         QueryResponse {
             tag: request.tag,
@@ -987,15 +1072,11 @@ impl GraphCache {
     /// The cached query path with optional per-query overrides. The graph
     /// arrives behind an `Arc` so the filter pool, the Window and the
     /// eventual cache entry all share it without deep copies.
-    fn run_overridden(
-        &self,
-        query: &Arc<LabeledGraph>,
-        kind: Option<QueryKind>,
-        hit_match: Option<MatchConfig>,
-    ) -> QueryResult {
+    fn run_overridden(&self, query: &Arc<LabeledGraph>, ov: RunOverrides) -> QueryResult {
         let serial = self.shared.next_serial();
-        let kind = kind.unwrap_or(self.cfg.query_kind);
-        let hit_match = hit_match.unwrap_or(self.cfg.hit_match);
+        let kind = ov.kind.unwrap_or(self.cfg.query_kind);
+        let hit_match = ov.hit_match.unwrap_or(self.cfg.hit_match);
+        let verify_budget = ov.verify_budget.or(self.cfg.verify_budget);
 
         // (2)-(3): Method M filtering and GC processors, dispatched in
         // parallel when configured (Fig. 2 step 2). In sequential mode the
@@ -1010,17 +1091,26 @@ impl GraphCache {
 
         let t_gc = Instant::now();
         let snapshot = self.shared.load_snapshot();
-        // The query's feature profile is computed once here and reused for
-        // candidate probing across every shard and for index patching if
-        // the query is later admitted to the cache.
+        // The query's feature profile and iso fingerprint are computed once
+        // here and reused for candidate probing across every shard and for
+        // index patching if the query is later admitted to the cache.
         let profile = snapshot.profile_of(query);
-        let hits = processors::find_hits_with_profile(
+        let hit_query = processors::HitQuery::new(query, kind, &profile);
+        let fingerprint = hit_query.fingerprint;
+        let hits = processors::find_hits_opts(
             &snapshot,
-            query,
-            kind,
-            &profile,
+            &hit_query,
             self.method.matcher().as_ref(),
             &hit_match,
+            &processors::VerifyOptions {
+                budget: verify_budget,
+                max_hits: ov.max_hits,
+                // An exact hit answers the query outright, so candidate
+                // verification would be wasted work on that path.
+                exact_shortcut: true,
+                threads: self.cfg.verify_threads.max(1),
+                ..processors::VerifyOptions::default()
+            },
         );
         let gc_filter = t_gc.elapsed();
 
@@ -1029,6 +1119,10 @@ impl GraphCache {
             gc_filter,
             sub_hits: hits.sub.len(),
             super_hits: hits.super_.len(),
+            gc_tests: hits.tests,
+            budget_spent: hits.work,
+            truncated: hits.truncated,
+            exact_via_fingerprint: hits.exact_via_fingerprint,
             ..Default::default()
         };
 
@@ -1045,7 +1139,7 @@ impl GraphCache {
             record.cs_gc_size = 0;
             record.answer_size = answer.len();
             self.credit_exact(source, serial, query, &answer);
-            let maintenance = self.push_window(query, kind, profile, &answer, &record);
+            let maintenance = self.push_window(query, kind, profile, fingerprint, &answer, &record);
             record.maintenance = maintenance;
             return QueryResult {
                 serial,
@@ -1118,7 +1212,7 @@ impl GraphCache {
         self.credit_contributions(serial, query, &pruned);
 
         // (6)-(7): window admission and batched cache maintenance.
-        let maintenance = self.push_window(query, kind, profile, &answer, &record);
+        let maintenance = self.push_window(query, kind, profile, fingerprint, &answer, &record);
         record.maintenance = maintenance;
 
         QueryResult {
@@ -1220,6 +1314,7 @@ impl GraphCache {
         query: &Arc<LabeledGraph>,
         kind: QueryKind,
         profile: gc_index::paths::PathProfile,
+        fingerprint: u64,
         answer: &[GraphId],
         record: &QueryRecord,
     ) -> Duration {
@@ -1248,6 +1343,7 @@ impl GraphCache {
             answer: answer.to_vec(),
             kind,
             profile,
+            fingerprint,
             filter_us,
             verify_us,
             expensiveness,

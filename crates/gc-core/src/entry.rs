@@ -13,6 +13,8 @@
 use crate::query_index::{HitCandidates, QueryIndex, QueryIndexConfig};
 use crate::stats::QuerySerial;
 use gc_graph::{GraphId, LabeledGraph};
+use gc_index::fingerprint::iso_hash;
+use gc_index::fx::FxHashMap;
 use gc_index::paths::{enumerate_paths, PathProfile};
 use gc_methods::QueryKind;
 use std::sync::Arc;
@@ -37,9 +39,34 @@ pub struct CacheEntry {
     /// The query's path-feature profile, computed once at execution time so
     /// index rebuilds never re-enumerate cached graphs.
     pub profile: PathProfile,
+    /// Isomorphism-invariant fingerprint of the query graph
+    /// ([`gc_index::fingerprint::iso_hash`]), computed once at execution
+    /// time — the key of the shard's exact-match map.
+    pub fingerprint: u64,
 }
 
 impl CacheEntry {
+    /// Assembles an entry, computing the graph's iso fingerprint. Callers
+    /// that already hold the fingerprint (the Window Manager) construct the
+    /// struct directly instead.
+    pub fn new(
+        serial: QuerySerial,
+        graph: Arc<LabeledGraph>,
+        answer: Vec<GraphId>,
+        kind: QueryKind,
+        profile: PathProfile,
+    ) -> Self {
+        let fingerprint = iso_hash(&graph);
+        CacheEntry {
+            serial,
+            graph,
+            answer,
+            kind,
+            profile,
+            fingerprint,
+        }
+    }
+
     /// Approximate memory footprint in bytes, including the retained
     /// feature profile (kept for index patching, so it counts toward the
     /// §7.3 space overhead just as it does while pending in the Window).
@@ -47,7 +74,7 @@ impl CacheEntry {
         self.graph.memory_bytes()
             + self.answer.len() * std::mem::size_of::<GraphId>()
             + self.profile.memory_bytes()
-            + 24
+            + 32
     }
 }
 
@@ -73,6 +100,11 @@ pub struct Shard {
     entries: Vec<Option<Arc<CacheEntry>>>,
     /// The combined subgraph/supergraph index over this shard's entries.
     index: QueryIndex,
+    /// Iso fingerprint → live slots carrying it — the exact-match fast
+    /// path's key map, maintained incrementally alongside the index
+    /// (`insert` appends the slot, `remove` prunes it eagerly, so the map
+    /// never accumulates tombstone debt).
+    exact: FxHashMap<u64, Vec<u32>>,
 }
 
 impl Shard {
@@ -81,26 +113,18 @@ impl Shard {
         Shard {
             entries: Vec::new(),
             index: QueryIndex::build_from_profiles(cfg, std::iter::empty()),
+            exact: FxHashMap::default(),
         }
     }
 
     /// Builds a dense shard (and its index) from entries, reusing each
     /// entry's stored feature profile.
     pub fn build(cfg: QueryIndexConfig, entries: Vec<Arc<CacheEntry>>) -> Self {
-        let index = QueryIndex::build_from_profiles(
-            cfg,
-            entries.iter().map(|e| {
-                (
-                    e.serial,
-                    (e.graph.node_count() as u32, e.graph.edge_count() as u32),
-                    &e.profile,
-                )
-            }),
-        );
-        Shard {
-            entries: entries.into_iter().map(Some).collect(),
-            index,
+        let mut shard = Shard::empty(cfg);
+        for e in entries {
+            shard.insert(e);
         }
+        shard
     }
 
     /// Number of live entries.
@@ -135,8 +159,9 @@ impl Shard {
         self.entries.iter().flatten()
     }
 
-    /// Admits an entry: appends a slot and indexes its profile. The serial
-    /// must not already be live in this shard.
+    /// Admits an entry: appends a slot, indexes its profile and threads its
+    /// fingerprint into the exact-match map. The serial must not already be
+    /// live in this shard.
     pub fn insert(&mut self, entry: Arc<CacheEntry>) {
         let slot = self.index.insert_profile(
             entry.serial,
@@ -147,19 +172,34 @@ impl Shard {
             &entry.profile,
         );
         debug_assert_eq!(slot as usize, self.entries.len());
+        self.exact.entry(entry.fingerprint).or_default().push(slot);
         self.entries.push(Some(entry));
     }
 
-    /// Evicts an entry: tombstones its slot in place. Returns whether the
-    /// serial was live here.
+    /// Evicts an entry: tombstones its slot in place and prunes the
+    /// exact-match map. Returns whether the serial was live here.
     pub fn remove(&mut self, serial: QuerySerial) -> bool {
         match self.index.remove(serial) {
             Some(slot) => {
-                self.entries[slot as usize] = None;
+                if let Some(entry) = self.entries[slot as usize].take() {
+                    if let Some(slots) = self.exact.get_mut(&entry.fingerprint) {
+                        slots.retain(|&s| s != slot);
+                        if slots.is_empty() {
+                            self.exact.remove(&entry.fingerprint);
+                        }
+                    }
+                }
                 true
             }
             None => false,
         }
+    }
+
+    /// Live slots whose entries carry the given iso fingerprint — the
+    /// exact-match fast path probe. Candidates, not proof: the caller must
+    /// confirm isomorphism (hash collisions are possible, just rare).
+    pub fn exact_slots(&self, fingerprint: u64) -> &[u32] {
+        self.exact.get(&fingerprint).map_or(&[], |v| v.as_slice())
     }
 
     /// Fraction of slots that are tombstones — the compaction-debt signal
@@ -189,9 +229,12 @@ impl Shard {
         *self = self.compacted();
     }
 
-    /// Approximate memory footprint of entries + index, in bytes.
+    /// Approximate memory footprint of entries + index + exact map, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.live_entries().map(|e| e.memory_bytes()).sum::<usize>() + self.index.memory_bytes()
+        let exact: usize = self.exact.values().map(|v| v.len() * 4 + 32).sum();
+        self.live_entries().map(|e| e.memory_bytes()).sum::<usize>()
+            + self.index.memory_bytes()
+            + exact
     }
 }
 
@@ -336,13 +379,13 @@ mod tests {
     fn entry(serial: QuerySerial) -> Arc<CacheEntry> {
         let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
         let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
-        Arc::new(CacheEntry {
+        Arc::new(CacheEntry::new(
             serial,
-            graph: Arc::new(graph),
-            answer: vec![GraphId(0), GraphId(2)],
-            kind: QueryKind::Subgraph,
+            Arc::new(graph),
+            vec![GraphId(0), GraphId(2)],
+            QueryKind::Subgraph,
             profile,
-        })
+        ))
     }
 
     #[test]
@@ -406,6 +449,25 @@ mod tests {
         assert_eq!(shard.index().slots(), 3, "dense after compaction");
         let order: Vec<QuerySerial> = shard.live_entries().map(|e| e.serial).collect();
         assert_eq!(order, vec![1, 3, 4], "slot order preserved");
+    }
+
+    #[test]
+    fn exact_map_follows_insert_remove_compact() {
+        let mut shard = Shard::build(QueryIndexConfig::default(), vec![entry(1), entry(2)]);
+        let fp = entry(1).fingerprint; // all test entries share one graph
+        assert_eq!(shard.exact_slots(fp), &[0, 1]);
+        assert!(shard.exact_slots(fp ^ 1).is_empty());
+
+        shard.remove(1);
+        assert_eq!(shard.exact_slots(fp), &[1], "evicted slot pruned eagerly");
+        shard.insert(entry(3));
+        assert_eq!(shard.exact_slots(fp), &[1, 2]);
+
+        shard.compact();
+        assert_eq!(shard.exact_slots(fp), &[0, 1], "dense slots after rebuild");
+        for &slot in shard.exact_slots(fp) {
+            assert!(shard.entry_at(slot).is_some());
+        }
     }
 
     #[test]

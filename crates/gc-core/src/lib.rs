@@ -96,6 +96,7 @@ pub use metrics::{MaintStats, QueryRecord, RunSummary};
 pub use persist::{PersistedCache, PersistedEntry};
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};
+pub use processors::{find_hits, find_hits_naive, find_hits_opts, HitQuery, HitSet, VerifyOptions};
 pub use query_index::{QueryIndex, QueryIndexConfig};
 pub use registry::{PolicyError, PolicyParams, PolicyRegistry};
 pub use stats::{QuerySerial, StatsStore};

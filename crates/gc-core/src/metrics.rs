@@ -22,6 +22,19 @@ pub struct QueryRecord {
     pub subiso_tests: u64,
     /// Matcher work (recursion steps) spent on dataset verification.
     pub verify_work: u64,
+    /// Sub-iso tests spent verifying cache-hit candidates (the GC
+    /// processors' sweep; exact fingerprint confirmations excluded).
+    pub gc_tests: u64,
+    /// Matcher work spent on hit detection — what the per-query
+    /// verification budget pool deducts
+    /// ([`GcConfig::verify_budget`](crate::GcConfig::verify_budget)).
+    pub budget_spent: u64,
+    /// The hit-verification sweep ran out of budget before covering every
+    /// candidate; the hit sets (and therefore pruning) are a sound subset.
+    pub truncated: bool,
+    /// The exact hit was resolved through the O(1) fingerprint map rather
+    /// than a candidate sweep.
+    pub exact_via_fingerprint: bool,
     /// |CS_M(g)| — Method M's candidate set size.
     pub cs_m_size: usize,
     /// |CS_GC(g)| — candidate set size after GraphCache pruning.
@@ -119,8 +132,14 @@ pub struct RunSummary {
     pub hit_rate: f64,
     /// Number of exact-match special cases.
     pub exact_hits: usize,
+    /// Exact hits resolved through the O(1) fingerprint map.
+    pub exact_fp_hits: usize,
     /// Number of empty-shortcut special cases.
     pub empty_shortcuts: usize,
+    /// Queries whose hit-verification sweep was budget-truncated.
+    pub truncated_queries: usize,
+    /// Total matcher work spent on hit verification (budget pool usage).
+    pub total_budget_spent: u64,
     /// Total wall time of the run (µs), queries only.
     pub total_query_time_us: f64,
     /// Total sub-iso tests.
@@ -148,7 +167,10 @@ impl RunSummary {
             s.avg_maintenance_us += r.maintenance.as_secs_f64() * 1e6;
             s.hit_rate += r.any_hit() as u64 as f64;
             s.exact_hits += r.exact_hit as usize;
+            s.exact_fp_hits += r.exact_via_fingerprint as usize;
             s.empty_shortcuts += r.empty_shortcut as usize;
+            s.truncated_queries += r.truncated as usize;
+            s.total_budget_spent += r.budget_spent;
             s.total_subiso_tests += r.subiso_tests;
         }
         s.total_query_time_us = s.avg_query_time_us;

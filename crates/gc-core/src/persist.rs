@@ -8,10 +8,12 @@
 //!   `policy <name>` header recording the eviction policy the statistics
 //!   were accumulated under (absent in saves predating the pluggable
 //!   policy engine), then for each cached query: an
-//!   `@entry <serial> [sub|super]` header (the query direction the answer
-//!   was computed under; `sub` when omitted, for saves predating
-//!   direction-tagged entries), the query graph in the `gc_graph::io`
-//!   record format, then an `answers: <id> <id> …` line;
+//!   `@entry <serial> [sub|super] [fp:<hex>]` header (the query direction
+//!   the answer was computed under — `sub` when omitted, for saves
+//!   predating direction-tagged entries — and the entry's iso fingerprint;
+//!   when the token is absent the fingerprint is recomputed on load), the
+//!   query graph in the `gc_graph::io` record format, then an
+//!   `answers: <id> <id> …` line;
 //! * `stats.txt` — one `row <serial>` line per statistics row followed by
 //!   `  <column> <int|float> <value>` lines.
 //!
@@ -22,15 +24,23 @@ use crate::entry::{CacheEntry, CacheSnapshot};
 use crate::query_index::QueryIndexConfig;
 use crate::stats::{QuerySerial, StatsStore, Value};
 use gc_graph::{io, GraphError, GraphId};
+use gc_index::fingerprint::iso_hash;
 use gc_index::paths::enumerate_paths;
 use gc_methods::QueryKind;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-/// One persisted cache entry: serial, query graph, answer set, and the
-/// query direction the answer was computed under.
-pub type PersistedEntry = (QuerySerial, gc_graph::LabeledGraph, Vec<GraphId>, QueryKind);
+/// One persisted cache entry: serial, query graph, answer set, the query
+/// direction the answer was computed under, and the graph's iso
+/// fingerprint (recomputed on load when the save predates fingerprints).
+pub type PersistedEntry = (
+    QuerySerial,
+    gc_graph::LabeledGraph,
+    Vec<GraphId>,
+    QueryKind,
+    u64,
+);
 
 /// Serialisable cache state: entries plus their statistics rows.
 #[derive(Debug, Default)]
@@ -59,12 +69,12 @@ impl PersistedCache {
         if let Some(policy) = &self.policy {
             writeln!(ef, "policy {policy}")?;
         }
-        for (serial, graph, answer, kind) in &self.entries {
+        for (serial, graph, answer, kind, fingerprint) in &self.entries {
             let kind_tok = match kind {
                 QueryKind::Subgraph => "sub",
                 QueryKind::Supergraph => "super",
             };
-            writeln!(ef, "@entry {serial} {kind_tok}")?;
+            writeln!(ef, "@entry {serial} {kind_tok} fp:{fingerprint:016x}")?;
             io::write_graph(&mut ef, &format!("q{serial}"), graph)?;
             write!(ef, "answers:")?;
             for id in answer {
@@ -124,9 +134,9 @@ impl PersistedCache {
         // Re-assemble records: delegate graph parsing to gc_graph::io by
         // buffering each record's lines.
         let mut pending: Vec<String> = Vec::new();
-        let mut serial: Option<(QuerySerial, QueryKind)> = None;
+        let mut serial: Option<(QuerySerial, QueryKind, Option<u64>)> = None;
         let mut lineno = 1usize;
-        let finish = |(serial, kind): (QuerySerial, QueryKind),
+        let finish = |(serial, kind, fp): (QuerySerial, QueryKind, Option<u64>),
                       pending: &mut Vec<String>,
                       out: &mut PersistedCache,
                       lineno: usize|
@@ -152,8 +162,10 @@ impl PersistedCache {
                     "expected exactly one graph record",
                 ));
             }
-            out.entries
-                .push((serial, ds.graph(GraphId(0)).clone(), answer, kind));
+            let graph = ds.graph(GraphId(0)).clone();
+            // Saves predating fingerprints carry no token; re-hash on load.
+            let fingerprint = fp.unwrap_or_else(|| iso_hash(&graph));
+            out.entries.push((serial, graph, answer, kind, fingerprint));
             pending.clear();
             Ok(())
         };
@@ -169,21 +181,27 @@ impl PersistedCache {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| GraphError::parse(lineno, "bad entry serial"))?;
-                // The kind token is optional: saves predating
-                // direction-tagged entries carry none and default to the
-                // caller's kind.
-                let kind = match toks.next() {
-                    None => default_kind,
-                    Some("sub") => QueryKind::Subgraph,
-                    Some("super") => QueryKind::Supergraph,
-                    Some(other) => {
-                        return Err(GraphError::parse(
-                            lineno,
-                            format!("unknown entry kind {other:?}"),
-                        ))
+                // The kind and fingerprint tokens are optional: saves
+                // predating direction-tagged entries carry neither (the
+                // kind defaults to the caller's, the fingerprint is
+                // recomputed from the graph).
+                let mut kind = default_kind;
+                let mut fp: Option<u64> = None;
+                for tok in toks {
+                    match tok {
+                        "sub" => kind = QueryKind::Subgraph,
+                        "super" => kind = QueryKind::Supergraph,
+                        _ => {
+                            let hex = tok.strip_prefix("fp:").ok_or_else(|| {
+                                GraphError::parse(lineno, format!("unknown entry kind {tok:?}"))
+                            })?;
+                            fp = Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                                GraphError::parse(lineno, "malformed fingerprint token")
+                            })?);
+                        }
                     }
-                };
-                serial = Some((parsed, kind));
+                }
+                serial = Some((parsed, kind, fp));
             } else if serial.is_some() {
                 pending.push(line);
             } else if let Some(p) = line.strip_prefix("policy ") {
@@ -272,7 +290,7 @@ impl PersistedCache {
         let entries: Vec<Arc<CacheEntry>> = self
             .entries
             .into_iter()
-            .map(|(serial, graph, answer, kind)| {
+            .map(|(serial, graph, answer, kind, fingerprint)| {
                 let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
                 Arc::new(CacheEntry {
                     serial,
@@ -280,6 +298,7 @@ impl PersistedCache {
                     answer,
                     kind,
                     profile,
+                    fingerprint,
                 })
             })
             .collect();
@@ -332,20 +351,20 @@ mod tests {
         stats.set(3, columns::HITS, 7i64);
         stats.set(3, columns::C_TOTAL, 12.5);
         stats.set(9, columns::NODES, 4i64);
+        let g3 = LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]);
+        let g9 = LabeledGraph::from_parts(vec![5], &[]);
+        let fp3 = iso_hash(&g3);
+        let fp9 = iso_hash(&g9);
         PersistedCache {
             entries: vec![
                 (
                     3,
-                    LabeledGraph::from_parts(vec![0, 1, 0], &[(0, 1), (1, 2)]),
+                    g3,
                     vec![GraphId(0), GraphId(4)],
                     QueryKind::Subgraph,
+                    fp3,
                 ),
-                (
-                    9,
-                    LabeledGraph::from_parts(vec![5], &[]),
-                    vec![],
-                    QueryKind::Supergraph,
-                ),
+                (9, g9, vec![], QueryKind::Supergraph, fp9),
             ],
             stats,
             next_serial: 42,
@@ -366,6 +385,7 @@ mod tests {
         assert_eq!(back.entries[0].1.labels(), &[0, 1, 0]);
         assert_eq!(back.entries[0].2, vec![GraphId(0), GraphId(4)]);
         assert_eq!(back.entries[0].3, QueryKind::Subgraph);
+        assert_eq!(back.entries[0].4, iso_hash(&back.entries[0].1));
         assert_eq!(back.entries[1].2, Vec::<GraphId>::new());
         assert_eq!(back.entries[1].3, QueryKind::Supergraph);
         assert_eq!(back.stats.get(3, columns::HITS), Some(Value::Int(7)));
@@ -458,6 +478,42 @@ mod tests {
 
         // Unknown kind tokens are rejected, not silently defaulted.
         let bad = text.replace("@entry 3 sub", "@entry 3 sideways");
+        std::fs::write(dir.join("entries.txt"), bad).unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Saves without a fingerprint token load by re-hashing the graph, so
+    /// the exact-match fast path works on restored legacy caches too.
+    #[test]
+    fn legacy_saves_recompute_fingerprints() {
+        let dir = tmpdir("legacy-fp");
+        sample().save(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("entries.txt")).unwrap();
+        assert!(text.contains(" fp:"), "fingerprints are persisted");
+        let stripped: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("@entry ") {
+                    let mut toks = rest.split_whitespace();
+                    format!(
+                        "@entry {} {}\n",
+                        toks.next().unwrap(),
+                        toks.next().unwrap() // keep the kind, drop fp
+                    )
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(dir.join("entries.txt"), stripped).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        for (_, graph, _, _, fp) in &back.entries {
+            assert_eq!(*fp, iso_hash(graph), "recomputed on load");
+        }
+
+        // A malformed fingerprint token is rejected, not guessed around.
+        let bad = text.replacen(" fp:", " fp:zz", 1);
         std::fs::write(dir.join("entries.txt"), bad).unwrap();
         assert!(PersistedCache::load(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();

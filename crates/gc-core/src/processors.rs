@@ -1,29 +1,144 @@
 //! The GraphCache<sub>sub</sub> / GraphCache<sub>super</sub> processors
 //! (paper §5.1): turn the query index's candidate slots into *verified* hit
 //! sets by running sub-iso tests against the cached query graphs.
+//!
+//! # The hit-detection pipeline
+//!
+//! Hit detection only pays off while it costs far less than running the
+//! query uncached (§5), so candidate verification is organised as three
+//! layers, cheapest first:
+//!
+//! 1. **Exact fingerprint probe** — every cached entry carries an
+//!    isomorphism-invariant fingerprint ([`gc_index::fingerprint::iso_hash`])
+//!    keyed in a per-shard `fingerprint → slots` map. An incoming query
+//!    resolves exact (isomorphic) repeats with one hash lookup plus an iso
+//!    *confirmation* on the rare collision — and when the caller only needs
+//!    the exact answer ([`VerifyOptions::exact_shortcut`]), candidate
+//!    verification is skipped entirely.
+//! 2. **Cost-ordered, budget-arbitrated sweep** — sub/super candidates from
+//!    all shards merge into a single queue scored by
+//!    [`gc_subiso::cost::estimate`] and are verified cheapest-first. A
+//!    shared verification work pool ([`VerifyOptions::budget`]) deducts
+//!    every test's `nodes_expanded`; when it runs dry the sweep degrades
+//!    gracefully to a partial [`HitSet`] with
+//!    [`truncated`](HitSet::truncated) set. Same-size candidates are
+//!    prefiltered by fingerprint (equal-size containment is isomorphism, so
+//!    a fingerprint mismatch proves a non-hit without any search), and the
+//!    sweep stops early once the request's hit budget
+//!    ([`VerifyOptions::max_hits`]) is satisfied.
+//! 3. **Parallel verification** — when the ordered queue is large
+//!    ([`VerifyOptions::parallel_threshold`]) the sweep fans across scoped
+//!    worker threads ([`VerifyOptions::threads`]); results are assembled in
+//!    queue order, so with an unbounded budget the output is identical to
+//!    the sequential sweep.
+//!
+//! [`HitSet`] serial lists are always sorted, making the output canonical
+//! across shard counts and thread interleavings. [`find_hits_naive`] keeps
+//! the original flat per-shard sweep as the parity oracle
+//! (`tests/hit_path.rs`) and the baseline of `benches/hit_path.rs`.
 
 use crate::entry::CacheSnapshot;
 use crate::stats::QuerySerial;
 use gc_graph::LabeledGraph;
+use gc_index::fingerprint::iso_hash;
+use gc_index::fx::FxHashSet;
 use gc_index::paths::PathProfile;
 use gc_methods::QueryKind;
-use gc_subiso::{MatchConfig, Matcher};
+use gc_subiso::{cost, MatchConfig, MatchOutcome, Matcher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Verified cache hits for one new query.
 #[derive(Debug, Clone, Default)]
 pub struct HitSet {
     /// Serials of cached queries `q` with `g ⊆ q` — `Result_sub(g)`.
+    /// Sorted ascending (canonical across shard counts and threads).
     pub sub: Vec<QuerySerial>,
     /// Serials of cached queries `q` with `q ⊆ g` — `Result_super(g)`.
+    /// Sorted ascending.
     pub super_: Vec<QuerySerial>,
     /// A cached query isomorphic to `g`, when one exists (the first special
-    /// case of §5.1: containment in either direction + equal node and edge
-    /// counts implies isomorphism).
+    /// case of §5.1). The smallest confirmed serial, so the pick is
+    /// deterministic when several isomorphic copies are cached.
     pub exact: Option<QuerySerial>,
-    /// Number of sub-iso tests spent verifying candidates.
+    /// Number of sub-iso tests spent verifying sweep candidates. Exact
+    /// fingerprint *confirmations* are not counted here (their work still
+    /// lands in [`work`](Self::work)): an exact repeat resolved through the
+    /// fingerprint map completes with `tests == 0`.
     pub tests: u64,
-    /// Total matcher work (recursion steps) spent verifying candidates.
+    /// Total matcher work (recursion steps) spent on this query's hit
+    /// detection, confirmations included — what the verification budget
+    /// pool deducts.
     pub work: u64,
+    /// The shared verification budget ran dry before every candidate was
+    /// verified: the hit sets are a (still sound) subset of the full sweep.
+    pub truncated: bool,
+    /// The exact hit was resolved through the fingerprint map (as opposed
+    /// to falling out of a full candidate sweep, as the naive path does).
+    pub exact_via_fingerprint: bool,
+}
+
+/// The query-side inputs of hit detection, bundled so the profile and
+/// fingerprint are computed once per query and reused across shards (and
+/// later for Window admission).
+#[derive(Debug, Clone, Copy)]
+pub struct HitQuery<'a> {
+    /// The incoming query graph.
+    pub query: &'a LabeledGraph,
+    /// The direction its answer is requested under.
+    pub kind: QueryKind,
+    /// The query's path-feature profile under the snapshot's index config.
+    pub profile: &'a PathProfile,
+    /// The query's iso fingerprint ([`iso_hash`]).
+    pub fingerprint: u64,
+}
+
+impl<'a> HitQuery<'a> {
+    /// Bundles a query with a precomputed profile, hashing the fingerprint.
+    pub fn new(query: &'a LabeledGraph, kind: QueryKind, profile: &'a PathProfile) -> Self {
+        HitQuery {
+            query,
+            kind,
+            profile,
+            fingerprint: iso_hash(query),
+        }
+    }
+}
+
+/// Knobs of the verification sweep. The default reproduces the full
+/// (unbounded, sequential) sweep with the fingerprint fast path active.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Shared verification work pool for the whole query: every matcher
+    /// test (confirmations included) deducts its `nodes_expanded`, and
+    /// tests are clipped to the remaining pool. `None` = unbounded. When
+    /// the pool runs dry the sweep stops and the result is marked
+    /// [`truncated`](HitSet::truncated) — still sound, just fewer hits.
+    pub budget: Option<u64>,
+    /// The request's hit budget: stop verifying as soon as this many hits
+    /// (sub + super together) have been confirmed. `None` = find them all.
+    /// Early exit is not truncation — the caller asked for at most this.
+    pub max_hits: Option<usize>,
+    /// Return immediately once the fingerprint probe confirms an exact hit,
+    /// skipping candidate verification entirely — the query path's mode,
+    /// since an exact answer supersedes sub/super pruning.
+    pub exact_shortcut: bool,
+    /// Worker threads for parallel verification (`<= 1` = sequential).
+    pub threads: usize,
+    /// Minimum ordered-queue length before verification fans across
+    /// threads; below it the sweep stays sequential (spawn cost dominates).
+    pub parallel_threshold: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            budget: None,
+            max_hits: None,
+            exact_shortcut: false,
+            threads: 1,
+            parallel_threshold: 32,
+        }
+    }
 }
 
 /// Runs both processors for `query` against the current cache snapshot.
@@ -44,11 +159,6 @@ pub fn find_hits(
 }
 
 /// Like [`find_hits`] but reuses the query's precomputed feature profile.
-///
-/// Candidate probing fans across the snapshot's shards: the query's
-/// feature profile is computed once and swept against each shard's index,
-/// and the verified hits are merged (shards partition the cache by serial,
-/// so no candidate appears twice).
 pub fn find_hits_with_profile(
     snapshot: &CacheSnapshot,
     query: &LabeledGraph,
@@ -57,17 +167,429 @@ pub fn find_hits_with_profile(
     matcher: &dyn Matcher,
     cfg: &MatchConfig,
 ) -> HitSet {
+    find_hits_opts(
+        snapshot,
+        &HitQuery::new(query, kind, profile),
+        matcher,
+        cfg,
+        &VerifyOptions::default(),
+    )
+}
+
+/// Which direction a queued candidate is verified in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Dir {
+    /// `query ⊆ candidate` (candidate strictly larger).
+    Sub,
+    /// `candidate ⊆ query` (candidate strictly smaller).
+    Super,
+    /// Same size with matching fingerprint: one test decides isomorphism,
+    /// i.e. both directions at once.
+    Iso,
+}
+
+/// One entry of the ordered verification queue.
+struct Cand<'a> {
+    entry: &'a std::sync::Arc<crate::entry::CacheEntry>,
+    dir: Dir,
+    cost: f64,
+}
+
+/// Runs one matcher test clipped to the remaining budget pool. Returns the
+/// outcome plus whether the *pool* (not the per-test config) was the
+/// binding limit — only then does an incomplete search mean truncation.
+fn run_capped(
+    matcher: &dyn Matcher,
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    cfg: &MatchConfig,
+    remaining: Option<u64>,
+) -> (MatchOutcome, bool) {
+    let (budget, pool_clipped) = match (cfg.budget, remaining) {
+        (None, None) => (None, false),
+        (Some(b), None) => (Some(b), false),
+        (None, Some(p)) => (Some(p), true),
+        (Some(b), Some(p)) => {
+            if p < b {
+                (Some(p), true)
+            } else {
+                (Some(b), false)
+            }
+        }
+    };
+    (
+        matcher.contains_with(pattern, target, &MatchConfig { budget }),
+        pool_clipped,
+    )
+}
+
+/// The full pipeline: fingerprint probe, cost-ordered budget-arbitrated
+/// sweep, optional parallel verification. See the module docs.
+pub fn find_hits_opts(
+    snapshot: &CacheSnapshot,
+    hq: &HitQuery<'_>,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+    opts: &VerifyOptions,
+) -> HitSet {
+    let mut hits = HitSet::default();
+    let qn = hq.query.node_count();
+    let qm = hq.query.edge_count();
+    let mut pool: Option<u64> = opts.budget;
+
+    // (1) Exact fast path: probe each shard's fingerprint map, confirm
+    // candidates in ascending serial order until the first isomorphism.
+    // Confirmed = exact; tested-but-refuted serials are remembered so the
+    // sweep never re-tests them.
+    let mut bucket: Vec<&std::sync::Arc<crate::entry::CacheEntry>> = Vec::new();
+    for shard in snapshot.shards() {
+        for &slot in shard.exact_slots(hq.fingerprint) {
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
+            if entry.kind != hq.kind
+                || entry.graph.node_count() != qn
+                || entry.graph.edge_count() != qm
+            {
+                continue;
+            }
+            bucket.push(entry);
+        }
+    }
+    bucket.sort_unstable_by_key(|e| e.serial);
+    let mut refuted: Vec<QuerySerial> = Vec::new();
+    for entry in bucket {
+        if pool == Some(0) {
+            hits.truncated = true;
+            break;
+        }
+        // Equal node and edge counts make containment isomorphism (§5.1),
+        // so one directed test confirms the exact hit.
+        let (out, pool_clipped) = run_capped(matcher, hq.query, &entry.graph, cfg, pool);
+        hits.work += out.nodes_expanded;
+        if let Some(p) = &mut pool {
+            *p = p.saturating_sub(out.nodes_expanded);
+        }
+        if out.found {
+            hits.exact = Some(entry.serial);
+            hits.exact_via_fingerprint = true;
+            break;
+        }
+        if !out.complete && pool_clipped {
+            hits.truncated = true;
+            break;
+        }
+        refuted.push(entry.serial); // stays sorted: bucket is serial-ordered
+    }
+    if opts.exact_shortcut && hits.exact.is_some() {
+        return finalize(hits);
+    }
+
+    // (2) Gather candidates from every shard into one queue, scored by the
+    // paper's §5.2 cost estimate. Same-size candidates reduce to potential
+    // isomorphisms, so the fingerprint prefilters them for free; they only
+    // ever surface through the sub list (isomorphism implies identical
+    // feature profiles, and overflow entries are conservative in both
+    // directions), so the super list's same-size slots are skipped.
+    let mut queue: Vec<Cand<'_>> = Vec::new();
+    // The query is the *target* of every Super-direction estimate, so its
+    // distinct-label count is computed once here instead of per candidate
+    // (`distinct_label_count` sorts the label vector on every call).
+    let q_distinct = hq.query.distinct_label_count() as u64;
+    for shard in snapshot.shards() {
+        let cands = shard
+            .index()
+            .candidates_from_profile(hq.profile, qn as u32, qm as u32);
+        for &slot in &cands.sub {
+            // Candidate slots are always live (tombstones never leave the
+            // index sweep), so the lookup cannot miss.
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
+            if entry.kind != hq.kind {
+                continue;
+            }
+            let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
+            if same_size {
+                if entry.fingerprint != hq.fingerprint {
+                    continue; // iso-invariant mismatch proves a non-hit
+                }
+                if hits.exact == Some(entry.serial) {
+                    // Confirmed isomorphic by the probe: a hit in both
+                    // directions, no further test needed.
+                    hits.sub.push(entry.serial);
+                    hits.super_.push(entry.serial);
+                    continue;
+                }
+                if refuted.binary_search(&entry.serial).is_ok() {
+                    continue; // probe already disproved this one
+                }
+                queue.push(Cand {
+                    entry,
+                    dir: Dir::Iso,
+                    cost: cost::estimate(hq.query, &entry.graph),
+                });
+            } else {
+                queue.push(Cand {
+                    entry,
+                    dir: Dir::Sub,
+                    cost: cost::estimate(hq.query, &entry.graph),
+                });
+            }
+        }
+        for &slot in &cands.super_ {
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
+            if entry.kind != hq.kind {
+                continue;
+            }
+            if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
+                continue; // same-size: handled through the sub list above
+            }
+            queue.push(Cand {
+                entry,
+                dir: Dir::Super,
+                cost: cost::estimate_raw(entry.graph.node_count() as u64, qn as u64, q_distinct),
+            });
+        }
+    }
+
+    // (3) Cheapest first; serial then direction break ties so the order —
+    // and therefore budgeted truncation — is deterministic.
+    queue.sort_unstable_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.entry.serial.cmp(&b.entry.serial))
+            .then(a.dir.cmp(&b.dir))
+    });
+
+    // (4) Verify under the shared pool, early-exiting on the hit budget.
+    if opts.threads > 1 && queue.len() >= opts.parallel_threshold.max(2) {
+        verify_parallel(&queue, hq, matcher, cfg, pool, opts, &mut hits);
+    } else {
+        verify_sequential(&queue, hq, matcher, cfg, pool, opts, &mut hits);
+    }
+    finalize(hits)
+}
+
+/// Counts a verified hit into the set. An iso candidate hits both
+/// directions at once (and backstops `exact`, though the probe normally
+/// resolved it first).
+fn apply_hit(hits: &mut HitSet, dir: Dir, serial: QuerySerial) {
+    match dir {
+        Dir::Sub => hits.sub.push(serial),
+        Dir::Super => hits.super_.push(serial),
+        Dir::Iso => {
+            hits.sub.push(serial);
+            hits.super_.push(serial);
+            if hits.exact.is_none() {
+                hits.exact = Some(serial);
+            }
+        }
+    }
+}
+
+/// True once the request's hit budget is satisfied.
+fn hit_budget_met(hits: &HitSet, opts: &VerifyOptions) -> bool {
+    opts.max_hits
+        .is_some_and(|m| hits.sub.len() + hits.super_.len() >= m)
+}
+
+fn verify_sequential(
+    queue: &[Cand<'_>],
+    hq: &HitQuery<'_>,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+    mut pool: Option<u64>,
+    opts: &VerifyOptions,
+    hits: &mut HitSet,
+) {
+    for cand in queue {
+        if hit_budget_met(hits, opts) {
+            break;
+        }
+        if pool == Some(0) {
+            hits.truncated = true;
+            break;
+        }
+        let (pattern, target) = match cand.dir {
+            Dir::Sub | Dir::Iso => (hq.query, cand.entry.graph.as_ref()),
+            Dir::Super => (cand.entry.graph.as_ref(), hq.query),
+        };
+        let (out, pool_clipped) = run_capped(matcher, pattern, target, cfg, pool);
+        hits.tests += 1;
+        hits.work += out.nodes_expanded;
+        if let Some(p) = &mut pool {
+            *p = p.saturating_sub(out.nodes_expanded);
+        }
+        if !out.complete && pool_clipped {
+            hits.truncated = true;
+        }
+        if out.found {
+            apply_hit(hits, cand.dir, cand.entry.serial);
+        }
+    }
+}
+
+/// Fans the ordered queue across scoped worker threads. Workers claim
+/// queue indexes from an atomic cursor and share the budget pool and hit
+/// counter; outcomes are re-assembled *in queue order*, so with an
+/// unbounded pool and no hit budget the result is identical to the
+/// sequential sweep. Under a budget, which candidates get verified may
+/// vary with thread interleaving (the pool is deducted concurrently) —
+/// the result is still a sound, truncation-flagged subset.
+fn verify_parallel(
+    queue: &[Cand<'_>],
+    hq: &HitQuery<'_>,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+    pool: Option<u64>,
+    opts: &VerifyOptions,
+    hits: &mut HitSet,
+) {
+    let n = queue.len();
+    let next = AtomicUsize::new(0);
+    let hit_count = AtomicUsize::new(hits.sub.len() + hits.super_.len());
+    let stop = AtomicBool::new(false);
+    // u64::MAX stands in for "unbounded" so one atomic covers both cases.
+    let pool_left = AtomicU64::new(pool.unwrap_or(u64::MAX));
+    let bounded = pool.is_some();
+
+    let mut outcomes: Vec<(usize, MatchOutcome, bool)> = std::thread::scope(|s| {
+        let workers = opts.threads.min(n);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let hit_count = &hit_count;
+                let stop = &stop;
+                let pool_left = &pool_left;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, MatchOutcome, bool)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if opts
+                            .max_hits
+                            .is_some_and(|m| hit_count.load(Ordering::Relaxed) >= m)
+                        {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let remaining = bounded.then(|| pool_left.load(Ordering::Relaxed));
+                        if remaining == Some(0) {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let cand = &queue[i];
+                        let (pattern, target) = match cand.dir {
+                            Dir::Sub | Dir::Iso => (hq.query, cand.entry.graph.as_ref()),
+                            Dir::Super => (cand.entry.graph.as_ref(), hq.query),
+                        };
+                        let (out, pool_clipped) =
+                            run_capped(matcher, pattern, target, cfg, remaining);
+                        if bounded {
+                            // Saturating concurrent deduction; slight
+                            // overdraw on a race is acceptable (the pool is
+                            // an arbiter, not an exact meter).
+                            let mut cur = pool_left.load(Ordering::Relaxed);
+                            loop {
+                                let newv = cur.saturating_sub(out.nodes_expanded);
+                                match pool_left.compare_exchange_weak(
+                                    cur,
+                                    newv,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(c) => cur = c,
+                                }
+                            }
+                        }
+                        if out.found {
+                            hit_count.fetch_add(
+                                match cand.dir {
+                                    Dir::Iso => 2,
+                                    _ => 1,
+                                },
+                                Ordering::Relaxed,
+                            );
+                        }
+                        if !out.complete && pool_clipped {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, out, pool_clipped));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+
+    // Deterministic assembly in queue order. Tests and work are counted
+    // for every outcome (the matcher work really was spent), but hits stop
+    // being applied once the caller's hit budget is met — workers racing
+    // the counter may confirm a few extra candidates, and admitting them
+    // here would let a parallel run exceed the `max_hits` contract the
+    // sequential sweep honours.
+    outcomes.sort_unstable_by_key(|&(i, _, _)| i);
+    for &(i, out, pool_clipped) in &outcomes {
+        hits.tests += 1;
+        hits.work += out.nodes_expanded;
+        if !out.complete && pool_clipped {
+            hits.truncated = true;
+        }
+        if out.found && !hit_budget_met(hits, opts) {
+            apply_hit(hits, queue[i].dir, queue[i].entry.serial);
+        }
+    }
+    // Candidates left unverified for any reason other than the caller's
+    // own hit budget mean the pool cut the sweep short.
+    if outcomes.len() < n && !hit_budget_met(hits, opts) {
+        hits.truncated = true;
+    }
+}
+
+/// Sorts the serial lists so the output is canonical regardless of shard
+/// count, verification order or thread interleaving.
+fn finalize(mut hits: HitSet) -> HitSet {
+    hits.sub.sort_unstable();
+    hits.super_.sort_unstable();
+    hits
+}
+
+/// The pre-pipeline reference: a flat per-shard sweep in slot order — no
+/// fingerprint fast path, no cost ordering, no budget pool, no early exit.
+/// Kept as the parity oracle for `tests/hit_path.rs` and the baseline of
+/// `benches/hit_path.rs`. Output is canonicalised exactly like the
+/// pipeline's (sorted serials, smallest-serial exact pick).
+pub fn find_hits_naive(
+    snapshot: &CacheSnapshot,
+    query: &LabeledGraph,
+    kind: QueryKind,
+    matcher: &dyn Matcher,
+    cfg: &MatchConfig,
+) -> HitSet {
+    let profile = snapshot.profile_of(query);
     let mut hits = HitSet::default();
     let qn = query.node_count();
     let qm = query.edge_count();
+    let mut sub_set: FxHashSet<QuerySerial> = FxHashSet::default();
     for shard in snapshot.shards() {
         let candidates = shard
             .index()
-            .candidates_from_profile(profile, qn as u32, qm as u32);
+            .candidates_from_profile(&profile, qn as u32, qm as u32);
 
         for &slot in &candidates.sub {
-            // Candidate slots are always live (tombstones never leave the
-            // index sweep), so the lookup cannot miss.
             let Some(entry) = shard.entry_at(slot) else {
                 continue;
             };
@@ -79,8 +601,10 @@ pub fn find_hits_with_profile(
             hits.work += out.nodes_expanded;
             if out.found {
                 hits.sub.push(entry.serial);
+                sub_set.insert(entry.serial);
                 if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
-                    hits.exact.get_or_insert(entry.serial);
+                    // Smallest serial wins, matching the pipeline's pick.
+                    hits.exact = Some(hits.exact.map_or(entry.serial, |e| e.min(entry.serial)));
                 }
             }
         }
@@ -95,7 +619,7 @@ pub fn find_hits_with_profile(
             // containment in either direction at equal size is isomorphism.
             let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
             if same_size {
-                if hits.sub.contains(&entry.serial) {
+                if sub_set.contains(&entry.serial) {
                     hits.super_.push(entry.serial);
                 }
                 continue;
@@ -108,7 +632,7 @@ pub fn find_hits_with_profile(
             }
         }
     }
-    hits
+    finalize(hits)
 }
 
 #[cfg(test)]
@@ -130,13 +654,14 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, graph)| {
-                Arc::new(CacheEntry {
-                    serial: (i as u64 + 1) * 100,
-                    profile: gc_index::paths::enumerate_paths(&graph, 4, u64::MAX),
-                    graph: Arc::new(graph),
-                    answer: vec![GraphId(i as u32)],
+                let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
+                Arc::new(CacheEntry::new(
+                    (i as u64 + 1) * 100,
+                    Arc::new(graph),
+                    vec![GraphId(i as u32)],
                     kind,
-                })
+                    profile,
+                ))
             })
             .collect();
         CacheSnapshot::build(QueryIndexConfig::default(), entries)
@@ -144,6 +669,17 @@ mod tests {
 
     fn snapshot(graphs: Vec<LabeledGraph>) -> CacheSnapshot {
         snapshot_of_kind(graphs, QueryKind::Subgraph)
+    }
+
+    fn run_opts(snap: &CacheSnapshot, g: &LabeledGraph, opts: &VerifyOptions) -> HitSet {
+        let profile = snap.profile_of(g);
+        find_hits_opts(
+            snap,
+            &HitQuery::new(g, QueryKind::Subgraph, &profile),
+            &Vf2::new(),
+            &MatchConfig::UNBOUNDED,
+            opts,
+        )
     }
 
     #[test]
@@ -165,10 +701,11 @@ mod tests {
         assert_eq!(hits.super_, vec![200]);
         assert!(hits.exact.is_none());
         assert!(hits.tests >= 2);
+        assert!(!hits.truncated);
     }
 
     #[test]
-    fn exact_hit_detected() {
+    fn exact_hit_detected_via_fingerprint() {
         let snap = snapshot(vec![path_graph(&[0, 1, 0])]);
         let g = path_graph(&[0, 1, 0]);
         let hits = find_hits(
@@ -179,13 +716,38 @@ mod tests {
             &MatchConfig::UNBOUNDED,
         );
         assert_eq!(hits.exact, Some(100));
+        assert!(hits.exact_via_fingerprint);
         assert_eq!(hits.sub, vec![100]);
         assert_eq!(hits.super_, vec![100]);
+        assert_eq!(hits.tests, 0, "fingerprint confirmations are not tests");
     }
 
     #[test]
-    fn same_size_non_isomorphic_no_exact() {
-        // Same node and edge count, different structure/labels.
+    fn exact_shortcut_skips_candidate_verification() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0]),
+            path_graph(&[0, 1, 0, 1]), // would be a sub candidate
+            path_graph(&[0, 1]),       // would be a super candidate
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                exact_shortcut: true,
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(hits.exact, Some(100));
+        assert!(hits.exact_via_fingerprint);
+        assert_eq!(hits.tests, 0, "no candidate sweep on the shortcut path");
+        assert!(hits.sub.is_empty() && hits.super_.is_empty());
+    }
+
+    #[test]
+    fn same_size_non_isomorphic_skipped_without_testing() {
+        // Same node and edge count, different structure/labels: the
+        // fingerprint prefilter proves the non-hit with zero tests.
         let snap = snapshot(vec![path_graph(&[0, 1, 2])]);
         let g = path_graph(&[0, 2, 1]);
         let hits = find_hits(
@@ -198,6 +760,8 @@ mod tests {
         assert!(hits.exact.is_none());
         assert!(hits.sub.is_empty());
         assert!(hits.super_.is_empty());
+        assert_eq!(hits.tests, 0);
+        assert_eq!(hits.work, 0);
     }
 
     #[test]
@@ -232,6 +796,7 @@ mod tests {
         );
         assert!(hits.sub.is_empty() && hits.super_.is_empty() && hits.exact.is_none());
         assert_eq!(hits.tests, 0);
+        assert!(!hits.truncated, "nothing to verify, nothing truncated");
     }
 
     #[test]
@@ -255,6 +820,7 @@ mod tests {
             sub.tests, 0,
             "cross-kind entries are skipped before testing"
         );
+        assert_eq!(sub.work, 0, "not even a fingerprint confirmation runs");
         let sup = find_hits(
             &snap,
             &g,
@@ -263,5 +829,96 @@ mod tests {
             &MatchConfig::UNBOUNDED,
         );
         assert_eq!(sup.exact, Some(100), "same-kind entries still hit");
+    }
+
+    #[test]
+    fn zero_budget_truncates_without_hits() {
+        let snap = snapshot(vec![path_graph(&[0, 1, 0, 1]), path_graph(&[0, 1])]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                budget: Some(0),
+                ..VerifyOptions::default()
+            },
+        );
+        assert!(hits.truncated);
+        assert!(hits.sub.is_empty() && hits.super_.is_empty());
+        assert_eq!(hits.tests, 0);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbounded() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0, 1]),
+            path_graph(&[0, 1]),
+            path_graph(&[7, 7, 7]),
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        let free = run_opts(&snap, &g, &VerifyOptions::default());
+        let budgeted = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                budget: Some(1_000_000),
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(budgeted.sub, free.sub);
+        assert_eq!(budgeted.super_, free.super_);
+        assert_eq!(budgeted.exact, free.exact);
+        assert!(!budgeted.truncated);
+    }
+
+    #[test]
+    fn hit_budget_early_exit_is_not_truncation() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0, 1]),
+            path_graph(&[0, 1, 0, 1, 0]),
+            path_graph(&[0, 1]),
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                max_hits: Some(1),
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(hits.sub.len() + hits.super_.len(), 1);
+        assert!(!hits.truncated, "caller-requested early exit");
+        let all = run_opts(&snap, &g, &VerifyOptions::default());
+        assert!(all.sub.len() + all.super_.len() >= 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_unbounded() {
+        let graphs: Vec<LabeledGraph> = (0..12)
+            .map(|i| match i % 4 {
+                0 => path_graph(&[0, 1, 0, 1]),
+                1 => path_graph(&[0, 1]),
+                2 => path_graph(&[1, 0, 1, 0, 1]),
+                _ => path_graph(&[0, 1, 0]),
+            })
+            .collect();
+        let snap = snapshot(graphs);
+        let g = path_graph(&[0, 1, 0]);
+        let seq = run_opts(&snap, &g, &VerifyOptions::default());
+        let par = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                threads: 4,
+                parallel_threshold: 2,
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(par.sub, seq.sub);
+        assert_eq!(par.super_, seq.super_);
+        assert_eq!(par.exact, seq.exact);
+        assert_eq!(par.tests, seq.tests);
+        assert_eq!(par.work, seq.work);
     }
 }

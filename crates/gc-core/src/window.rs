@@ -69,6 +69,9 @@ pub struct WindowEntry {
     /// The query's feature profile (computed during execution; reused by
     /// the index rebuild).
     pub profile: PathProfile,
+    /// The query's iso fingerprint (computed during execution; carried into
+    /// the cache entry so admission never re-hashes the graph).
+    pub fingerprint: u64,
     /// Total filtering time (µs) on first execution.
     pub filter_us: f64,
     /// Total verification time (µs) on first execution.
@@ -84,7 +87,7 @@ impl WindowEntry {
         self.graph.memory_bytes()
             + self.answer.len() * std::mem::size_of::<GraphId>()
             + self.profile.memory_bytes()
-            + 64
+            + 72
     }
 }
 
@@ -372,6 +375,7 @@ pub(crate) fn maintain(
             answer: e.answer.clone(),
             kind: e.kind,
             profile: e.profile.clone(),
+            fingerprint: e.fingerprint,
         }));
     }
     let mut shards_patched = 0u64;
@@ -501,12 +505,14 @@ mod tests {
     fn entry(serial: QuerySerial, expensiveness: f64) -> WindowEntry {
         let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
         let profile = gc_index::paths::enumerate_paths(&graph, 4, u64::MAX);
+        let fingerprint = gc_index::fingerprint::iso_hash(&graph);
         WindowEntry {
             serial,
             graph: Arc::new(graph),
             answer: vec![GraphId(0)],
             kind: QueryKind::Subgraph,
             profile,
+            fingerprint,
             filter_us: 10.0,
             verify_us: 100.0,
             expensiveness,

@@ -9,12 +9,22 @@
 //!   generates a query workload (queries are stored as a dataset file);
 //! * `gc query --dataset FILE --queries FILE [--method NAME]
 //!   [--eviction NAME] [--admission [NAME]] [--capacity N] [--window N]
-//!   [--threads N] [--shards N] [--supergraph] [--background] [--no-cache]
-//!   [--maint-stats] [--save DIR] [--restore DIR]` replays the queries and
-//!   prints per-run statistics.
+//!   [--threads N] [--shards N] [--verify-budget N] [--verify-threads N]
+//!   [--supergraph] [--background] [--no-cache] [--maint-stats]
+//!   [--save DIR] [--restore DIR]` replays the queries and prints per-run
+//!   statistics.
 //!
 //! `gc query` flags:
 //!
+//! * `--verify-budget N` — shared hit-verification work pool per query:
+//!   candidates are verified cheapest-first and each sub-iso test deducts
+//!   its matcher work from the pool; when it runs dry the sweep stops with
+//!   a partial (still sound) hit set and the query is reported as
+//!   `truncated`. Exact repeats bypass the pool entirely through the
+//!   fingerprint fast path;
+//! * `--verify-threads N` — fan large candidate queues across `N`
+//!   verification threads per query (default 1 = sequential; separate
+//!   from `--threads`, the client concurrency);
 //! * `--threads N` — fan the workload across `N` client threads via
 //!   `GraphCache::run_batch` (`0` = auto-detect cores; default `1` =
 //!   sequential replay, the paper's single-client setup; ignored with
@@ -67,8 +77,9 @@ fn main() -> ExitCode {
         eprintln!("  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE");
         eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
         eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
-        eprintln!("           [--shards N] [--supergraph] [--background] [--no-cache]");
-        eprintln!("           [--maint-stats] [--save DIR] [--restore DIR]");
+        eprintln!("           [--shards N] [--verify-budget N] [--verify-threads N]");
+        eprintln!("           [--supergraph] [--background] [--no-cache] [--maint-stats]");
+        eprintln!("           [--save DIR] [--restore DIR]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -299,6 +310,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .background(opts.contains_key("background"))
         .threads(threads)
         .shards(num(&opts, "shards", 0usize)?);
+    if opts.contains_key("verify-budget") {
+        builder = builder.verify_budget(num(&opts, "verify-budget", 0u64)?);
+    }
+    if opts.contains_key("verify-threads") {
+        builder = builder.verify_threads(num(&opts, "verify-threads", 1usize)?);
+    }
     if let Some(spec) = admission {
         builder = builder.admission(spec);
     }
@@ -331,11 +348,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         total_us += r.query_time().as_secs_f64() * 1e6;
         tests += r.subiso_tests;
         hits += r.any_hit() as usize;
+        let exact = if r.exact_via_fingerprint {
+            " (exact hit via fingerprint)"
+        } else if r.exact_hit {
+            " (exact hit)"
+        } else {
+            ""
+        };
         println!(
-            "query {i}: {} answers, {} tests{}",
+            "query {i}: {} answers, {} tests | hit-verify: {} tests, {} work{}{}",
             r.answer_size,
             r.subiso_tests,
-            if r.exact_hit { " (exact hit)" } else { "" }
+            r.gc_tests,
+            r.budget_spent,
+            exact,
+            if r.truncated { " [truncated]" } else { "" },
         );
     }
     println!(
@@ -349,6 +376,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         cache.admission_name()
     );
     let summary = graphcache::core::RunSummary::from_records(&records, 0);
+    println!(
+        "hit verification: {} work spent | {} exact via fingerprint | {} truncated queries",
+        summary.total_budget_spent, summary.exact_fp_hits, summary.truncated_queries,
+    );
     println!(
         "wall clock {:.1} ms on {} client thread(s) ({:.0} queries/s)",
         wall.as_secs_f64() * 1e3,

@@ -43,13 +43,13 @@ fn entry_for(serial: QuerySerial, seed: u64) -> Arc<CacheEntry> {
     let graph = seeded_graph(seed);
     let cfg = QueryIndexConfig::default();
     let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
-    Arc::new(CacheEntry {
+    Arc::new(CacheEntry::new(
         serial,
-        graph: Arc::new(graph),
-        answer: vec![GraphId((serial % 3) as u32)],
-        kind: QueryKind::Subgraph,
+        Arc::new(graph),
+        vec![GraphId((serial % 3) as u32)],
+        QueryKind::Subgraph,
         profile,
-    })
+    ))
 }
 
 fn probes() -> Vec<LabeledGraph> {
