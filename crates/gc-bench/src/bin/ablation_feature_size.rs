@@ -20,7 +20,7 @@ fn main() {
         no_answer: 0.2,
         alpha: 1.4,
     }
-    .generate(&dataset, &sizes, &exp);
+    .generate(&dataset, &sizes, exp.queries, exp.seed);
 
     println!("\n=== §7.3 ablation — FTV feature size +1 (AIDS, 20% workload) ===");
     println!(

@@ -20,7 +20,7 @@ fn main() {
     ] {
         eprintln!("[space] {dname}: {}", dataset.stats());
         let sizes = vec![4usize, 8, 12, 16, 20];
-        let workload = WorkloadSpec::Zz(1.4).generate(&dataset, &sizes, &exp);
+        let workload = WorkloadSpec::Zz(1.4).generate(&dataset, &sizes, exp.queries, exp.seed);
 
         println!("\n=== §7.3 space — {dname} ===");
         println!("{:<22} {:>14}", "store", "KiB");

@@ -37,7 +37,7 @@ fn main() {
         no_answer: 0.2,
         alpha: 1.4,
     };
-    let workload = spec.generate(&dataset, &sizes, &exp);
+    let workload = spec.generate(&dataset, &sizes, exp.queries, exp.seed);
 
     println!("\n=== Fig 10 — avg query time + maintenance overhead, AIDS 20% workload ===");
     println!(

@@ -56,7 +56,7 @@ fn main() {
     for dataset in [&aids, &pdbs] {
         let workloads: Vec<_> = specs
             .iter()
-            .map(|s| s.generate(dataset, &sizes, &exp))
+            .map(|s| s.generate(dataset, &sizes, exp.queries, exp.seed))
             .collect();
         for (ki, kind) in [MethodKind::SiVf2Plus, MethodKind::SiGraphQl]
             .into_iter()

@@ -57,7 +57,7 @@ fn main() {
         let ct = MethodBuilder::ct_index().build(dataset);
         let ct_index_bytes = ct.index_memory_bytes().unwrap_or(0);
         for spec in &specs {
-            let workload = spec.generate(dataset, &sizes, &exp);
+            let workload = spec.generate(dataset, &sizes, exp.queries, exp.seed);
             let ct_summary = summarize(&baseline_records(&ct, &workload, QueryKind::Subgraph));
             for (ci, capacity) in [(0usize, 100usize), (1, 500)] {
                 let cache = GraphCache::builder()

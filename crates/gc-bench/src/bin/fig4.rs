@@ -43,7 +43,7 @@ fn main() {
             .collect();
 
         for spec in &specs {
-            let workload = spec.generate(&dataset, &sizes, &exp);
+            let workload = spec.generate(&dataset, &sizes, exp.queries, exp.seed);
             let base = summarize(&baseline_records(
                 &baseline_method,
                 &workload,

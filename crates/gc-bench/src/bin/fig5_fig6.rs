@@ -65,7 +65,7 @@ fn main() {
     // particular the Type B no-answer pools — is expensive on PDBS).
     let workloads: Vec<_> = specs
         .iter()
-        .map(|s| s.generate(&dataset, &sizes, &exp))
+        .map(|s| s.generate(&dataset, &sizes, exp.queries, exp.seed))
         .collect();
     eprintln!("[fig5/6] workloads generated");
 

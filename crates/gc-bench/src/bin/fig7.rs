@@ -52,7 +52,7 @@ fn main() {
                 no_answer: p,
                 alpha,
             };
-            workloads.push(spec.generate(&dataset, &sizes, &exp));
+            workloads.push(spec.generate(&dataset, &sizes, exp.queries, exp.seed));
         }
     }
     eprintln!("[fig7] workloads generated");

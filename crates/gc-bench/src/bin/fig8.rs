@@ -71,7 +71,7 @@ fn main() {
         let baseline_method = MethodBuilder::ggsx().build(dataset);
         let workloads: Vec<_> = specs
             .iter()
-            .map(|s| s.generate(dataset, &sizes, &exp))
+            .map(|s| s.generate(dataset, &sizes, exp.queries, exp.seed))
             .collect();
         let bases: Vec<_> = workloads
             .iter()

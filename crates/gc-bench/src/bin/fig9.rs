@@ -90,7 +90,7 @@ fn main() {
                 no_answer: p,
                 alpha: 1.4,
             };
-            let workload = spec.generate(dataset, &sizes, &exp);
+            let workload = spec.generate(dataset, &sizes, exp.queries, exp.seed);
             let base_records = baseline_records(&baseline_method, &workload, QueryKind::Subgraph);
             let base = summarize(&base_records);
             for (ac, series_idx) in [(false, 0usize), (true, 1usize)] {

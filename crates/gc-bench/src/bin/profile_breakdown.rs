@@ -61,7 +61,7 @@ fn main() {
     };
     eprintln!("[profile] {} / {} / {}", ds_name, kind.name(), spec.name());
 
-    let w = spec.generate(&d, &sizes, &exp);
+    let w = spec.generate(&d, &sizes, exp.queries, exp.seed);
     let method = kind.build(&d);
     let baseline = kind.build(&d);
     let cache = GraphCache::builder().capacity(100).window(20).build(method);

@@ -2,9 +2,13 @@
 //! runners and table printing.
 
 use gc_core::{GraphCache, QueryRecord, QueryRequest, RunSummary};
-use gc_graph::GraphDataset;
 use gc_methods::{Method, QueryKind};
-use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
+use gc_workload::Workload;
+
+// The workload-category vocabulary moved into the scenario harness (it is
+// part of a `Scenario`'s identity now); the figure binaries keep using it
+// from here.
+pub use gc_harness::WorkloadSpec;
 
 /// The paper measures after letting one window pass (§7.2: "We only allow
 /// one Window (i.e., 20 queries) before starting measuring").
@@ -54,99 +58,6 @@ impl Experiment {
             i += 2;
         }
         exp
-    }
-}
-
-/// The paper's six workload categories (§7.2), parameterised.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum WorkloadSpec {
-    /// Type A with Zipf graph + Zipf node selection.
-    Zz(f64),
-    /// Type A with Zipf graph + uniform node selection.
-    Zu(f64),
-    /// Type A, uniform at both levels.
-    Uu,
-    /// Type B with the given no-answer probability and Zipf α.
-    TypeB {
-        /// No-answer pool probability (0.0 / 0.2 / 0.5).
-        no_answer: f64,
-        /// Within-pool Zipf α.
-        alpha: f64,
-    },
-}
-
-impl WorkloadSpec {
-    /// The six default categories in the paper's figure order.
-    pub fn paper_six() -> [WorkloadSpec; 6] {
-        [
-            WorkloadSpec::Zz(1.4),
-            WorkloadSpec::Zu(1.4),
-            WorkloadSpec::Uu,
-            WorkloadSpec::TypeB {
-                no_answer: 0.0,
-                alpha: 1.4,
-            },
-            WorkloadSpec::TypeB {
-                no_answer: 0.2,
-                alpha: 1.4,
-            },
-            WorkloadSpec::TypeB {
-                no_answer: 0.5,
-                alpha: 1.4,
-            },
-        ]
-    }
-
-    /// Display name ("ZZ", "UU", "20%", …).
-    pub fn name(&self) -> String {
-        match self {
-            WorkloadSpec::Zz(_) => "ZZ".into(),
-            WorkloadSpec::Zu(_) => "ZU".into(),
-            WorkloadSpec::Uu => "UU".into(),
-            WorkloadSpec::TypeB { no_answer, .. } => {
-                format!("{}%", (no_answer * 100.0).round() as u32)
-            }
-        }
-    }
-
-    /// Generates the workload over a dataset with the paper's query sizes
-    /// for that dataset family (`sizes`).
-    pub fn generate(&self, dataset: &GraphDataset, sizes: &[usize], exp: &Experiment) -> Workload {
-        match *self {
-            WorkloadSpec::Zz(a) => generate_type_a(
-                dataset,
-                &TypeAConfig::zz(a)
-                    .sizes(sizes.to_vec())
-                    .count(exp.queries)
-                    .seed(exp.seed ^ 0x5a5a),
-            ),
-            WorkloadSpec::Zu(a) => generate_type_a(
-                dataset,
-                &TypeAConfig::zu(a)
-                    .sizes(sizes.to_vec())
-                    .count(exp.queries)
-                    .seed(exp.seed ^ 0x5a50),
-            ),
-            WorkloadSpec::Uu => generate_type_a(
-                dataset,
-                &TypeAConfig::uu()
-                    .sizes(sizes.to_vec())
-                    .count(exp.queries)
-                    .seed(exp.seed ^ 0x5055),
-            ),
-            WorkloadSpec::TypeB { no_answer, alpha } => generate_type_b(
-                dataset,
-                &TypeBConfig::with_no_answer_prob(no_answer)
-                    .zipf(alpha)
-                    .sizes(sizes.to_vec())
-                    .pools(
-                        (exp.queries / 5).clamp(30, 400),
-                        (exp.queries / 15).clamp(10, 120),
-                    )
-                    .count(exp.queries)
-                    .seed(exp.seed ^ 0xb0b0),
-            ),
-        }
     }
 }
 
@@ -248,7 +159,7 @@ mod tests {
             queries: 30,
             seed: 9,
         };
-        let w = WorkloadSpec::Zz(1.4).generate(&d, &[4, 8], &exp);
+        let w = WorkloadSpec::Zz(1.4).generate(&d, &[4, 8], exp.queries, exp.seed);
         assert_eq!(w.len(), 30);
         let m = MethodBuilder::ggsx().build(&d);
         let base = baseline_records(&m, &w, QueryKind::Subgraph);
@@ -272,7 +183,7 @@ mod tests {
             queries: 20,
             seed: 10,
         };
-        let w = WorkloadSpec::Uu.generate(&d, &[4], &exp);
+        let w = WorkloadSpec::Uu.generate(&d, &[4], exp.queries, exp.seed);
         let cache = gc_core::GraphCache::builder()
             .capacity(10)
             .window(5)

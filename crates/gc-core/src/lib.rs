@@ -92,7 +92,7 @@ pub use cache::{
 };
 pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
 pub use gc_methods::QueryKind;
-pub use metrics::{MaintStats, QueryRecord, RunSummary};
+pub use metrics::{MaintStats, QueryRecord, RunCounters, RunSummary};
 pub use persist::{PersistedCache, PersistedEntry};
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};

@@ -109,6 +109,114 @@ impl MaintStats {
     pub fn entries_touched(&self) -> u64 {
         self.entries_admitted + self.entries_evicted
     }
+
+    /// The maintenance counters that are a pure function of the query
+    /// sequence (durations excluded), as a stable `(name, value)` list.
+    /// The benchmark harness serializes exactly these names, and the CI
+    /// regression gate compares them against the committed baseline, so
+    /// renaming or reordering entries is a schema change.
+    pub fn deterministic_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("maint_rounds", self.rounds),
+            ("entries_admitted", self.entries_admitted),
+            ("entries_evicted", self.entries_evicted),
+            ("shards_patched", self.shards_patched),
+            ("compactions", self.compactions),
+        ]
+    }
+}
+
+/// Integer-exact totals over a run of queries — the deterministic
+/// complement to [`RunSummary`], whose averages are floating-point.
+///
+/// Every field is a pure function of the query sequence and the cache
+/// configuration (no wall-clock, no thread scheduling with a single
+/// client), which is what makes these totals suitable for bit-identical
+/// benchmark output and baseline regression gating. Aggregation is plain
+/// `u64` addition, so two runs over the same records produce the same
+/// bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Number of queries replayed (after any warm-up skip).
+    pub queries: u64,
+    /// Queries helped by any cache hit (exact, empty shortcut, sub/super).
+    pub cache_assisted: u64,
+    /// Exact-match special cases.
+    pub exact_hits: u64,
+    /// Exact hits resolved through the O(1) fingerprint map.
+    pub exact_fp_hits: u64,
+    /// Empty-answer shortcut special cases.
+    pub empty_shortcuts: u64,
+    /// Queries whose hit-verification sweep was budget-truncated.
+    pub truncated: u64,
+    /// Verified sub-direction hits across the run.
+    pub sub_hits: u64,
+    /// Verified super-direction hits across the run.
+    pub super_hits: u64,
+    /// Sub-iso tests against dataset graphs.
+    pub subiso_tests: u64,
+    /// Sub-iso tests spent verifying cache-hit candidates.
+    pub gc_tests: u64,
+    /// Matcher work charged to the hit-verification budget pool.
+    pub budget_spent: u64,
+    /// Matcher work (recursion steps) spent on dataset verification.
+    pub verify_work: u64,
+    /// Summed |CS_M| — Method M's candidate set sizes.
+    pub cs_m: u64,
+    /// Summed |CS_GC| — candidate set sizes after GraphCache pruning.
+    pub cs_gc: u64,
+    /// Summed answer sizes — a strong end-to-end determinism signal.
+    pub answers: u64,
+}
+
+impl RunCounters {
+    /// Accumulates the totals from per-query records, skipping the first
+    /// `warmup` queries (mirroring [`RunSummary::from_records`]).
+    pub fn from_records(records: &[QueryRecord], warmup: usize) -> Self {
+        let mut c = RunCounters::default();
+        for r in &records[warmup.min(records.len())..] {
+            c.queries += 1;
+            c.cache_assisted += r.any_hit() as u64;
+            c.exact_hits += r.exact_hit as u64;
+            c.exact_fp_hits += r.exact_via_fingerprint as u64;
+            c.empty_shortcuts += r.empty_shortcut as u64;
+            c.truncated += r.truncated as u64;
+            c.sub_hits += r.sub_hits as u64;
+            c.super_hits += r.super_hits as u64;
+            c.subiso_tests += r.subiso_tests;
+            c.gc_tests += r.gc_tests;
+            c.budget_spent += r.budget_spent;
+            c.verify_work += r.verify_work;
+            c.cs_m += r.cs_m_size as u64;
+            c.cs_gc += r.cs_gc_size as u64;
+            c.answers += r.answer_size as u64;
+        }
+        c
+    }
+
+    /// Stable `(name, value)` enumeration of every counter, in schema
+    /// order. The benchmark harness serializes exactly these names, and
+    /// the CI regression gate compares them against the committed
+    /// baseline, so renaming or reordering entries is a schema change.
+    pub fn deterministic_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("queries", self.queries),
+            ("cache_assisted", self.cache_assisted),
+            ("exact_hits", self.exact_hits),
+            ("exact_fp_hits", self.exact_fp_hits),
+            ("empty_shortcuts", self.empty_shortcuts),
+            ("truncated", self.truncated),
+            ("sub_hits", self.sub_hits),
+            ("super_hits", self.super_hits),
+            ("subiso_tests", self.subiso_tests),
+            ("gc_tests", self.gc_tests),
+            ("budget_spent", self.budget_spent),
+            ("verify_work", self.verify_work),
+            ("cs_m", self.cs_m),
+            ("cs_gc", self.cs_gc),
+            ("answers", self.answers),
+        ]
+    }
 }
 
 /// Aggregates over a run of queries; the paper's reported metrics are
@@ -292,6 +400,61 @@ mod tests {
         assert!((s.throughput_qps(Duration::from_secs(2)) - 50.0).abs() < 1e-9);
         // Zero wall clock must not divide by zero.
         assert!(s.throughput_qps(Duration::ZERO).is_finite());
+    }
+
+    #[test]
+    fn run_counters_totals_and_warmup() {
+        let recs = vec![record(100, 4, true), record(300, 8, false)];
+        let c = RunCounters::from_records(&recs, 0);
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.subiso_tests, 12);
+        assert_eq!(c.cache_assisted, 1);
+        assert_eq!(c.sub_hits, 1);
+        assert_eq!(c.cs_m, 20);
+        let warm = RunCounters::from_records(&recs, 1);
+        assert_eq!(warm.queries, 1);
+        assert_eq!(warm.subiso_tests, 8);
+        // Warm-up larger than the record count must not panic.
+        assert_eq!(RunCounters::from_records(&recs, 10), RunCounters::default());
+    }
+
+    #[test]
+    fn counter_enumerations_are_complete_and_stable() {
+        let c = RunCounters {
+            queries: 1,
+            cache_assisted: 2,
+            exact_hits: 3,
+            exact_fp_hits: 4,
+            empty_shortcuts: 5,
+            truncated: 6,
+            sub_hits: 7,
+            super_hits: 8,
+            subiso_tests: 9,
+            gc_tests: 10,
+            budget_spent: 11,
+            verify_work: 12,
+            cs_m: 13,
+            cs_gc: 14,
+            answers: 15,
+        };
+        let listed = c.deterministic_counters();
+        // Every field appears exactly once, in declaration order, with
+        // distinct values 1..=15 proving no field maps to a wrong name.
+        assert_eq!(listed.len(), 15);
+        let values: Vec<u64> = listed.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, (1..=15).collect::<Vec<u64>>());
+        let m = MaintStats {
+            rounds: 1,
+            entries_admitted: 2,
+            entries_evicted: 3,
+            shards_patched: 4,
+            compactions: 5,
+            ..Default::default()
+        };
+        let maint = m.deterministic_counters();
+        assert_eq!(maint.len(), 5);
+        let values: Vec<u64> = maint.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, (1..=5).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Minimal hand-rolled JSON — the build environment is fully offline (no
+//! serde), and the harness needs only enough JSON to emit and re-read its
+//! own report schema.
+//!
+//! Two properties matter more than generality here:
+//!
+//! * **byte-stable output** — objects are ordered vectors, writing is a
+//!   pure function of the value, and integers are kept as `u64` (never
+//!   routed through `f64`), so a deterministic report serializes to
+//!   identical bytes on every run;
+//! * **round-trip fidelity** — `parse(write(v)) == v` for every value the
+//!   harness produces, proven by the tests below.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order (a `Vec`, not a map) so
+/// serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, kept exact (counters are `u64`).
+    Int(u64),
+    /// Any other number (negative or fractional).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (`Int` widens losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline — the
+    /// exact bytes `gc bench --json` writes.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            // `{:?}` prints the shortest string that round-trips and keeps
+            // a `.0` on integral floats, so the value re-parses as Float.
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no Infinity/NaN; clamp to null like most
+                    // writers do.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document, requiring that nothing but whitespace follows
+/// the first value.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {}", self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the unescaped run.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Combine a UTF-16 surrogate pair; lone
+                            // surrogates become the replacement character.
+                            // A following \u escape is only consumed when
+                            // it really is the low half — a high surrogate
+                            // followed by an ordinary escape must not eat
+                            // its neighbour.
+                            if (0xd800..0xdc00).contains(&cp)
+                                && self.bytes[self.pos..].starts_with(b"\\u")
+                            {
+                                let rewind = self.pos;
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if (0xdc00..0xe000).contains(&lo) {
+                                    let combined = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    s.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                                } else {
+                                    // Not a low surrogate: the first escape
+                                    // is lone; re-parse the second one on
+                                    // the next loop iteration.
+                                    self.pos = rewind;
+                                    s.push('\u{fffd}');
+                                }
+                            } else {
+                                s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            }
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !fractional && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(&format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Int(1)),
+            ("name".into(), Json::Str("a \"quoted\" name\nline2".into())),
+            ("ratio".into(), Json::Float(0.25)),
+            ("whole".into(), Json::Float(3.0)),
+            ("big".into(), Json::Int(u64::MAX)),
+            ("flag".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            (
+                "items".into(),
+                Json::Arr(vec![
+                    Json::Int(0),
+                    Json::Obj(vec![("k".into(), Json::Str("v".into()))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let v = sample();
+        let text = v.to_pretty();
+        let back = parse(&text).expect("reparse");
+        assert_eq!(back, v);
+        // Writing the reparsed value reproduces the bytes exactly.
+        assert_eq!(back.to_pretty(), text);
+    }
+
+    #[test]
+    fn u64_counters_survive_exactly() {
+        // u64::MAX is not representable in f64; the Int path must keep it.
+        let text = Json::Int(u64::MAX).to_pretty();
+        assert_eq!(parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = Json::Float(3.0).to_pretty();
+        assert_eq!(text.trim(), "3.0");
+        assert_eq!(parse(&text).unwrap(), Json::Float(3.0));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        assert_eq!(parse("-5").unwrap(), Json::Float(-5.0));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("2.5").unwrap(), Json::Float(2.5));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::Str("tab\there \"q\" \\ back \u{1F600} ctrl\u{1}".into());
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+        // Standard escape forms parse too.
+        assert_eq!(
+            parse(r#""\u0041\ud83d\ude00\/""#).unwrap(),
+            Json::Str("A\u{1F600}/".into())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_do_not_eat_the_next_escape() {
+        // High surrogate followed by an ordinary \u escape: the escape
+        // after the lone surrogate must survive, not be swallowed as a
+        // bogus low half.
+        assert_eq!(
+            parse(r#""\ud800A""#).unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
+        // Lone low surrogate, and a lone high surrogate at end of string.
+        assert_eq!(
+            parse(r#""\udc00x""#).unwrap(),
+            Json::Str("\u{fffd}x".into())
+        );
+        assert_eq!(
+            parse(r#""x\ud800""#).unwrap(),
+            Json::Str("x\u{fffd}".into())
+        );
+        // High surrogate followed by a full valid pair: only the first is
+        // lone.
+        assert_eq!(
+            parse(r#""\ud800😀""#).unwrap(),
+            Json::Str("\u{fffd}\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = sample();
+        assert_eq!(v.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("ratio").and_then(Json::as_f64), Some(0.25));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get("items").and_then(Json::as_arr).unwrap().len(), 2);
+        assert!(Json::Null.get("anything").is_none());
+        assert_eq!(v.get("whole").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "{} trailing",
+            "\"bad \\q escape\"",
+            "[1 2]",
+            "\"\\u12\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_pretty().trim(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_pretty().trim(), "null");
+    }
+}

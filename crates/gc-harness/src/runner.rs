@@ -1,0 +1,192 @@
+//! Executes scenarios end-to-end: dataset generation → workload
+//! generation → a [`GraphCache`] built over Method M → batch replay
+//! through the concurrent service API → counter collection.
+
+use crate::report::{MatrixReport, ScenarioReport, SCHEMA_VERSION};
+use crate::scenario::{Scenario, Suite};
+use gc_core::{CostModel, GraphCache, QueryRecord, QueryRequest, RunCounters};
+use std::time::Instant;
+
+/// Runs one scenario and collects its report.
+///
+/// The replay goes through [`GraphCache::run_batch`] — the concurrent
+/// service API — with the scenario's client thread count (suites use 1,
+/// where `run_batch` degenerates to an in-order sequential replay and the
+/// counters are a pure function of the seeds). Wall-clock covers the whole
+/// scenario, generation included, and is advisory only.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let t0 = Instant::now();
+    let dataset = scenario
+        .dataset
+        .clone()
+        .scaled(scenario.dataset_scale)
+        .generate(scenario.dataset_seed);
+    let workload = scenario.workload.generate(
+        &dataset,
+        &scenario.query_sizes,
+        scenario.queries,
+        scenario.workload_seed,
+    );
+    let method = scenario.method.build(&dataset);
+
+    let mut builder = GraphCache::builder()
+        .capacity(scenario.capacity)
+        .window(scenario.window)
+        .eviction(scenario.eviction.as_str())
+        .query_kind(scenario.kind)
+        .threads(scenario.threads)
+        .shards(scenario.shards)
+        // Wall-time expensiveness (the cache default) leaks machine load
+        // into admission decisions, greedy-dual credits and policy stats —
+        // the harness always uses the deterministic work proxy so counters
+        // are a pure function of the seeds even on a busy CI box.
+        .cost_model(CostModel::Work);
+    if let Some(budget) = scenario.verify_budget {
+        builder = builder.verify_budget(budget);
+    }
+    if let Some(admission) = &scenario.admission {
+        builder = builder.admission(admission.as_str());
+    }
+    let cache = builder
+        .try_build(method)
+        .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+
+    let records: Vec<QueryRecord> = cache
+        .run_batch(workload.graphs().map(QueryRequest::from))
+        .into_iter()
+        .map(|resp| resp.result.record)
+        .collect();
+
+    // Make sure queued maintenance is folded in before reading the
+    // maintenance counters and the final cache shape.
+    cache.flush_pending();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let run = RunCounters::from_records(&records, scenario.warmup);
+    let maint = cache.maint_stats();
+    let mut counters: Vec<(String, u64)> = run
+        .deterministic_counters()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counters.extend(
+        maint
+            .deterministic_counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v)),
+    );
+    counters.push(("cache_entries".to_string(), cache.cache_len() as u64));
+    counters.push(("memory_bytes".to_string(), cache.memory_bytes() as u64));
+
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        config: scenario.config_echo(),
+        counters,
+        wall_ms,
+    })
+}
+
+/// Runs every scenario of a suite, in order, with a progress callback
+/// (`|name, report|` after each scenario completes — the CLI prints its
+/// table rows through this without the harness knowing about stdout).
+pub fn run_suite_with<F>(suite: Suite, mut progress: F) -> Result<MatrixReport, String>
+where
+    F: FnMut(&ScenarioReport),
+{
+    let mut scenarios = Vec::new();
+    for scenario in suite.scenarios() {
+        let report = run_scenario(&scenario)?;
+        progress(&report);
+        scenarios.push(report);
+    }
+    Ok(MatrixReport {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.name().to_string(),
+        scenarios,
+    })
+}
+
+/// Runs every scenario of a suite, in order.
+pub fn run_suite(suite: Suite) -> Result<MatrixReport, String> {
+    run_suite_with(suite, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadSpec;
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::named("tiny");
+        s.dataset_scale = 0.05; // 125 AIDS-shaped graphs (the profile scale floor)
+        s.queries = 40;
+        s.capacity = 15;
+        s.window = 10;
+        s.query_sizes = vec![4, 6];
+        s.warmup = 10;
+        s
+    }
+
+    #[test]
+    fn scenario_reports_are_deterministic() {
+        let s = tiny();
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.config, b.config);
+        // The replay actually did work.
+        assert_eq!(a.counter("queries"), Some(30)); // 40 - warmup 10
+        assert!(a.counter("subiso_tests").unwrap_or(0) > 0);
+        assert!(a.counter("maint_rounds").unwrap_or(0) > 0);
+        assert!(a.counter("memory_bytes").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn different_seeds_change_counters() {
+        let a = run_scenario(&tiny()).unwrap();
+        let mut s = tiny();
+        s.workload_seed = 777;
+        let b = run_scenario(&s).unwrap();
+        assert_ne!(
+            a.counters, b.counters,
+            "changing the workload seed must change the counter stream"
+        );
+    }
+
+    #[test]
+    fn budget_and_admission_paths_run() {
+        let mut s = tiny();
+        s.workload = WorkloadSpec::TypeB {
+            no_answer: 0.2,
+            alpha: 1.4,
+        };
+        s.verify_budget = Some(500);
+        s.admission = Some("adaptive".into());
+        s.eviction = "gcr".into();
+        let r = run_scenario(&s).unwrap();
+        assert_eq!(r.counter("queries"), Some(30));
+        // Budgeted sweeps account their work in the budget pool.
+        assert!(r.counter("budget_spent").is_some());
+    }
+
+    #[test]
+    fn bad_policy_spec_errors_with_scenario_name() {
+        let mut s = tiny();
+        s.eviction = "no-such-policy".into();
+        let err = run_scenario(&s).unwrap_err();
+        assert!(err.contains("tiny"), "{err}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = MatrixReport {
+            schema_version: SCHEMA_VERSION,
+            suite: "adhoc".into(),
+            scenarios: vec![run_scenario(&tiny()).unwrap()],
+        };
+        let text = report.to_json(false);
+        let back = MatrixReport::from_json(&text).unwrap();
+        assert_eq!(back.scenarios[0].counters, report.scenarios[0].counters);
+        assert!(MatrixReport::compare(&back, &report, 0.0).is_empty());
+    }
+}

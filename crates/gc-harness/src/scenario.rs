@@ -1,0 +1,508 @@
+//! Declarative scenarios: one point of the paper's evaluation matrix —
+//! dataset profile × scale × workload kind × method × policies × cache
+//! configuration × seeds — plus the named suites `gc bench` runs.
+
+use gc_core::QueryKind;
+use gc_graph::GraphDataset;
+use gc_methods::MethodKind;
+use gc_workload::{
+    generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig, Workload,
+};
+
+/// The paper's six workload categories (§7.2), parameterised. Owned by the
+/// harness (scenarios name their workload through it); `gc-bench`
+/// re-exports it for the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// Type A with Zipf graph + Zipf node selection.
+    Zz(f64),
+    /// Type A with Zipf graph + uniform node selection.
+    Zu(f64),
+    /// Type A, uniform at both levels.
+    Uu,
+    /// Type B with the given no-answer probability and Zipf α.
+    TypeB {
+        /// No-answer pool probability (0.0 / 0.2 / 0.5).
+        no_answer: f64,
+        /// Within-pool Zipf α.
+        alpha: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The six default categories in the paper's figure order.
+    pub fn paper_six() -> [WorkloadSpec; 6] {
+        [
+            WorkloadSpec::Zz(1.4),
+            WorkloadSpec::Zu(1.4),
+            WorkloadSpec::Uu,
+            WorkloadSpec::TypeB {
+                no_answer: 0.0,
+                alpha: 1.4,
+            },
+            WorkloadSpec::TypeB {
+                no_answer: 0.2,
+                alpha: 1.4,
+            },
+            WorkloadSpec::TypeB {
+                no_answer: 0.5,
+                alpha: 1.4,
+            },
+        ]
+    }
+
+    /// Display name ("ZZ", "UU", "20%", …).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Zz(_) => "ZZ".into(),
+            WorkloadSpec::Zu(_) => "ZU".into(),
+            WorkloadSpec::Uu => "UU".into(),
+            WorkloadSpec::TypeB { no_answer, .. } => {
+                format!("{}%", (no_answer * 100.0).round() as u32)
+            }
+        }
+    }
+
+    /// Generates the workload over a dataset with the paper's query sizes
+    /// for that dataset family. The per-family seed XORs are kept from the
+    /// original harness so existing figure replays stay reproducible.
+    pub fn generate(
+        &self,
+        dataset: &GraphDataset,
+        sizes: &[usize],
+        count: usize,
+        seed: u64,
+    ) -> Workload {
+        match *self {
+            WorkloadSpec::Zz(a) => generate_type_a(
+                dataset,
+                &TypeAConfig::zz(a)
+                    .sizes(sizes.to_vec())
+                    .count(count)
+                    .seed(seed ^ 0x5a5a),
+            ),
+            WorkloadSpec::Zu(a) => generate_type_a(
+                dataset,
+                &TypeAConfig::zu(a)
+                    .sizes(sizes.to_vec())
+                    .count(count)
+                    .seed(seed ^ 0x5a50),
+            ),
+            WorkloadSpec::Uu => generate_type_a(
+                dataset,
+                &TypeAConfig::uu()
+                    .sizes(sizes.to_vec())
+                    .count(count)
+                    .seed(seed ^ 0x5055),
+            ),
+            WorkloadSpec::TypeB { no_answer, alpha } => generate_type_b(
+                dataset,
+                &TypeBConfig::with_no_answer_prob(no_answer)
+                    .zipf(alpha)
+                    .sizes(sizes.to_vec())
+                    .pools((count / 5).clamp(30, 400), (count / 15).clamp(10, 120))
+                    .count(count)
+                    .seed(seed ^ 0xb0b0),
+            ),
+        }
+    }
+}
+
+/// One fully specified end-to-end run: everything needed to reproduce a
+/// cell of the evaluation matrix bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique scenario name — the baseline comparison key.
+    pub name: String,
+    /// Dataset shape profile (AIDS / PDBS / PCM / Synthetic).
+    pub dataset: DatasetProfile,
+    /// Graph-count scale applied to the profile. Note
+    /// [`DatasetProfile::scaled`] floors the scale at 0.05, so values
+    /// below that are effectively 0.05 — the report's `graphs` config
+    /// entry echoes the graph count actually generated.
+    pub dataset_scale: f64,
+    /// Dataset generation seed.
+    pub dataset_seed: u64,
+    /// Workload family.
+    pub workload: WorkloadSpec,
+    /// Query node-count targets.
+    pub query_sizes: Vec<usize>,
+    /// Number of queries to generate and replay.
+    pub queries: usize,
+    /// Workload generation seed.
+    pub workload_seed: u64,
+    /// Method M.
+    pub method: MethodKind,
+    /// Eviction policy registry spec (`"hd"`, `"slru:protected=0.5"`, …).
+    pub eviction: String,
+    /// Admission policy registry spec; `None` = admit-all.
+    pub admission: Option<String>,
+    /// Cache capacity (entries).
+    pub capacity: usize,
+    /// Window size (queries per maintenance round).
+    pub window: usize,
+    /// Snapshot shard count (0 = derive from threads).
+    pub shards: usize,
+    /// Per-query hit-verification work budget; `None` = unbounded.
+    pub verify_budget: Option<u64>,
+    /// Client threads for `run_batch`. Suites keep this at 1: with one
+    /// client the counter stream is a pure function of the seeds, which is
+    /// what the regression gate relies on. Values > 1 exercise the
+    /// concurrent path but make admission order scheduling-dependent.
+    pub threads: usize,
+    /// Subgraph or supergraph semantics.
+    pub kind: QueryKind,
+    /// Queries excluded from the measured counters (the paper allows one
+    /// window before measuring).
+    pub warmup: usize,
+}
+
+impl Scenario {
+    /// A scenario with the harness defaults: AIDS-shaped dataset at a
+    /// small scale, ZZ workload, GGSX, HD eviction, capacity 100 /
+    /// window 20, sequential client, one window of warm-up.
+    pub fn named(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            dataset: DatasetProfile::aids(),
+            dataset_scale: 0.05,
+            dataset_seed: 42,
+            workload: WorkloadSpec::Zz(1.4),
+            query_sizes: vec![4, 8, 12, 16, 20],
+            queries: 120,
+            workload_seed: 42,
+            method: MethodKind::Ggsx,
+            eviction: "hd".into(),
+            admission: None,
+            capacity: 100,
+            window: 20,
+            shards: 0,
+            verify_budget: None,
+            threads: 1,
+            kind: QueryKind::Subgraph,
+            warmup: 20,
+        }
+    }
+
+    /// Configuration echo serialized into the report, so a baseline file
+    /// is self-describing: `(key, value)` pairs in schema order.
+    pub fn config_echo(&self) -> Vec<(String, String)> {
+        let mut echo = vec![
+            ("dataset".to_string(), self.dataset.name.to_string()),
+            (
+                "dataset_scale".to_string(),
+                format!("{}", self.dataset_scale),
+            ),
+            // The graph count the scale actually resolves to (the profile
+            // floors scales below 0.05), so the echo cannot misdescribe
+            // the run.
+            (
+                "graphs".to_string(),
+                format!(
+                    "{}",
+                    self.dataset.clone().scaled(self.dataset_scale).graph_count
+                ),
+            ),
+            ("dataset_seed".to_string(), format!("{}", self.dataset_seed)),
+            ("workload".to_string(), self.workload.name()),
+            ("queries".to_string(), format!("{}", self.queries)),
+            (
+                "workload_seed".to_string(),
+                format!("{}", self.workload_seed),
+            ),
+            (
+                "method".to_string(),
+                self.method.registry_name().to_string(),
+            ),
+            ("eviction".to_string(), self.eviction.clone()),
+            (
+                "admission".to_string(),
+                self.admission.clone().unwrap_or_else(|| "none".into()),
+            ),
+            ("capacity".to_string(), format!("{}", self.capacity)),
+            ("window".to_string(), format!("{}", self.window)),
+            ("shards".to_string(), format!("{}", self.shards)),
+            ("threads".to_string(), format!("{}", self.threads)),
+            (
+                "kind".to_string(),
+                match self.kind {
+                    QueryKind::Subgraph => "subgraph".to_string(),
+                    QueryKind::Supergraph => "supergraph".to_string(),
+                },
+            ),
+            ("warmup".to_string(), format!("{}", self.warmup)),
+            // Pinned by the runner: the deterministic work-based cost
+            // proxy, never wall time (see `runner::run_scenario`).
+            ("cost_model".to_string(), "work".to_string()),
+        ];
+        if let Some(b) = self.verify_budget {
+            echo.push(("verify_budget".to_string(), format!("{b}")));
+        }
+        echo
+    }
+}
+
+/// A named scenario list `gc bench` can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Small and fast — the CI regression gate. Covers both workload
+    /// families, both special cases, budgeted verification, sharding and
+    /// an admission policy in a few seconds even in debug builds.
+    Smoke,
+    /// The paper's matrix: all four dataset shapes × the six workload
+    /// categories (bench scale).
+    Paper,
+    /// One dataset/workload replayed across the policy registry's
+    /// eviction and admission strategies.
+    Policies,
+}
+
+impl Suite {
+    /// All suites, for listings.
+    pub const ALL: [Suite; 3] = [Suite::Smoke, Suite::Paper, Suite::Policies];
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::Smoke => "smoke",
+            Suite::Paper => "paper",
+            Suite::Policies => "policies",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Suite> {
+        match name {
+            "smoke" => Some(Suite::Smoke),
+            "paper" => Some(Suite::Paper),
+            "policies" => Some(Suite::Policies),
+            _ => None,
+        }
+    }
+
+    /// The suite's scenario list. Deterministic: same list, same order,
+    /// same seeds on every call.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        match self {
+            Suite::Smoke => smoke_scenarios(),
+            Suite::Paper => paper_scenarios(),
+            Suite::Policies => policy_scenarios(),
+        }
+    }
+}
+
+/// The smoke suite stays deliberately tiny: `tests/cli_smoke.rs` replays
+/// it several times through the debug binary, and the CI gate runs it on
+/// every push — a handful of seconds total is the budget.
+fn smoke_scenarios() -> Vec<Scenario> {
+    let mut zz = Scenario::named("smoke-aids-zz-hd");
+    zz.dataset_scale = 0.05;
+    zz.queries = 80;
+    zz.capacity = 40;
+    zz.query_sizes = vec![4, 8, 12];
+
+    // Type B exercises the empty-answer shortcut; the adaptive admission
+    // policy and a verification budget ride along, plus a fixed shard
+    // count so the sharded maintenance path is pinned.
+    let mut b20 = Scenario::named("smoke-aids-b20-gcr-adaptive");
+    b20.workload = WorkloadSpec::TypeB {
+        no_answer: 0.2,
+        alpha: 1.4,
+    };
+    b20.dataset_scale = 0.05;
+    b20.queries = 80;
+    b20.capacity = 40;
+    b20.query_sizes = vec![4, 8, 12];
+    b20.eviction = "gcr".into();
+    b20.admission = Some("adaptive".into());
+    // Tight enough that some sweeps run dry: the `truncated` counter must
+    // be pinned above zero or the budget-degradation path goes ungated.
+    b20.verify_budget = Some(25);
+    b20.shards = 4;
+
+    // Dense graphs (PCM shape) under supergraph semantics — the other
+    // query direction, a different method, and the segmented-LRU policy.
+    let mut pcm = Scenario::named("smoke-pcm-zu-slru-super");
+    pcm.dataset = DatasetProfile::pcm();
+    pcm.dataset_scale = 0.2;
+    pcm.workload = WorkloadSpec::Zu(1.4);
+    pcm.queries = 50;
+    pcm.capacity = 30;
+    pcm.query_sizes = vec![4, 6, 8];
+    pcm.method = MethodKind::SiVf2;
+    pcm.eviction = "slru:protected=0.5".into();
+    pcm.kind = QueryKind::Supergraph;
+
+    vec![zz, b20, pcm]
+}
+
+fn paper_scenarios() -> Vec<Scenario> {
+    let datasets = [
+        (DatasetProfile::aids(), 0.05, vec![4, 8, 12, 16, 20]),
+        (DatasetProfile::pdbs(), 0.1, vec![4, 8, 12, 16, 20]),
+        (DatasetProfile::pcm(), 0.5, vec![4, 8, 12, 16, 20]),
+        (DatasetProfile::synthetic(), 0.15, vec![4, 8, 12, 16, 20]),
+    ];
+    let mut out = Vec::new();
+    for (profile, scale, sizes) in datasets {
+        for spec in WorkloadSpec::paper_six() {
+            let mut s = Scenario::named(format!(
+                "paper-{}-{}",
+                profile.name.to_lowercase(),
+                spec.name().replace('%', "pct"),
+            ));
+            s.dataset = profile.clone();
+            s.dataset_scale = scale;
+            s.workload = spec;
+            s.query_sizes = sizes.clone();
+            s.queries = 150;
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn policy_scenarios() -> Vec<Scenario> {
+    let evictions = [
+        "lru",
+        "pop",
+        "pin",
+        "pinc",
+        "hd",
+        "slru:protected=0.5",
+        "greedy-dual",
+    ];
+    let mut out = Vec::new();
+    for ev in evictions {
+        let mut s = Scenario::named(format!(
+            "policies-aids-zz-{}",
+            ev.split(':').next().unwrap_or(ev)
+        ));
+        s.dataset_scale = 0.05;
+        s.queries = 120;
+        s.capacity = 50;
+        s.eviction = ev.into();
+        out.push(s);
+    }
+    for adm in ["threshold", "adaptive"] {
+        let mut s = Scenario::named(format!("policies-aids-zz-hd-{adm}"));
+        s.dataset_scale = 0.05;
+        s.queries = 120;
+        s.capacity = 50;
+        s.admission = Some(adm.into());
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn spec_names() {
+        let names: Vec<String> = WorkloadSpec::paper_six().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["ZZ", "ZU", "UU", "0%", "20%", "50%"]);
+    }
+
+    #[test]
+    fn suite_names_round_trip() {
+        for s in Suite::ALL {
+            assert_eq!(Suite::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Suite::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scenario_names_are_unique_within_each_suite() {
+        for suite in Suite::ALL {
+            let scenarios = suite.scenarios();
+            assert!(!scenarios.is_empty());
+            let names: HashSet<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+            assert_eq!(names.len(), scenarios.len(), "{} suite", suite.name());
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic_lists() {
+        let a = Suite::Smoke.scenarios();
+        let b = Suite::Smoke.scenarios();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.config_echo(), y.config_echo());
+        }
+    }
+
+    #[test]
+    fn suites_keep_one_client_thread() {
+        // The regression gate only holds with a sequential client; a suite
+        // scenario quietly flipping to threads > 1 would make the
+        // committed baseline flaky.
+        for suite in Suite::ALL {
+            for s in suite.scenarios() {
+                assert_eq!(s.threads, 1, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_generation_matches_spec() {
+        let d = DatasetProfile::aids().scaled(0.02).generate(3);
+        let w = WorkloadSpec::Zz(1.4).generate(&d, &[4, 8], 30, 9);
+        assert_eq!(w.len(), 30);
+        let w2 = WorkloadSpec::Zz(1.4).generate(&d, &[4, 8], 30, 9);
+        for (a, b) in w.graphs().zip(w2.graphs()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn config_echo_graphs_matches_generated_dataset() {
+        // Even a sub-floor scale (clamped to 0.05 by the profile) must be
+        // echoed as the graph count that actually runs.
+        let mut s = Scenario::named("clamped");
+        s.dataset_scale = 0.01;
+        let echoed: usize = s
+            .config_echo()
+            .into_iter()
+            .find(|(k, _)| k == "graphs")
+            .expect("graphs echoed")
+            .1
+            .parse()
+            .unwrap();
+        let generated = s
+            .dataset
+            .clone()
+            .scaled(s.dataset_scale)
+            .generate(s.dataset_seed)
+            .len();
+        assert_eq!(echoed, generated);
+    }
+
+    #[test]
+    fn suite_scales_are_not_silently_clamped() {
+        // DatasetProfile::scaled floors the scale at 0.05; a suite
+        // scenario below the floor would echo a scale the run never used.
+        for suite in Suite::ALL {
+            for s in suite.scenarios() {
+                assert!(
+                    s.dataset_scale >= 0.05,
+                    "{}: scale {} is below the profile floor",
+                    s.name,
+                    s.dataset_scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_echo_covers_budget_only_when_set() {
+        let s = Scenario::named("x");
+        assert!(!s.config_echo().iter().any(|(k, _)| k == "verify_budget"));
+        let mut b = Scenario::named("y");
+        b.verify_budget = Some(10);
+        assert!(b.config_echo().iter().any(|(k, _)| k == "verify_budget"));
+    }
+}

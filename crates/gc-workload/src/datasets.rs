@@ -159,6 +159,19 @@ impl DatasetProfile {
         }
     }
 
+    /// Looks up a bench-scale profile by its CLI name (`"aids"`, `"pdbs"`,
+    /// `"pcm"`, `"synthetic"`, case-insensitive) — the single source for
+    /// `gc generate --profile` and scenario files.
+    pub fn by_name(name: &str) -> Option<DatasetProfile> {
+        match name.to_ascii_lowercase().as_str() {
+            "aids" => Some(Self::aids()),
+            "pdbs" => Some(Self::pdbs()),
+            "pcm" => Some(Self::pcm()),
+            "synthetic" => Some(Self::synthetic()),
+            _ => None,
+        }
+    }
+
     /// Scales graph count by `scale` (≥ 0.05), leaving per-graph shape
     /// untouched. Used by the harness's `--scale` / `GC_SCALE` knob.
     pub fn scaled(mut self, scale: f64) -> Self {
@@ -283,6 +296,15 @@ mod tests {
         ] {
             assert!(d.graphs().iter().all(|g| g.is_connected()));
         }
+    }
+
+    #[test]
+    fn by_name_resolves_every_cli_profile() {
+        for name in ["aids", "pdbs", "pcm", "synthetic", "AIDS"] {
+            let p = DatasetProfile::by_name(name).expect(name);
+            assert_eq!(p.name.to_ascii_lowercase(), name.to_ascii_lowercase());
+        }
+        assert!(DatasetProfile::by_name("nope").is_none());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates benches/baseline.json — the committed deterministic-counter
+# baseline that `gc bench --check` (and the CI bench-smoke job) gates
+# against. Run this after a change that intentionally shifts counters,
+# then review the diff like any other code change:
+#
+#   scripts/refresh-baseline.sh
+#   git diff benches/baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin gc
+./target/release/gc bench --suite smoke --json benches/baseline.json
+
+echo
+echo "baseline refreshed; review with: git diff benches/baseline.json"

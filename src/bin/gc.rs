@@ -12,7 +12,36 @@
 //!   [--threads N] [--shards N] [--verify-budget N] [--verify-threads N]
 //!   [--supergraph] [--background] [--no-cache] [--maint-stats]
 //!   [--save DIR] [--restore DIR]` replays the queries and prints per-run
-//!   statistics.
+//!   statistics;
+//! * `gc bench [--suite smoke|paper|policies] [--json FILE]
+//!   [--check BASELINE] [--tolerance PCT] [--timings] [--list]` runs a
+//!   scenario suite end-to-end (dataset generation → workload → cached
+//!   replay) and reports machine-readable metrics.
+//!
+//! `gc bench` flags:
+//!
+//! * `--suite NAME` — which scenario matrix to run (default `smoke`, the
+//!   CI suite; `paper` is the full dataset × workload matrix; `policies`
+//!   sweeps the policy registry). `--list` prints the scenarios of the
+//!   selected suite without running them;
+//! * `--json FILE` — write the versioned report (deterministic counters
+//!   only, so the bytes are identical across runs with the same build;
+//!   add `--timings` to include the advisory wall-clock section);
+//! * `--check BASELINE` — compare the run's deterministic counters
+//!   against a committed baseline (`benches/baseline.json`), failing with
+//!   exit code 3 when any counter drifts beyond `--tolerance PCT`
+//!   (default 5). Wall-clock is advisory and never gated. Refresh the
+//!   baseline with `scripts/refresh-baseline.sh`.
+//!
+//! # Exit codes
+//!
+//! * `0` — success;
+//! * `1` — runtime failure (I/O errors, malformed datasets, missing
+//!   `--restore` state);
+//! * `2` — usage error (unknown subcommand/flag value, missing required
+//!   option, unknown profile/workload/method/policy/suite name);
+//! * `3` — benchmark regression: `gc bench --check` found deterministic
+//!   counters drifting beyond tolerance.
 //!
 //! `gc query` flags:
 //!
@@ -59,6 +88,7 @@
 
 use graphcache::core::{registry, GraphCache, QueryKind, QueryRequest};
 use graphcache::graph::{io, GraphDataset};
+use graphcache::harness::{MatrixReport, Suite};
 use graphcache::methods::{Method, MethodKind};
 use graphcache::workload::{
     generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig,
@@ -66,40 +96,77 @@ use graphcache::workload::{
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// CLI failures, by exit code. Usage errors (2) mean the invocation never
+/// made sense; runtime errors (1) mean a valid invocation failed; drift
+/// (3) means `gc bench --check` found a benchmark regression.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation → exit code 2.
+    Usage(String),
+    /// Valid invocation hit a failure → exit code 1.
+    Runtime(String),
+    /// `--check` found counters beyond tolerance → exit code 3.
+    Drift(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+fn print_usage() {
+    eprintln!("usage: gc <generate|stats|workload|query|bench> [options]");
+    eprintln!("  gc generate --profile aids|pdbs|pcm|synthetic [--scale F] [--seed N] --out FILE");
+    eprintln!("  gc stats FILE");
+    eprintln!(
+        "  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE"
+    );
+    eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
+    eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
+    eprintln!("           [--shards N] [--verify-budget N] [--verify-threads N]");
+    eprintln!("           [--supergraph] [--background] [--no-cache] [--maint-stats]");
+    eprintln!("           [--save DIR] [--restore DIR]");
+    eprintln!("  gc bench [--suite smoke|paper|policies] [--json FILE] [--timings] [--list]");
+    eprintln!("           [--check BASELINE] [--tolerance PCT]");
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: gc <generate|stats|workload|query> [options]");
-        eprintln!(
-            "  gc generate --profile aids|pdbs|pcm|synthetic [--scale F] [--seed N] --out FILE"
-        );
-        eprintln!("  gc stats FILE");
-        eprintln!("  gc workload --dataset FILE --kind zz|zu|uu|b0|b20|b50 [--count N] [--seed N] --out FILE");
-        eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
-        eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
-        eprintln!("           [--shards N] [--verify-budget N] [--verify-threads N]");
-        eprintln!("           [--supergraph] [--background] [--no-cache] [--maint-stats]");
-        eprintln!("           [--save DIR] [--restore DIR]");
-        return ExitCode::FAILURE;
-    };
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(rest),
-        "stats" => cmd_stats(rest),
-        "workload" => cmd_workload(rest),
-        "query" => cmd_query(rest),
-        other => Err(format!("unknown subcommand {other:?}")),
+    let result = match args.split_first() {
+        None => Err(CliError::usage("no subcommand given")),
+        Some((cmd, rest)) => match cmd.as_str() {
+            "generate" => cmd_generate(rest),
+            "stats" => cmd_stats(rest),
+            "workload" => cmd_workload(rest),
+            "query" => cmd_query(rest),
+            "bench" => cmd_bench(rest),
+            other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("gc: {e}");
-            ExitCode::FAILURE
+        Err(CliError::Usage(msg)) => {
+            eprintln!("gc: {msg}");
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("gc: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Drift(msg)) => {
+            eprintln!("gc: {msg}");
+            ExitCode::from(3)
         }
     }
 }
 
-/// Parses `--key value` pairs and bare flags into a map.
-fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+/// Parses `--key value` pairs and bare flags into a map. Malformed
+/// invocations are usage errors.
+fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), CliError> {
     let mut opts = HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
@@ -107,7 +174,14 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Bare flags take no value.
-            const FLAGS: [&str; 4] = ["supergraph", "no-cache", "background", "maint-stats"];
+            const FLAGS: [&str; 6] = [
+                "supergraph",
+                "no-cache",
+                "background",
+                "maint-stats",
+                "timings",
+                "list",
+            ];
             if FLAGS.contains(&key) {
                 opts.insert(key.to_string(), "true".to_string());
                 i += 1;
@@ -127,7 +201,7 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
             } else {
                 let v = args
                     .get(i + 1)
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                    .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
                 opts.insert(key.to_string(), v.clone());
                 i += 2;
             }
@@ -139,54 +213,62 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
     Ok((opts, positional))
 }
 
-fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
     opts.get(key)
         .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing required option --{key}"))
+        .ok_or_else(|| CliError::usage(format!("missing required option --{key}")))
 }
 
 fn num<T: std::str::FromStr>(
     opts: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --{key}: {v:?}"))),
     }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> CliResult {
     let (opts, _) = parse_opts(args)?;
-    let profile = match req(&opts, "profile")? {
-        "aids" => DatasetProfile::aids(),
-        "pdbs" => DatasetProfile::pdbs(),
-        "pcm" => DatasetProfile::pcm(),
-        "synthetic" => DatasetProfile::synthetic(),
-        other => return Err(format!("unknown profile {other:?}")),
-    };
+    let name = req(&opts, "profile")?;
+    let profile = DatasetProfile::by_name(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown profile {name:?} (aids|pdbs|pcm|synthetic)"
+        ))
+    })?;
     let scale: f64 = num(&opts, "scale", 1.0)?;
     let seed: u64 = num(&opts, "seed", 42)?;
     let out = req(&opts, "out")?;
     let dataset = profile.scaled(scale).generate(seed);
-    io::save_dataset(out, &dataset).map_err(|e| e.to_string())?;
+    io::save_dataset(out, &dataset)
+        .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
     println!("wrote {} ({})", out, dataset.stats());
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> CliResult {
     let (_, positional) = parse_opts(args)?;
     let path = positional
         .first()
-        .ok_or_else(|| "usage: gc stats FILE".to_string())?;
-    let dataset = io::load_dataset(path).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage("usage: gc stats FILE"))?;
+    let dataset = load_dataset(path)?;
     println!("{}", dataset.stats());
     Ok(())
 }
 
-fn cmd_workload(args: &[String]) -> Result<(), String> {
+/// Loads a dataset file, pointing the error at the path (runtime error:
+/// the invocation was fine, the file was not).
+fn load_dataset(path: &str) -> Result<GraphDataset, CliError> {
+    io::load_dataset(path).map_err(|e| CliError::Runtime(format!("cannot load {path}: {e}")))
+}
+
+fn cmd_workload(args: &[String]) -> CliResult {
     let (opts, _) = parse_opts(args)?;
-    let dataset = io::load_dataset(req(&opts, "dataset")?).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(req(&opts, "dataset")?)?;
     let count: usize = num(&opts, "count", 500)?;
     let seed: u64 = num(&opts, "seed", 42)?;
     let out = req(&opts, "out")?;
@@ -210,13 +292,14 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
             )
         }
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown workload kind {other:?} (zz|zu|uu|b0|b20|b50)"
-            ))
+            )))
         }
     };
     let as_dataset = GraphDataset::new(workload.graphs().cloned().collect());
-    io::save_dataset(out, &as_dataset).map_err(|e| e.to_string())?;
+    io::save_dataset(out, &as_dataset)
+        .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {} ({} queries, {})",
         out,
@@ -226,20 +309,20 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build_method(name: &str, dataset: &GraphDataset) -> Result<Method, String> {
+fn build_method(name: &str, dataset: &GraphDataset) -> Result<Method, CliError> {
     match MethodKind::from_registry_name(name) {
         Some(kind) => Ok(kind.build(dataset)),
         None => {
             let available: Vec<&str> = MethodKind::ALL.iter().map(|k| k.registry_name()).collect();
-            Err(format!(
+            Err(CliError::usage(format!(
                 "unknown method {name:?} (available: {})",
                 available.join(", ")
-            ))
+            )))
         }
     }
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> CliResult {
     let (opts, _) = parse_opts(args)?;
     let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
     // Replacement policy via the registry; --policy stays as an alias of
@@ -251,13 +334,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .or_else(|| opts.get("policy"))
         .map(|s| s.as_str())
         .unwrap_or("hd");
-    registry::build_eviction(eviction).map_err(|e| e.to_string())?;
+    registry::build_eviction(eviction).map_err(|e| CliError::usage(e.to_string()))?;
     let admission = opts.get("admission").map(|s| s.as_str());
     if let Some(spec) = admission {
-        registry::build_admission(spec).map_err(|e| e.to_string())?;
+        registry::build_admission(spec).map_err(|e| CliError::usage(e.to_string()))?;
     }
-    let dataset = io::load_dataset(req(&opts, "dataset")?).map_err(|e| e.to_string())?;
-    let queries = io::load_dataset(req(&opts, "queries")?).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(req(&opts, "dataset")?)?;
+    let queries = load_dataset(req(&opts, "queries")?)?;
     let kind = if opts.contains_key("supergraph") {
         QueryKind::Supergraph
     } else {
@@ -319,9 +402,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if let Some(spec) = admission {
         builder = builder.admission(spec);
     }
-    let cache = builder.try_build(method).map_err(|e| e.to_string())?;
+    let cache = builder
+        .try_build(method)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     if let Some(dir) = opts.get("restore") {
-        cache.restore(dir).map_err(|e| e.to_string())?;
+        // A missing save directory used to surface as a bare
+        // "No such file or directory" with no hint which path was wrong.
+        if !std::path::Path::new(dir).join("entries.txt").is_file() {
+            return Err(CliError::Runtime(format!(
+                "cannot restore from {dir:?}: not a saved cache directory \
+                 (no entries.txt — was it written by `gc query --save`?)"
+            )));
+        }
+        cache
+            .restore(dir)
+            .map_err(|e| CliError::Runtime(format!("cannot restore from {dir:?}: {e}")))?;
         println!("restored {} cached queries from {dir}", cache.cache_len());
     }
 
@@ -415,8 +510,104 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(dir) = opts.get("save") {
-        cache.save(dir).map_err(|e| e.to_string())?;
+        cache
+            .save(dir)
+            .map_err(|e| CliError::Runtime(format!("cannot save to {dir:?}: {e}")))?;
         println!("saved cache state to {dir}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let (opts, _) = parse_opts(args)?;
+    let suite_name = opts.get("suite").map(|s| s.as_str()).unwrap_or("smoke");
+    let suite = Suite::from_name(suite_name).ok_or_else(|| {
+        let available: Vec<&str> = Suite::ALL.iter().map(|s| s.name()).collect();
+        CliError::usage(format!(
+            "unknown suite {suite_name:?} (available: {})",
+            available.join(", ")
+        ))
+    })?;
+    let tolerance: f64 = num(&opts, "tolerance", 5.0)?;
+    // NaN/inf would make every drift comparison pass, silently disabling
+    // the gate.
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(CliError::usage(
+            "--tolerance must be a finite, non-negative percentage",
+        ));
+    }
+
+    if opts.contains_key("list") {
+        println!(
+            "suite {} ({} scenarios):",
+            suite.name(),
+            suite.scenarios().len()
+        );
+        for s in suite.scenarios() {
+            let echo: Vec<String> = s
+                .config_echo()
+                .into_iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!("  {}  [{}]", s.name, echo.join(" "));
+        }
+        return Ok(());
+    }
+
+    println!(
+        "running suite {} ({} scenarios)...",
+        suite.name(),
+        suite.scenarios().len()
+    );
+    println!(
+        "{:<30} {:>7} {:>9} {:>9} {:>9} {:>7} {:>9}",
+        "scenario", "queries", "assisted", "iso-tests", "gc-tests", "trunc", "wall-ms"
+    );
+    let report = graphcache::harness::run_suite_with(suite, |s| {
+        println!(
+            "{:<30} {:>7} {:>9} {:>9} {:>9} {:>7} {:>9.1}",
+            s.name,
+            s.counter("queries").unwrap_or(0),
+            s.counter("cache_assisted").unwrap_or(0),
+            s.counter("subiso_tests").unwrap_or(0),
+            s.counter("gc_tests").unwrap_or(0),
+            s.counter("truncated").unwrap_or(0),
+            s.wall_ms,
+        );
+    })
+    .map_err(CliError::Runtime)?;
+
+    if let Some(path) = opts.get("json") {
+        let text = report.to_json(opts.contains_key("timings"));
+        std::fs::write(path, &text)
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = opts.get("check") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::Runtime(format!("cannot read baseline {baseline_path}: {e}")))?;
+        let baseline = MatrixReport::from_json(&text)
+            .map_err(|e| CliError::Runtime(format!("malformed baseline {baseline_path}: {e}")))?;
+        if baseline.suite != report.suite {
+            return Err(CliError::Runtime(format!(
+                "baseline {baseline_path} is for suite {:?}, not {:?}",
+                baseline.suite, report.suite
+            )));
+        }
+        let drifts = MatrixReport::compare(&baseline, &report, tolerance);
+        if drifts.is_empty() {
+            println!("check: all deterministic counters within {tolerance}% of {baseline_path}");
+        } else {
+            for d in &drifts {
+                eprintln!("drift: {d}");
+            }
+            return Err(CliError::Drift(format!(
+                "{} counter(s) drifted beyond {tolerance}% of {baseline_path} \
+                 (refresh with scripts/refresh-baseline.sh if intended)",
+                drifts.len()
+            )));
+        }
     }
     Ok(())
 }

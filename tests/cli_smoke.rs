@@ -1,0 +1,464 @@
+//! End-to-end CLI smoke test: drives the compiled `gc` binary through the
+//! full generate → workload → query → bench pipeline, validates the
+//! emitted JSON against the harness parser, and pins the exit-code
+//! contract (0 success / 1 runtime / 2 usage / 3 bench drift).
+
+use gc_harness::{Json, MatrixReport};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Absolute path of the compiled `gc` binary under test.
+fn gc_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gc")
+}
+
+/// Per-test scratch directory (tests run in parallel in one process, so
+/// the name carries both the pid and the test's own tag).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("gc-cli-smoke-{}-{tag}", std::process::id()));
+        // A previous crashed run may have left the directory behind.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(gc_bin())
+        .args(args)
+        .output()
+        .expect("spawn gc binary")
+}
+
+#[track_caller]
+fn assert_exit(args: &[&str], expected: i32) -> Output {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(expected),
+        "gc {:?}\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+/// The full pipeline a user runs by hand, plus JSON validation of the
+/// bench output — every deterministic counter key the gate relies on must
+/// be present in every scenario.
+#[test]
+fn pipeline_generate_workload_query_bench() {
+    let tmp = Scratch::new("pipeline");
+    let dataset = tmp.path("aids.txt");
+    let queries = tmp.path("queries.txt");
+    let json = tmp.path("bench.json");
+
+    assert_exit(
+        &[
+            "generate",
+            "--profile",
+            "aids",
+            "--scale",
+            "0.01",
+            "--seed",
+            "7",
+            "--out",
+            &dataset,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "zz",
+            "--count",
+            "20",
+            "--seed",
+            "9",
+            "--out",
+            &queries,
+        ],
+        0,
+    );
+    let out = assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--capacity",
+            "10",
+            "--window",
+            "5",
+        ],
+        0,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("20 queries"), "query summary: {stdout}");
+
+    assert_exit(&["bench", "--suite", "smoke", "--json", &json], 0);
+    let text = std::fs::read_to_string(&json).expect("bench json exists");
+
+    // The file parses with the harness parser and carries the schema.
+    let report = MatrixReport::from_json(&text).expect("valid report");
+    assert_eq!(report.suite, "smoke");
+    assert!(!report.scenarios.is_empty());
+    for scenario in &report.scenarios {
+        for key in [
+            "queries",
+            "cache_assisted",
+            "exact_hits",
+            "exact_fp_hits",
+            "empty_shortcuts",
+            "truncated",
+            "subiso_tests",
+            "gc_tests",
+            "budget_spent",
+            "maint_rounds",
+            "entries_admitted",
+            "entries_evicted",
+            "shards_patched",
+            "compactions",
+            "cache_entries",
+            "memory_bytes",
+        ] {
+            assert!(
+                scenario.counter(key).is_some(),
+                "scenario {} is missing counter {key}",
+                scenario.name
+            );
+        }
+        assert!(scenario.counter("queries").unwrap() > 0);
+    }
+
+    // The raw document is also plain JSON for any other tool.
+    let doc = gc_harness::json::parse(&text).expect("plain json");
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+}
+
+/// Two runs of the same suite write byte-identical files (deterministic
+/// counters; wall-clock is excluded without --timings), a run checked
+/// against its own output passes, and a perturbed baseline trips the gate
+/// with the dedicated exit code.
+#[test]
+fn bench_is_deterministic_and_gates_drift() {
+    let tmp = Scratch::new("determinism");
+    let first = tmp.path("first.json");
+    let second = tmp.path("second.json");
+
+    assert_exit(&["bench", "--suite", "smoke", "--json", &first], 0);
+    assert_exit(&["bench", "--suite", "smoke", "--json", &second], 0);
+    let a = std::fs::read(&first).unwrap();
+    let b = std::fs::read(&second).unwrap();
+    assert_eq!(a, b, "smoke suite JSON must be bit-identical across runs");
+
+    // Self-check passes even at zero tolerance.
+    assert_exit(
+        &[
+            "bench",
+            "--suite",
+            "smoke",
+            "--check",
+            &first,
+            "--tolerance",
+            "0",
+        ],
+        0,
+    );
+
+    // Perturb one deterministic counter beyond tolerance: the gate must
+    // fail with the drift exit code and name the counter.
+    let report = MatrixReport::from_json(&String::from_utf8(a).unwrap()).unwrap();
+    let victim = &report.scenarios[0];
+    let old = victim.counter("subiso_tests").unwrap();
+    let perturbed_text = std::fs::read_to_string(&first).unwrap().replace(
+        &format!("\"subiso_tests\": {old}"),
+        &format!("\"subiso_tests\": {}", old * 2 + 100),
+    );
+    let perturbed = tmp.path("perturbed.json");
+    std::fs::write(&perturbed, perturbed_text).unwrap();
+    let out = assert_exit(
+        &[
+            "bench",
+            "--suite",
+            "smoke",
+            "--check",
+            &perturbed,
+            "--tolerance",
+            "5",
+        ],
+        3,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("subiso_tests"),
+        "drift names the counter: {stderr}"
+    );
+
+    // With --timings the advisory block appears; the file still parses
+    // and the deterministic counters are unchanged.
+    let timed = tmp.path("timed.json");
+    assert_exit(
+        &["bench", "--suite", "smoke", "--json", &timed, "--timings"],
+        0,
+    );
+    let timed_text = std::fs::read_to_string(&timed).unwrap();
+    assert!(timed_text.contains("\"advisory\""));
+    let timed_report = MatrixReport::from_json(&timed_text).unwrap();
+    assert_eq!(
+        timed_report.scenarios[0].counters, report.scenarios[0].counters,
+        "--timings must not change deterministic counters"
+    );
+}
+
+/// The committed baseline matches what this build produces: the CI gate
+/// (`--check benches/baseline.json`) is exercised here too, so a code
+/// change that shifts counters fails locally before it fails in CI.
+#[test]
+fn committed_baseline_is_current() {
+    let baseline = Path::new(env!("CARGO_MANIFEST_DIR")).join("benches/baseline.json");
+    assert!(
+        baseline.is_file(),
+        "benches/baseline.json is missing — run scripts/refresh-baseline.sh"
+    );
+    assert_exit(
+        &[
+            "bench",
+            "--suite",
+            "smoke",
+            "--check",
+            baseline.to_str().unwrap(),
+            "--tolerance",
+            "5",
+        ],
+        0,
+    );
+}
+
+/// Exit-code contract: usage errors are 2, runtime failures are 1, and
+/// stderr says what went wrong.
+#[test]
+fn exit_codes_are_distinct() {
+    let tmp = Scratch::new("exit-codes");
+    let dataset = tmp.path("d.txt");
+    let queries = tmp.path("q.txt");
+    assert_exit(
+        &[
+            "generate",
+            "--profile",
+            "aids",
+            "--scale",
+            "0.01",
+            "--seed",
+            "3",
+            "--out",
+            &dataset,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "uu",
+            "--count",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            &queries,
+        ],
+        0,
+    );
+
+    // Usage errors → 2.
+    assert_exit(&[], 2);
+    assert_exit(&["frobnicate"], 2);
+    assert_exit(&["generate", "--profile", "nope", "--out", "x"], 2);
+    assert_exit(&["generate", "--profile"], 2); // flag without its value
+    assert_exit(&["query", "--queries", &queries], 2); // missing --dataset
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "zzz",
+            "--out",
+            "x",
+        ],
+        2,
+    );
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--method",
+            "nope",
+        ],
+        2,
+    );
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--eviction",
+            "nope",
+        ],
+        2,
+    );
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--capacity",
+            "many",
+        ],
+        2,
+    );
+    assert_exit(&["bench", "--suite", "nope"], 2);
+    assert_exit(&["bench", "--tolerance", "-1"], 2);
+    // NaN/inf tolerances would disable the gate silently.
+    assert_exit(&["bench", "--tolerance", "NaN"], 2);
+    assert_exit(&["bench", "--tolerance", "inf"], 2);
+
+    // Runtime failures → 1.
+    assert_exit(&["stats", &tmp.path("missing.txt")], 1);
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &tmp.path("missing.txt"),
+            "--queries",
+            &queries,
+        ],
+        1,
+    );
+    assert_exit(
+        &[
+            "bench",
+            "--suite",
+            "smoke",
+            "--check",
+            &tmp.path("missing.json"),
+        ],
+        1,
+    );
+    let restore_out = assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--restore",
+            &tmp.path("no-such-save"),
+        ],
+        1,
+    );
+    let stderr = String::from_utf8_lossy(&restore_out.stderr);
+    assert!(
+        stderr.contains("cannot restore") && stderr.contains("no-such-save"),
+        "restore error must name the directory: {stderr}"
+    );
+
+    // A malformed baseline is a runtime error, not drift.
+    let bad = tmp.path("bad.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    assert_exit(&["bench", "--suite", "smoke", "--check", &bad], 1);
+}
+
+/// Save → restore round-trips through the CLI (the happy path the
+/// restore error message points at).
+#[test]
+fn save_then_restore_succeeds() {
+    let tmp = Scratch::new("save-restore");
+    let dataset = tmp.path("d.txt");
+    let queries = tmp.path("q.txt");
+    let saved = tmp.path("saved-cache");
+    assert_exit(
+        &[
+            "generate",
+            "--profile",
+            "aids",
+            "--scale",
+            "0.01",
+            "--seed",
+            "5",
+            "--out",
+            &dataset,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "zz",
+            "--count",
+            "10",
+            "--seed",
+            "5",
+            "--out",
+            &queries,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--save",
+            &saved,
+        ],
+        0,
+    );
+    let out = assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--restore",
+            &saved,
+        ],
+        0,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restored"), "{stdout}");
+}
