@@ -5,7 +5,7 @@ use crate::stats::QuerySerial;
 use std::time::Duration;
 
 /// Everything measured about one query's execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryRecord {
     /// Query serial.
     pub serial: QuerySerial,
@@ -67,6 +67,58 @@ impl QueryRecord {
     /// Whether any kind of cache hit helped this query.
     pub fn any_hit(&self) -> bool {
         self.exact_hit || self.empty_shortcut || self.sub_hits > 0 || self.super_hits > 0
+    }
+
+    /// The record fields that are a pure function of the query sequence
+    /// (durations excluded), as a stable `(name, value)` list. This is the
+    /// wire schema `gc serve` puts on every `RESULT` frame: a client that
+    /// replays these names through
+    /// [`QueryRecord::set_deterministic_field`] reconstructs a record whose
+    /// [`RunCounters`] contribution is identical to the server's, which is
+    /// what makes served counters byte-comparable to in-process
+    /// [`RunCounters::from_records`]. Renaming or reordering entries is a
+    /// protocol change.
+    pub fn deterministic_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("subiso_tests", self.subiso_tests),
+            ("verify_work", self.verify_work),
+            ("gc_tests", self.gc_tests),
+            ("budget_spent", self.budget_spent),
+            ("truncated", self.truncated as u64),
+            ("exact_fp", self.exact_via_fingerprint as u64),
+            ("cs_m", self.cs_m_size as u64),
+            ("cs_gc", self.cs_gc_size as u64),
+            ("sub_hits", self.sub_hits as u64),
+            ("super_hits", self.super_hits as u64),
+            ("exact", self.exact_hit as u64),
+            ("empty", self.empty_shortcut as u64),
+            ("answer_size", self.answer_size as u64),
+        ]
+    }
+
+    /// Sets one field by its [`deterministic_fields`] wire name. Returns
+    /// `false` for unknown names (the caller decides whether that is a
+    /// protocol error or a forward-compatible extra field).
+    ///
+    /// [`deterministic_fields`]: QueryRecord::deterministic_fields
+    pub fn set_deterministic_field(&mut self, name: &str, value: u64) -> bool {
+        match name {
+            "subiso_tests" => self.subiso_tests = value,
+            "verify_work" => self.verify_work = value,
+            "gc_tests" => self.gc_tests = value,
+            "budget_spent" => self.budget_spent = value,
+            "truncated" => self.truncated = value != 0,
+            "exact_fp" => self.exact_via_fingerprint = value != 0,
+            "cs_m" => self.cs_m_size = value as usize,
+            "cs_gc" => self.cs_gc_size = value as usize,
+            "sub_hits" => self.sub_hits = value as usize,
+            "super_hits" => self.super_hits = value as usize,
+            "exact" => self.exact_hit = value != 0,
+            "empty" => self.empty_shortcut = value != 0,
+            "answer_size" => self.answer_size = value as usize,
+            _ => return false,
+        }
+        true
     }
 }
 
@@ -175,23 +227,31 @@ impl RunCounters {
     pub fn from_records(records: &[QueryRecord], warmup: usize) -> Self {
         let mut c = RunCounters::default();
         for r in &records[warmup.min(records.len())..] {
-            c.queries += 1;
-            c.cache_assisted += r.any_hit() as u64;
-            c.exact_hits += r.exact_hit as u64;
-            c.exact_fp_hits += r.exact_via_fingerprint as u64;
-            c.empty_shortcuts += r.empty_shortcut as u64;
-            c.truncated += r.truncated as u64;
-            c.sub_hits += r.sub_hits as u64;
-            c.super_hits += r.super_hits as u64;
-            c.subiso_tests += r.subiso_tests;
-            c.gc_tests += r.gc_tests;
-            c.budget_spent += r.budget_spent;
-            c.verify_work += r.verify_work;
-            c.cs_m += r.cs_m_size as u64;
-            c.cs_gc += r.cs_gc_size as u64;
-            c.answers += r.answer_size as u64;
+            c.add_record(r);
         }
         c
+    }
+
+    /// Folds one record into the totals — the incremental form of
+    /// [`from_records`](RunCounters::from_records), used by `gc serve` to
+    /// keep live global and per-session tallies without retaining every
+    /// record.
+    pub fn add_record(&mut self, r: &QueryRecord) {
+        self.queries += 1;
+        self.cache_assisted += r.any_hit() as u64;
+        self.exact_hits += r.exact_hit as u64;
+        self.exact_fp_hits += r.exact_via_fingerprint as u64;
+        self.empty_shortcuts += r.empty_shortcut as u64;
+        self.truncated += r.truncated as u64;
+        self.sub_hits += r.sub_hits as u64;
+        self.super_hits += r.super_hits as u64;
+        self.subiso_tests += r.subiso_tests;
+        self.gc_tests += r.gc_tests;
+        self.budget_spent += r.budget_spent;
+        self.verify_work += r.verify_work;
+        self.cs_m += r.cs_m_size as u64;
+        self.cs_gc += r.cs_gc_size as u64;
+        self.answers += r.answer_size as u64;
     }
 
     /// Stable `(name, value)` enumeration of every counter, in schema
@@ -455,6 +515,51 @@ mod tests {
         assert_eq!(maint.len(), 5);
         let values: Vec<u64> = maint.iter().map(|(_, v)| *v).collect();
         assert_eq!(values, (1..=5).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn deterministic_fields_round_trip_through_names() {
+        let original = QueryRecord {
+            subiso_tests: 1,
+            verify_work: 2,
+            gc_tests: 3,
+            budget_spent: 4,
+            truncated: true,
+            exact_via_fingerprint: true,
+            cs_m_size: 7,
+            cs_gc_size: 8,
+            sub_hits: 9,
+            super_hits: 10,
+            exact_hit: true,
+            empty_shortcut: true,
+            answer_size: 13,
+            ..Default::default()
+        };
+        let mut rebuilt = QueryRecord::default();
+        for (name, value) in original.deterministic_fields() {
+            assert!(rebuilt.set_deterministic_field(name, value), "{name}");
+        }
+        // The rebuilt record contributes identical counters — the property
+        // the wire protocol's RESULT frame relies on.
+        assert_eq!(
+            RunCounters::from_records(std::slice::from_ref(&rebuilt), 0),
+            RunCounters::from_records(std::slice::from_ref(&original), 0)
+        );
+        assert_eq!(
+            rebuilt.deterministic_fields(),
+            original.deterministic_fields()
+        );
+        assert!(!rebuilt.set_deterministic_field("no_such_field", 1));
+    }
+
+    #[test]
+    fn add_record_matches_from_records() {
+        let recs = vec![record(100, 4, true), record(300, 8, false)];
+        let mut incremental = RunCounters::default();
+        for r in &recs {
+            incremental.add_record(r);
+        }
+        assert_eq!(incremental, RunCounters::from_records(&recs, 0));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Served-mode scenario execution: the same harness suites, driven
+//! through the daemon over a socket instead of in-process calls.
+//!
+//! `gc bench --serve` runs each [`Scenario`] exactly as the in-process
+//! runner does — same dataset, workload, and cache construction, same
+//! deterministic [`CostModel::Work`] — but replays the workload as a
+//! protocol client against an in-process [`Server`] on a private unix
+//! socket. Records come back inside `RESULT` frames, maintenance and
+//! cache-shape counters via `STATS scope=settle`, and the report is
+//! assembled in the *identical* counter order. The point is the
+//! acceptance bar of the daemon: served counters must be **byte-identical**
+//! to `gc bench`'s in-process counters for the same seeds, so the same
+//! committed `benches/baseline.json` gates both paths. That parity is
+//! the correctness spine for routing queries to remote caches later
+//! (ROADMAP item 5).
+
+use crate::client::{Client, ClientError, QueryOutcome};
+use crate::proto::{QueryFrame, StatsScope};
+use crate::server::{ServeConfig, Server};
+use gc_core::{CostModel, GraphCache, QueryRecord, RunCounters};
+use gc_harness::{MatrixReport, Scenario, ScenarioReport, Suite, SCHEMA_VERSION};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A socket path that is unique per process *and* per call, so parallel
+/// tests and repeated suites never collide.
+fn scratch_socket(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "gc-serve-bench-{}-{seq}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+/// Runs one scenario through the daemon. The replay is a single client
+/// session submitting queries strictly in workload order — the served
+/// analogue of the suites' sequential one-client replay, which is what
+/// keeps the counter stream a pure function of the seeds.
+pub fn run_scenario_served(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let t0 = Instant::now();
+    let dataset = scenario
+        .dataset
+        .clone()
+        .scaled(scenario.dataset_scale)
+        .generate(scenario.dataset_seed);
+    let workload = scenario.workload.generate(
+        &dataset,
+        &scenario.query_sizes,
+        scenario.queries,
+        scenario.workload_seed,
+    );
+    let method = scenario.method.build(&dataset);
+
+    // Cache construction mirrors gc_harness::runner::run_scenario exactly
+    // (including the deterministic work-proxy cost model) — any divergence
+    // here shows up as counter drift against the shared baseline.
+    let mut builder = GraphCache::builder()
+        .capacity(scenario.capacity)
+        .window(scenario.window)
+        .eviction(scenario.eviction.as_str())
+        .query_kind(scenario.kind)
+        .threads(scenario.threads)
+        .shards(scenario.shards)
+        .cost_model(CostModel::Work);
+    if let Some(budget) = scenario.verify_budget {
+        builder = builder.verify_budget(budget);
+    }
+    if let Some(admission) = &scenario.admission {
+        builder = builder.admission(admission.as_str());
+    }
+    let cache = builder
+        .try_build(method)
+        .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+
+    let socket = scratch_socket(&scenario.name);
+    let server = Server::bind(
+        cache,
+        ServeConfig {
+            unix: Some(socket.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("scenario {:?}: cannot bind {socket:?}: {e}", scenario.name))?;
+    let shutdown = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let served = serve_workload(&socket, workload.graphs());
+    if served.is_err() {
+        // The protocol SHUTDOWN never went out; drain out-of-band so a
+        // replay failure cannot leave the daemon thread running forever.
+        shutdown.shutdown();
+    }
+    // Join the daemon even when the replay failed, so a scenario error
+    // never leaks a live server thread or a socket file.
+    let daemon_result = daemon
+        .join()
+        .map_err(|_| format!("scenario {:?}: server thread panicked", scenario.name))?;
+    let _ = std::fs::remove_file(&socket);
+    let (records, stats) = served.map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+    daemon_result.map_err(|e| format!("scenario {:?}: server failed: {e}", scenario.name))?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Counter assembly in the runner's exact order: run counters, then
+    // maintenance, then final cache shape.
+    let run = RunCounters::from_records(&records, scenario.warmup);
+    let mut counters: Vec<(String, u64)> = run
+        .deterministic_counters()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    for key in [
+        "maint_rounds",
+        "entries_admitted",
+        "entries_evicted",
+        "shards_patched",
+        "compactions",
+        "cache_entries",
+        "memory_bytes",
+    ] {
+        let value = stats
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("scenario {:?}: STATS reply is missing {key}", scenario.name))?;
+        counters.push((key.to_string(), value));
+    }
+
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        config: scenario.config_echo(),
+        counters,
+        wall_ms,
+    })
+}
+
+/// What one served replay produces: per-query records (for run-counter
+/// reconstruction) plus the daemon's settled global STATS payload.
+type ReplayOutput = (Vec<QueryRecord>, Vec<(String, u64)>);
+
+/// One client session: replay every query in order, then read the settled
+/// global stats and ask the daemon to drain.
+fn serve_workload<'a>(
+    socket: &Path,
+    graphs: impl Iterator<Item = &'a gc_graph::LabeledGraph>,
+) -> Result<ReplayOutput, ClientError> {
+    let mut client = connect_with_retry(socket)?;
+    let mut records = Vec::new();
+    for (i, graph) in graphs.enumerate() {
+        let frame = QueryFrame {
+            id: i as u64,
+            graph: graph.clone(),
+            kind: None,
+            verify_budget: None,
+            max_hits: None,
+            bypass: false,
+        };
+        match client.query(frame)? {
+            QueryOutcome::Result(result) => records.push(result.record),
+            QueryOutcome::Busy { inflight, max } => {
+                // One sequential client can never saturate the pool; a
+                // BUSY here means the server is broken, not loaded.
+                return Err(ClientError::Server {
+                    code: "busy".into(),
+                    msg: format!(
+                        "sequential replay rejected with BUSY ({inflight}/{max} in flight)"
+                    ),
+                });
+            }
+        }
+    }
+    let stats = client.stats(StatsScope::Settle)?;
+    client.shutdown()?;
+    Ok((records, stats))
+}
+
+/// Connects to the daemon's socket, tolerating the small window between
+/// `Server::bind` (socket exists) and the accept loop starting.
+fn connect_with_retry(socket: &Path) -> Result<Client, ClientError> {
+    let mut last = None;
+    for _ in 0..200 {
+        match Client::connect_unix(socket) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+    Err(last.unwrap_or(ClientError::SessionClosed { reason: None }))
+}
+
+/// Runs every scenario of a suite through the daemon, in order, with the
+/// same progress-callback shape as [`gc_harness::run_suite_with`].
+pub fn run_suite_served_with<F>(suite: Suite, mut progress: F) -> Result<MatrixReport, String>
+where
+    F: FnMut(&ScenarioReport),
+{
+    let mut scenarios = Vec::new();
+    for scenario in suite.scenarios() {
+        let report = run_scenario_served(&scenario)?;
+        progress(&report);
+        scenarios.push(report);
+    }
+    Ok(MatrixReport {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.name().to_string(),
+        scenarios,
+    })
+}
+
+/// Runs every scenario of a suite through the daemon, in order.
+pub fn run_suite_served(suite: Suite) -> Result<MatrixReport, String> {
+    run_suite_served_with(suite, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_harness::run_scenario;
+
+    fn tiny(name: &str) -> Scenario {
+        let mut s = Scenario::named(name);
+        s.dataset_scale = 0.05;
+        s.queries = 30;
+        s.capacity = 12;
+        s.window = 8;
+        s.query_sizes = vec![4, 6];
+        s.warmup = 5;
+        s
+    }
+
+    /// The acceptance bar: served counters are byte-identical to the
+    /// in-process runner's for the same scenario.
+    #[test]
+    fn served_counters_match_in_process() {
+        let s = tiny("served-parity");
+        let in_process = run_scenario(&s).expect("in-process run");
+        let served = run_scenario_served(&s).expect("served run");
+        assert_eq!(served.counters, in_process.counters);
+        assert_eq!(served.config, in_process.config);
+    }
+
+    /// Parity holds on the budgeted/admission-gated path too, where the
+    /// verification pool and admission threshold are live.
+    #[test]
+    fn served_counters_match_with_budget_and_admission() {
+        let mut s = tiny("served-parity-budget");
+        s.verify_budget = Some(400);
+        s.admission = Some("adaptive".into());
+        s.eviction = "gcr".into();
+        let in_process = run_scenario(&s).expect("in-process run");
+        let served = run_scenario_served(&s).expect("served run");
+        assert_eq!(served.counters, in_process.counters);
+    }
+}

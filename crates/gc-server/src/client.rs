@@ -1,0 +1,261 @@
+//! A small blocking client for the `gc serve` protocol — what `gc ctl`,
+//! `gc query --connect`, `gc bench --serve`, and the e2e tests speak
+//! through. One [`Client`] is one session: it consumes the `HELLO`
+//! greeting on connect and then exchanges strictly one reply per request
+//! (the protocol never pushes unsolicited frames except the final `BYE`
+//! during drain, which surfaces as [`ClientError::SessionClosed`]).
+
+use crate::proto::{
+    encode_request, parse_response, FrameEvent, FrameReader, ProtoError, QueryFrame, Request,
+    Response, ResultFrame, StatsScope,
+};
+use crate::server::Conn;
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect refused, write to a closed socket, …).
+    Io(std::io::Error),
+    /// The server's reply did not parse.
+    Proto(ProtoError),
+    /// The server replied `ERR code=… msg=…`.
+    Server {
+        /// Stable error-code slug.
+        code: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The server closed the session (EOF or a `BYE` frame).
+    SessionClosed {
+        /// The `BYE` reason, when one was sent before closing.
+        reason: Option<String>,
+    },
+    /// The server answered with a frame this request cannot accept.
+    /// Boxed: `Response` is by far the largest payload, and every client
+    /// call returns `Result<_, ClientError>` on the happy path.
+    Unexpected(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::SessionClosed { reason: Some(r) } => {
+                write!(f, "session closed by server (reason: {r})")
+            }
+            ClientError::SessionClosed { reason: None } => write!(f, "session closed by server"),
+            ClientError::Unexpected(resp) => {
+                write!(
+                    f,
+                    "unexpected reply: {}",
+                    crate::proto::encode_response(resp)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// The outcome of [`Client::query`]: either a served result or a typed
+/// backpressure rejection (the query did **not** run; retry when the
+/// server has capacity).
+#[derive(Debug)]
+pub enum QueryOutcome {
+    /// The query executed; here is its answer and record.
+    Result(ResultFrame),
+    /// The admission-permit pool was saturated.
+    Busy {
+        /// Permits in use at rejection time.
+        inflight: u64,
+        /// Pool size.
+        max: u64,
+    },
+}
+
+/// The outcome of [`Client::hold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldOutcome {
+    /// One permit is now held by this session.
+    Held,
+    /// The pool was already saturated; nothing was taken.
+    Busy {
+        /// Permits in use at rejection time.
+        inflight: u64,
+        /// Pool size.
+        max: u64,
+    },
+}
+
+/// One connected protocol session.
+pub struct Client {
+    conn: Conn,
+    reader: FrameReader,
+    session: u64,
+    max_inflight: u64,
+}
+
+impl Client {
+    /// Connects over TCP and consumes the `HELLO` greeting.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        Client::greet(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects over a unix socket and consumes the `HELLO` greeting.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Client::greet(Conn::Unix(UnixStream::connect(path)?))
+    }
+
+    fn greet(conn: Conn) -> Result<Client, ClientError> {
+        conn.set_read_timeout(None)?;
+        let mut client = Client {
+            conn,
+            reader: FrameReader::new(),
+            session: 0,
+            max_inflight: 0,
+        };
+        match client.recv()? {
+            Response::Hello {
+                session,
+                max_inflight,
+                ..
+            } => {
+                client.session = session;
+                client.max_inflight = max_inflight;
+                Ok(client)
+            }
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The server's admission-permit pool size, from `HELLO`.
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight
+    }
+
+    fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut line = encode_request(req);
+        line.push('\n');
+        self.conn.write_all(line.as_bytes())?;
+        self.conn.flush()?;
+        self.recv()
+    }
+
+    /// Reads the next server frame (blocking). `ERR` frames become
+    /// [`ClientError::Server`]; `BYE`/EOF become
+    /// [`ClientError::SessionClosed`].
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        loop {
+            match self.reader.poll_frame(&mut self.conn)? {
+                FrameEvent::Frame(line) => {
+                    return match parse_response(&line)? {
+                        Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+                        Response::Bye { reason } => Err(ClientError::SessionClosed {
+                            reason: Some(reason),
+                        }),
+                        other => Ok(other),
+                    }
+                }
+                FrameEvent::Closed => return Err(ClientError::SessionClosed { reason: None }),
+                // Blocking sockets only go Idle under an OS-level timeout
+                // some embedder set; treat it as "keep waiting".
+                FrameEvent::Idle => continue,
+            }
+        }
+    }
+
+    /// `PING` round-trip; the token (when given) must echo back.
+    pub fn ping(&mut self, token: Option<&str>) -> Result<(), ClientError> {
+        let resp = self.request(&Request::Ping(token.map(str::to_string)))?;
+        match resp {
+            Response::Pong(echo) if echo.as_deref() == token => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Submits one query; `BUSY` is a normal outcome, not an error.
+    pub fn query(&mut self, frame: QueryFrame) -> Result<QueryOutcome, ClientError> {
+        let id = frame.id;
+        match self.request(&Request::Query(frame))? {
+            Response::Result(r) if r.id == id => Ok(QueryOutcome::Result(r)),
+            Response::Busy {
+                id: busy_id,
+                inflight,
+                max,
+            } if busy_id == id => Ok(QueryOutcome::Busy { inflight, max }),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Reads a counter snapshot.
+    pub fn stats(&mut self, scope: StatsScope) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.request(&Request::Stats(scope))? {
+            Response::Stats(counters) => Ok(counters),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Takes one admission permit (operator quiesce). `BUSY` means the
+    /// pool was already saturated.
+    pub fn hold(&mut self) -> Result<HoldOutcome, ClientError> {
+        match self.request(&Request::Hold)? {
+            Response::Held => Ok(HoldOutcome::Held),
+            Response::Busy { inflight, max, .. } => Ok(HoldOutcome::Busy { inflight, max }),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Returns the permit taken by [`Client::hold`].
+    pub fn release(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Release)? {
+            Response::Released => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Requests graceful drain. The server acknowledges with
+    /// `BYE reason=shutdown` and closes this session, so the expected
+    /// "error" is [`ClientError::SessionClosed`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown) {
+            Err(ClientError::SessionClosed { .. }) => Ok(()),
+            Ok(other) => Err(ClientError::Unexpected(Box::new(other))),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ends this session politely.
+    pub fn quit(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Quit) {
+            Err(ClientError::SessionClosed { .. }) => Ok(()),
+            Ok(other) => Err(ClientError::Unexpected(Box::new(other))),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! The daemon: listeners, sessions, admission permits, graceful drain.
+//!
+//! One [`Server`] owns one shared [`GraphCache`] (a cheap-to-clone
+//! service handle) and any number of listeners — TCP, unix socket, or
+//! both. Each accepted connection becomes a *session*: a thread that
+//! decodes frames with a [`FrameReader`],
+//! executes `QUERY` frames against the shared cache, and tallies every
+//! completed record into both its own and the global
+//! [`RunCounters`] (via `RunCounters::add_record`, so `STATS` output uses
+//! the exact counter names the benchmark harness serializes).
+//!
+//! # Admission under load
+//!
+//! Query admission is a fixed pool of permits (`max_inflight`, default =
+//! the cache's batch thread count). A `QUERY` frame that cannot take a
+//! permit is answered with a typed `BUSY` frame and **not executed** —
+//! the client owns the retry, the server never queues unboundedly.
+//! Sessions read frames strictly in order, so one session holds at most
+//! one execution permit at a time; the pool bounds *cross-session*
+//! concurrency. The `HOLD`/`RELEASE` frames take/return one permit from
+//! the same pool without running a query, which gives operators a quiesce
+//! lever and gives tests a deterministic way to saturate the pool (no
+//! sleeps, no timing assumptions). A held permit is returned when the
+//! session disconnects.
+//!
+//! # Graceful drain
+//!
+//! `SHUTDOWN` (any session), SIGTERM, or SIGINT set a draining flag. The
+//! accept loop stops accepting; every session finishes the frame it is
+//! executing, sends `BYE reason=draining` (or `reason=shutdown` to the
+//! requester) and closes; [`Server::run`] waits up to `drain_timeout` for
+//! sessions to unwind, optionally persists the cache snapshot
+//! (`persist_on_exit`), and returns. In-flight queries always complete —
+//! drain interrupts the protocol between frames, never a running query.
+
+use crate::proto::{
+    encode_response, parse_request, FrameEvent, FrameReader, ProtoError, QueryFrame, Request,
+    Response, StatsScope, PROTO_VERSION,
+};
+use gc_core::{GraphCache, QueryRequest, RunCounters};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long sessions sleep between polls of their read timeout — the
+/// latency bound on noticing a drain request mid-idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// SIGTERM/SIGINT handling. `std` exposes no signal API and the offline
+/// build has no `libc` crate, so this is a minimal hand-rolled binding to
+/// the one function needed: `signal(2)`, which std's runtime already
+/// links. The handler only stores to an atomic — async-signal-safe.
+#[allow(unsafe_code)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler on SIGTERM/SIGINT; polled by the accept loop.
+    pub(super) static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Routes SIGTERM and SIGINT to the drain flag.
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Daemon configuration — the knobs behind `gc serve`'s flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (`host:port`), if any.
+    pub listen: Option<String>,
+    /// Unix socket path, if any. A stale socket file at this path is
+    /// removed before binding (the daemon owns its path).
+    pub unix: Option<PathBuf>,
+    /// Maximum concurrent sessions; further connections are refused with
+    /// `ERR code=max-sessions`.
+    pub max_sessions: usize,
+    /// Size of the admission-permit pool; `0` sizes it from the cache's
+    /// batch thread count.
+    pub max_inflight: usize,
+    /// How long [`Server::run`] waits for sessions to unwind after drain
+    /// starts before giving up on stragglers.
+    pub drain_timeout: Duration,
+    /// Persist the cache snapshot to this directory after drain.
+    pub persist_on_exit: Option<PathBuf>,
+    /// Install SIGTERM/SIGINT handlers that trigger graceful drain (the
+    /// CLI daemon sets this; in-process test servers leave it off).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: None,
+            unix: None,
+            max_sessions: 64,
+            max_inflight: 0,
+            drain_timeout: Duration::from_secs(10),
+            persist_on_exit: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// A bidirectional connection over either transport.
+#[derive(Debug)]
+pub(crate) enum Conn {
+    /// TCP client connection.
+    Tcp(TcpStream),
+    /// Unix-socket client connection.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// State shared by the accept loop and every session thread.
+struct Shared {
+    cache: GraphCache,
+    max_sessions: usize,
+    max_inflight: usize,
+    /// Admission permits currently taken (by executing queries and by
+    /// `HOLD`ing sessions).
+    inflight: AtomicUsize,
+    /// Live session count.
+    sessions: AtomicUsize,
+    sessions_total: AtomicU64,
+    next_session: AtomicU64,
+    busy_rejections: AtomicU64,
+    proto_errors: AtomicU64,
+    draining: AtomicBool,
+    /// Global query counters, accumulated record-by-record.
+    global: Mutex<RunCounters>,
+    persist_on_exit: Option<PathBuf>,
+}
+
+impl Shared {
+    /// Takes one admission permit, or reports the pool saturated.
+    fn try_acquire(&self) -> Result<(), usize> {
+        let mut cur = self.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max_inflight {
+                return Err(cur);
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::TERMINATE.load(Ordering::SeqCst)
+    }
+
+    /// The `STATS` payload: query counters first (harness naming), then
+    /// maintenance + cache shape (the same extension order as the
+    /// harness runner), then serve-level gauges.
+    fn global_stats(&self, settle: bool) -> Vec<(String, u64)> {
+        if settle {
+            self.cache.flush_pending();
+        }
+        let run = *self.global.lock().expect("stats lock");
+        let mut out: Vec<(String, u64)> = run
+            .deterministic_counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        out.extend(
+            self.cache
+                .maint_stats()
+                .deterministic_counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v)),
+        );
+        out.push(("cache_entries".into(), self.cache.cache_len() as u64));
+        out.push(("memory_bytes".into(), self.cache.memory_bytes() as u64));
+        out.push((
+            "sessions_open".into(),
+            self.sessions.load(Ordering::SeqCst) as u64,
+        ));
+        out.push((
+            "sessions_total".into(),
+            self.sessions_total.load(Ordering::SeqCst),
+        ));
+        out.push((
+            "inflight".into(),
+            self.inflight.load(Ordering::SeqCst) as u64,
+        ));
+        out.push(("max_inflight".into(), self.max_inflight as u64));
+        out.push((
+            "busy_rejections".into(),
+            self.busy_rejections.load(Ordering::SeqCst),
+        ));
+        out.push((
+            "proto_errors".into(),
+            self.proto_errors.load(Ordering::SeqCst),
+        ));
+        out
+    }
+}
+
+/// One bound listener of either flavour, switched to non-blocking so the
+/// accept loop can interleave listeners and poll the drain flag.
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Accepts one pending connection, if any (`None` when the accept
+    /// would block).
+    fn try_accept(&self) -> std::io::Result<Option<Conn>> {
+        let conn = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Tcp(s)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Unix(s)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(conn)
+    }
+}
+
+/// A bound-but-not-yet-running daemon. Binding and running are separate
+/// steps so callers (tests, the bench driver) can connect clients the
+/// moment [`Server::bind`] returns — connections queue in the listen
+/// backlog until [`Server::run`] starts accepting.
+pub struct Server {
+    shared: Arc<Shared>,
+    listeners: Vec<Listener>,
+    drain_timeout: Duration,
+    handle_signals: bool,
+    /// Socket file to unlink on exit.
+    unix_path: Option<PathBuf>,
+    tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl Server {
+    /// Binds every configured listener. Fails with a usage-shaped error
+    /// when no listener is configured, and with the bind error otherwise.
+    pub fn bind(cache: GraphCache, cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.listen.is_none() && cfg.unix.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no listener configured (need --listen and/or --unix)",
+            ));
+        }
+        let max_inflight = if cfg.max_inflight == 0 {
+            cache.batch_threads()
+        } else {
+            cfg.max_inflight
+        };
+        let mut listeners = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &cfg.listen {
+            let l = TcpListener::bind(addr)?;
+            tcp_addr = Some(l.local_addr()?);
+            l.set_nonblocking(true)?;
+            listeners.push(Listener::Tcp(l));
+        }
+        let mut unix_path = None;
+        if let Some(path) = &cfg.unix {
+            // The daemon owns its socket path: a stale file from a
+            // previous run would otherwise make every restart fail with
+            // AddrInUse.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            listeners.push(Listener::Unix(l));
+            unix_path = Some(path.clone());
+        }
+        Ok(Server {
+            shared: Arc::new(Shared {
+                cache,
+                max_sessions: cfg.max_sessions.max(1),
+                max_inflight: max_inflight.max(1),
+                inflight: AtomicUsize::new(0),
+                sessions: AtomicUsize::new(0),
+                sessions_total: AtomicU64::new(0),
+                next_session: AtomicU64::new(1),
+                busy_rejections: AtomicU64::new(0),
+                proto_errors: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
+                global: Mutex::new(RunCounters::default()),
+                persist_on_exit: cfg.persist_on_exit.clone(),
+            }),
+            listeners,
+            drain_timeout: cfg.drain_timeout,
+            handle_signals: cfg.handle_signals,
+            unix_path,
+            tcp_addr,
+        })
+    }
+
+    /// The bound TCP address (useful after binding port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// A handle that can request drain from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until drain, then waits for sessions to
+    /// unwind and optionally persists the snapshot. Returns once the
+    /// daemon is fully stopped.
+    pub fn run(self) -> std::io::Result<()> {
+        if self.handle_signals {
+            signal::install();
+        }
+        let mut workers = Vec::new();
+        while !self.shared.draining() {
+            let mut accepted = false;
+            for listener in &self.listeners {
+                while let Some(conn) = listener.try_accept()? {
+                    accepted = true;
+                    self.spawn_session(conn, &mut workers);
+                }
+            }
+            // Reap finished session threads so the join list stays small
+            // on long-lived daemons.
+            workers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            if !accepted {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+        // Drain: stop accepting (drop the listeners so new connects fail
+        // fast), then wait for in-flight sessions to finish their work.
+        drop(self.listeners);
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.shared.sessions.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        for handle in workers {
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+        if let Some(dir) = &self.shared.persist_on_exit {
+            self.shared.cache.save(dir)?;
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn spawn_session(&self, mut conn: Conn, workers: &mut Vec<std::thread::JoinHandle<()>>) {
+        let shared = Arc::clone(&self.shared);
+        if shared.sessions.load(Ordering::SeqCst) >= shared.max_sessions {
+            let refuse = Response::Err {
+                code: "max-sessions".into(),
+                msg: format!("session limit {} reached", shared.max_sessions),
+            };
+            let _ = send(&mut conn, &refuse);
+            return;
+        }
+        shared.sessions.fetch_add(1, Ordering::SeqCst);
+        shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+        let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+        workers.push(std::thread::spawn(move || {
+            Session::new(shared.clone(), id).serve(conn);
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+        }));
+    }
+}
+
+/// Requests graceful drain from outside the protocol (tests, embedders).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Flips the drain flag, as `SHUTDOWN`/SIGTERM would.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+fn send(conn: &mut Conn, resp: &Response) -> std::io::Result<()> {
+    let mut line = encode_response(resp);
+    line.push('\n');
+    conn.write_all(line.as_bytes())?;
+    conn.flush()
+}
+
+/// Per-connection protocol state.
+struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    counters: RunCounters,
+    /// This session currently holds one quiesce permit (`HOLD`).
+    holding: bool,
+}
+
+impl Session {
+    fn new(shared: Arc<Shared>, id: u64) -> Session {
+        Session {
+            shared,
+            id,
+            counters: RunCounters::default(),
+            holding: false,
+        }
+    }
+
+    /// The session loop: greet, then decode and answer frames until the
+    /// peer leaves, a transport error, or drain.
+    fn serve(&mut self, mut conn: Conn) {
+        // Short read timeouts turn blocked reads into `Idle` events so
+        // the loop can notice drain while the peer is quiet.
+        if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let hello = Response::Hello {
+            proto: PROTO_VERSION,
+            session: self.id,
+            max_inflight: self.shared.max_inflight as u64,
+        };
+        if send(&mut conn, &hello).is_err() {
+            return;
+        }
+        let mut reader = FrameReader::new();
+        loop {
+            if self.shared.draining() {
+                let _ = send(
+                    &mut conn,
+                    &Response::Bye {
+                        reason: "draining".into(),
+                    },
+                );
+                break;
+            }
+            let line = match reader.poll_frame(&mut conn) {
+                Ok(FrameEvent::Frame(line)) => line,
+                Ok(FrameEvent::Idle) => continue,
+                Ok(FrameEvent::Closed) => break,
+                Err(err @ ProtoError::TooLarge { .. }) => {
+                    // The stream position is unrecoverable past an
+                    // oversized line; say why, then hang up.
+                    self.shared.proto_errors.fetch_add(1, Ordering::SeqCst);
+                    let _ = send(
+                        &mut conn,
+                        &Response::Err {
+                            code: err.code().into(),
+                            msg: err.to_string(),
+                        },
+                    );
+                    break;
+                }
+                Err(err @ ProtoError::Malformed { .. }) => {
+                    // Invalid UTF-8: the offending line was consumed, so
+                    // framing is intact — reply and keep serving.
+                    self.shared.proto_errors.fetch_add(1, Ordering::SeqCst);
+                    let _ = send(
+                        &mut conn,
+                        &Response::Err {
+                            code: err.code().into(),
+                            msg: err.to_string(),
+                        },
+                    );
+                    continue;
+                }
+                Err(ProtoError::Io(_)) => break,
+            };
+            match parse_request(&line) {
+                Err(err) => {
+                    self.shared.proto_errors.fetch_add(1, Ordering::SeqCst);
+                    let reply = Response::Err {
+                        code: err.code().into(),
+                        msg: err.to_string(),
+                    };
+                    if send(&mut conn, &reply).is_err() {
+                        break;
+                    }
+                }
+                Ok(req) => {
+                    let done = matches!(req, Request::Quit | Request::Shutdown);
+                    if self.answer(&mut conn, req).is_err() || done {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.holding {
+            self.shared.release();
+            self.holding = false;
+        }
+    }
+
+    fn answer(&mut self, conn: &mut Conn, req: Request) -> std::io::Result<()> {
+        match req {
+            Request::Ping(token) => send(conn, &Response::Pong(token)),
+            Request::Query(frame) => {
+                let reply = self.run_query(frame);
+                send(conn, &reply)
+            }
+            Request::Stats(StatsScope::Mine) => {
+                let counters: Vec<(String, u64)> = self
+                    .counters
+                    .deterministic_counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                send(conn, &Response::Stats(counters))
+            }
+            Request::Stats(scope) => {
+                let settle = scope == StatsScope::Settle;
+                send(conn, &Response::Stats(self.shared.global_stats(settle)))
+            }
+            Request::Hold => {
+                if self.holding {
+                    return send(
+                        conn,
+                        &Response::Err {
+                            code: "already-holding".into(),
+                            msg: "this session already holds a permit".into(),
+                        },
+                    );
+                }
+                match self.shared.try_acquire() {
+                    Ok(()) => {
+                        self.holding = true;
+                        send(conn, &Response::Held)
+                    }
+                    Err(inflight) => {
+                        self.shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        send(
+                            conn,
+                            &Response::Busy {
+                                id: 0,
+                                inflight: inflight as u64,
+                                max: self.shared.max_inflight as u64,
+                            },
+                        )
+                    }
+                }
+            }
+            Request::Release => {
+                if !self.holding {
+                    return send(
+                        conn,
+                        &Response::Err {
+                            code: "not-holding".into(),
+                            msg: "RELEASE without a matching HOLD".into(),
+                        },
+                    );
+                }
+                self.shared.release();
+                self.holding = false;
+                send(conn, &Response::Released)
+            }
+            Request::Shutdown => {
+                self.shared.draining.store(true, Ordering::SeqCst);
+                send(
+                    conn,
+                    &Response::Bye {
+                        reason: "shutdown".into(),
+                    },
+                )
+            }
+            Request::Quit => send(
+                conn,
+                &Response::Bye {
+                    reason: "quit".into(),
+                },
+            ),
+        }
+    }
+
+    /// Admission + execution of one `QUERY` frame.
+    fn run_query(&mut self, frame: QueryFrame) -> Response {
+        if let Err(inflight) = self.shared.try_acquire() {
+            self.shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+            return Response::Busy {
+                id: frame.id,
+                inflight: inflight as u64,
+                max: self.shared.max_inflight as u64,
+            };
+        }
+        let mut request = QueryRequest::new(frame.graph).tag(frame.id);
+        if let Some(kind) = frame.kind {
+            request = request.kind(kind);
+        }
+        if let Some(budget) = frame.verify_budget {
+            request = request.verify_budget(budget);
+        }
+        if let Some(max_hits) = frame.max_hits {
+            request = request.max_hits(max_hits as usize);
+        }
+        request = request.bypass_cache(frame.bypass);
+        let response = self.shared.cache.execute(request);
+        self.shared.release();
+        self.counters.add_record(&response.result.record);
+        self.shared
+            .global
+            .lock()
+            .expect("stats lock")
+            .add_record(&response.result.record);
+        Response::Result(crate::proto::ResultFrame {
+            id: frame.id,
+            serial: response.result.serial,
+            answer: response.result.answer.iter().map(|g| g.0).collect(),
+            record: response.result.record,
+        })
+    }
+}

@@ -4,13 +4,41 @@
 # against. Run this after a change that intentionally shifts counters,
 # then review the diff like any other code change:
 #
+#   cargo build --release --bin gc
 #   scripts/refresh-baseline.sh
 #   git diff benches/baseline.json
+#
+# The script deliberately does NOT build for you: a baseline captured from
+# a stale binary silently bakes yesterday's counters into today's gate.
+# It refuses to run unless target/release/gc exists and is newer than
+# every tracked source file, and it writes the baseline atomically so an
+# interrupted run can never leave a truncated benches/baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --bin gc
-./target/release/gc bench --suite smoke --json benches/baseline.json
+BIN=target/release/gc
+OUT=benches/baseline.json
+
+die() {
+    echo "refresh-baseline: $*" >&2
+    exit 1
+}
+
+[ -x "$BIN" ] || die "release binary $BIN not found — run: cargo build --release --bin gc"
+
+# Stale check: any tracked source newer than the binary means the binary
+# does not reflect the working tree. -print -quit stops at the first hit.
+stale=$(find src crates Cargo.toml Cargo.lock \
+    \( -name '*.rs' -o -name 'Cargo.toml' -o -name 'Cargo.lock' \) \
+    -newer "$BIN" -print -quit)
+[ -z "$stale" ] || die "$BIN is older than $stale — rebuild first: cargo build --release --bin gc"
+
+# Write to a temp file in the same directory, then rename into place.
+tmp=$(mktemp "$OUT.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
+"$BIN" bench --suite smoke --json "$tmp"
+mv "$tmp" "$OUT"
+trap - EXIT
 
 echo
-echo "baseline refreshed; review with: git diff benches/baseline.json"
+echo "baseline refreshed; review with: git diff $OUT"

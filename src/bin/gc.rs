@@ -14,9 +14,38 @@
 //!   [--save DIR] [--restore DIR]` replays the queries and prints per-run
 //!   statistics;
 //! * `gc bench [--suite smoke|paper|policies] [--json FILE]
-//!   [--check BASELINE] [--tolerance PCT] [--timings] [--list]` runs a
-//!   scenario suite end-to-end (dataset generation → workload → cached
-//!   replay) and reports machine-readable metrics.
+//!   [--check BASELINE] [--tolerance PCT] [--timings] [--list] [--serve]`
+//!   runs a scenario suite end-to-end (dataset generation → workload →
+//!   cached replay) and reports machine-readable metrics;
+//! * `gc serve --dataset FILE (--listen ADDR | --unix PATH) [cache flags]
+//!   [--max-sessions N] [--max-inflight N] [--drain-timeout SECS]
+//!   [--persist-on-exit DIR] [--restore DIR]` runs the long-lived cache
+//!   daemon speaking the line-delimited wire protocol of `gc_server`;
+//! * `gc ctl (--unix PATH | --tcp ADDR) ping|stats|shutdown` sends one
+//!   control frame to a running daemon;
+//! * `gc query --connect unix:PATH|ADDR --queries FILE` replays a query
+//!   file against a running daemon instead of an in-process cache.
+//!
+//! `gc serve` flags:
+//!
+//! * `--listen ADDR` / `--unix PATH` — TCP and/or unix-socket listener
+//!   (at least one is required). The daemon removes a stale socket file
+//!   at the unix path before binding, and unlinks it again on exit;
+//! * `--max-sessions N` — concurrent session cap (default 64); further
+//!   connections are refused with `ERR code=max-sessions`;
+//! * `--max-inflight N` — admission-permit pool size (default: the
+//!   cache's batch thread count). A `QUERY` that cannot take a permit is
+//!   answered `BUSY` and not executed — bounded backpressure, never an
+//!   unbounded queue;
+//! * `--drain-timeout SECS` — how long graceful drain (SIGTERM, SIGINT,
+//!   or a `SHUTDOWN` frame) waits for sessions to finish in-flight work
+//!   (default 10);
+//! * `--persist-on-exit DIR` — save the cache snapshot to DIR after a
+//!   graceful drain (the `gc query --restore` format);
+//! * the cache-construction flags of `gc query` (`--method`,
+//!   `--eviction`, `--admission`, `--capacity`, `--window`, `--threads`,
+//!   `--shards`, `--verify-budget`, `--verify-threads`, `--supergraph`,
+//!   `--background`, `--restore`) configure the shared cache.
 //!
 //! `gc bench` flags:
 //!
@@ -31,7 +60,11 @@
 //!   against a committed baseline (`benches/baseline.json`), failing with
 //!   exit code 3 when any counter drifts beyond `--tolerance PCT`
 //!   (default 5). Wall-clock is advisory and never gated. Refresh the
-//!   baseline with `scripts/refresh-baseline.sh`.
+//!   baseline with `scripts/refresh-baseline.sh`;
+//! * `--serve` — run every scenario through the `gc serve` daemon on a
+//!   private unix socket instead of in-process calls. Counters are
+//!   byte-identical to the in-process path for the same seeds, so the
+//!   same committed baseline gates both (`--serve --check`).
 //!
 //! # Exit codes
 //!
@@ -90,11 +123,14 @@ use graphcache::core::{registry, GraphCache, QueryKind, QueryRequest};
 use graphcache::graph::{io, GraphDataset};
 use graphcache::harness::{MatrixReport, Suite};
 use graphcache::methods::{Method, MethodKind};
+use graphcache::server::{Client, QueryFrame, QueryOutcome, ServeConfig, Server, StatsScope};
 use graphcache::workload::{
     generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// CLI failures, by exit code. Usage errors (2) mean the invocation never
 /// made sense; runtime errors (1) mean a valid invocation failed; drift
@@ -118,7 +154,7 @@ impl CliError {
 type CliResult = Result<(), CliError>;
 
 fn print_usage() {
-    eprintln!("usage: gc <generate|stats|workload|query|bench> [options]");
+    eprintln!("usage: gc <generate|stats|workload|query|bench|serve|ctl> [options]");
     eprintln!("  gc generate --profile aids|pdbs|pcm|synthetic [--scale F] [--seed N] --out FILE");
     eprintln!("  gc stats FILE");
     eprintln!(
@@ -129,8 +165,14 @@ fn print_usage() {
     eprintln!("           [--shards N] [--verify-budget N] [--verify-threads N]");
     eprintln!("           [--supergraph] [--background] [--no-cache] [--maint-stats]");
     eprintln!("           [--save DIR] [--restore DIR]");
+    eprintln!("  gc query --connect unix:PATH|ADDR --queries FILE [--supergraph]");
+    eprintln!("           [--verify-budget N]");
     eprintln!("  gc bench [--suite smoke|paper|policies] [--json FILE] [--timings] [--list]");
-    eprintln!("           [--check BASELINE] [--tolerance PCT]");
+    eprintln!("           [--check BASELINE] [--tolerance PCT] [--serve]");
+    eprintln!("  gc serve --dataset FILE (--listen ADDR | --unix PATH) [--max-sessions N]");
+    eprintln!("           [--max-inflight N] [--drain-timeout SECS] [--persist-on-exit DIR]");
+    eprintln!("           [--restore DIR] [cache flags as for gc query]");
+    eprintln!("  gc ctl (--unix PATH | --tcp ADDR) ping|stats|shutdown");
 }
 
 fn main() -> ExitCode {
@@ -143,6 +185,8 @@ fn main() -> ExitCode {
             "workload" => cmd_workload(rest),
             "query" => cmd_query(rest),
             "bench" => cmd_bench(rest),
+            "serve" => cmd_serve(rest),
+            "ctl" => cmd_ctl(rest),
             other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
         },
     };
@@ -174,13 +218,14 @@ fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Bare flags take no value.
-            const FLAGS: [&str; 6] = [
+            const FLAGS: [&str; 7] = [
                 "supergraph",
                 "no-cache",
                 "background",
                 "maint-stats",
                 "timings",
                 "list",
+                "serve",
             ];
             if FLAGS.contains(&key) {
                 opts.insert(key.to_string(), "true".to_string());
@@ -322,8 +367,86 @@ fn build_method(name: &str, dataset: &GraphDataset) -> Result<Method, CliError> 
     }
 }
 
+/// Builds the shared cache from the common cache-construction flags —
+/// the one code path behind both `gc query` and `gc serve`, so the two
+/// subcommands can never drift apart on flag semantics. Handles
+/// `--restore` too (printing the same confirmation line `gc query`
+/// always has).
+fn cache_from_opts(
+    opts: &HashMap<String, String>,
+    dataset: &GraphDataset,
+) -> Result<GraphCache, CliError> {
+    let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
+    let eviction = opts
+        .get("eviction")
+        .or_else(|| opts.get("policy"))
+        .map(|s| s.as_str())
+        .unwrap_or("hd");
+    let kind = if opts.contains_key("supergraph") {
+        QueryKind::Supergraph
+    } else {
+        QueryKind::Subgraph
+    };
+    let method = build_method(method_name, dataset)?;
+    let mut builder = GraphCache::builder()
+        .capacity(num(opts, "capacity", 100usize)?)
+        .window(num(opts, "window", 20usize)?)
+        .eviction(eviction)
+        .query_kind(kind)
+        .background(opts.contains_key("background"))
+        .threads(num(opts, "threads", 1usize)?)
+        .shards(num(opts, "shards", 0usize)?);
+    if opts.contains_key("verify-budget") {
+        builder = builder.verify_budget(num(opts, "verify-budget", 0u64)?);
+    }
+    if opts.contains_key("verify-threads") {
+        builder = builder.verify_threads(num(opts, "verify-threads", 1usize)?);
+    }
+    if let Some(spec) = opts.get("admission") {
+        builder = builder.admission(spec.as_str());
+    }
+    let cache = builder
+        .try_build(method)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    if let Some(dir) = opts.get("restore") {
+        // A missing save directory used to surface as a bare
+        // "No such file or directory" with no hint which path was wrong.
+        if !std::path::Path::new(dir).join("entries.txt").is_file() {
+            return Err(CliError::Runtime(format!(
+                "cannot restore from {dir:?}: not a saved cache directory \
+                 (no entries.txt — was it written by `gc query --save`?)"
+            )));
+        }
+        cache
+            .restore(dir)
+            .map_err(|e| CliError::Runtime(format!("cannot restore from {dir:?}: {e}")))?;
+        println!("restored {} cached queries from {dir}", cache.cache_len());
+    }
+    Ok(cache)
+}
+
+/// Opens a protocol session against `unix:PATH`, `tcp:HOST:PORT`, or a
+/// bare `HOST:PORT`.
+fn connect_target(target: &str) -> Result<Client, CliError> {
+    let result = if let Some(path) = target.strip_prefix("unix:") {
+        Client::connect_unix(path)
+    } else {
+        let addr = target.strip_prefix("tcp:").unwrap_or(target);
+        if !addr.contains(':') {
+            return Err(CliError::usage(format!(
+                "connect target {target:?} must be unix:PATH, tcp:HOST:PORT, or HOST:PORT"
+            )));
+        }
+        Client::connect_tcp(addr)
+    };
+    result.map_err(|e| CliError::Runtime(format!("cannot connect to {target}: {e}")))
+}
+
 fn cmd_query(args: &[String]) -> CliResult {
     let (opts, _) = parse_opts(args)?;
+    if let Some(target) = opts.get("connect") {
+        return query_connect(&opts, target);
+    }
     let method_name = opts.get("method").map(|s| s.as_str()).unwrap_or("ggsx");
     // Replacement policy via the registry; --policy stays as an alias of
     // --eviction for existing scripts. Validate before the dataset loads
@@ -384,41 +507,7 @@ fn cmd_query(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let method = build_method(method_name, &dataset)?;
-    let mut builder = GraphCache::builder()
-        .capacity(num(&opts, "capacity", 100usize)?)
-        .window(num(&opts, "window", 20usize)?)
-        .eviction(eviction)
-        .query_kind(kind)
-        .background(opts.contains_key("background"))
-        .threads(threads)
-        .shards(num(&opts, "shards", 0usize)?);
-    if opts.contains_key("verify-budget") {
-        builder = builder.verify_budget(num(&opts, "verify-budget", 0u64)?);
-    }
-    if opts.contains_key("verify-threads") {
-        builder = builder.verify_threads(num(&opts, "verify-threads", 1usize)?);
-    }
-    if let Some(spec) = admission {
-        builder = builder.admission(spec);
-    }
-    let cache = builder
-        .try_build(method)
-        .map_err(|e| CliError::usage(e.to_string()))?;
-    if let Some(dir) = opts.get("restore") {
-        // A missing save directory used to surface as a bare
-        // "No such file or directory" with no hint which path was wrong.
-        if !std::path::Path::new(dir).join("entries.txt").is_file() {
-            return Err(CliError::Runtime(format!(
-                "cannot restore from {dir:?}: not a saved cache directory \
-                 (no entries.txt — was it written by `gc query --save`?)"
-            )));
-        }
-        cache
-            .restore(dir)
-            .map_err(|e| CliError::Runtime(format!("cannot restore from {dir:?}: {e}")))?;
-        println!("restored {} cached queries from {dir}", cache.cache_len());
-    }
+    let cache = cache_from_opts(&opts, &dataset)?;
 
     let t0 = std::time::Instant::now();
     let records: Vec<graphcache::core::QueryRecord> = if threads == 1 {
@@ -518,6 +607,175 @@ fn cmd_query(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `gc query --connect`: replay a query file against a running daemon.
+/// A `BUSY` rejection is fail-stop here (runtime error, exit 1) — the
+/// one-shot CLI has no retry loop; interactive clients own their retries.
+fn query_connect(opts: &HashMap<String, String>, target: &str) -> CliResult {
+    let queries = load_dataset(req(opts, "queries")?)?;
+    let kind = opts
+        .contains_key("supergraph")
+        .then_some(QueryKind::Supergraph);
+    let verify_budget = if opts.contains_key("verify-budget") {
+        Some(num(opts, "verify-budget", 0u64)?)
+    } else {
+        None
+    };
+    let mut client = connect_target(target)?;
+    let t0 = std::time::Instant::now();
+    let mut tests = 0u64;
+    let mut hits = 0usize;
+    for (i, q) in queries.graphs().iter().enumerate() {
+        let frame = QueryFrame {
+            id: i as u64,
+            graph: q.clone(),
+            kind,
+            verify_budget,
+            max_hits: None,
+            bypass: false,
+        };
+        let outcome = client
+            .query(frame)
+            .map_err(|e| CliError::Runtime(format!("query {i}: {e}")))?;
+        match outcome {
+            QueryOutcome::Result(r) => {
+                tests += r.record.subiso_tests;
+                hits += r.record.any_hit() as usize;
+                println!(
+                    "query {i}: {} answers, {} tests | hit-verify: {} tests, {} work{}",
+                    r.answer.len(),
+                    r.record.subiso_tests,
+                    r.record.gc_tests,
+                    r.record.budget_spent,
+                    if r.record.truncated {
+                        " [truncated]"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            QueryOutcome::Busy { inflight, max } => {
+                return Err(CliError::Runtime(format!(
+                    "server busy at query {i} ({inflight}/{max} permits in flight); \
+                     retry when the daemon has capacity"
+                )));
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    println!(
+        "\n{} queries served by {} (session {}) | {} sub-iso tests | {} cache-assisted | wall {:.1} ms",
+        queries.len(),
+        target,
+        client.session(),
+        tests,
+        hits,
+        wall.as_secs_f64() * 1e3,
+    );
+    let _ = client.quit();
+    Ok(())
+}
+
+/// `gc serve`: the long-running daemon. Blocks until graceful drain
+/// (SIGTERM, SIGINT, or a `SHUTDOWN` frame) completes, then exits 0.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let (opts, _) = parse_opts(args)?;
+    // Validate policy specs before the dataset loads, as `gc query` does.
+    let eviction = opts
+        .get("eviction")
+        .or_else(|| opts.get("policy"))
+        .map(|s| s.as_str())
+        .unwrap_or("hd");
+    registry::build_eviction(eviction).map_err(|e| CliError::usage(e.to_string()))?;
+    if let Some(spec) = opts.get("admission") {
+        registry::build_admission(spec).map_err(|e| CliError::usage(e.to_string()))?;
+    }
+    let listen = opts.get("listen").cloned();
+    let unix = opts.get("unix").map(PathBuf::from);
+    if listen.is_none() && unix.is_none() {
+        return Err(CliError::usage(
+            "gc serve needs a listener: --listen ADDR and/or --unix PATH",
+        ));
+    }
+    let cfg = ServeConfig {
+        listen,
+        unix,
+        max_sessions: num(&opts, "max-sessions", 64usize)?,
+        max_inflight: num(&opts, "max-inflight", 0usize)?,
+        drain_timeout: Duration::from_secs(num(&opts, "drain-timeout", 10u64)?),
+        persist_on_exit: opts.get("persist-on-exit").map(PathBuf::from),
+        handle_signals: true,
+    };
+    let dataset = load_dataset(req(&opts, "dataset")?)?;
+    let graphs = dataset.len();
+    let cache = cache_from_opts(&opts, &dataset)?;
+    let server =
+        Server::bind(cache, cfg).map_err(|e| CliError::Runtime(format!("cannot serve: {e}")))?;
+    if let Some(addr) = server.tcp_addr() {
+        println!("serving on tcp {addr}");
+    }
+    if let Some(path) = opts.get("unix") {
+        println!("serving on unix {path}");
+    }
+    println!(
+        "gc serve: {graphs} dataset graphs, eviction {eviction} | \
+         SIGTERM or a SHUTDOWN frame drains gracefully"
+    );
+    server
+        .run()
+        .map_err(|e| CliError::Runtime(format!("daemon failed: {e}")))?;
+    println!("gc serve: drained, exiting");
+    Ok(())
+}
+
+/// `gc ctl`: one control frame against a running daemon.
+fn cmd_ctl(args: &[String]) -> CliResult {
+    let (opts, positional) = parse_opts(args)?;
+    let command = positional
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::usage("gc ctl needs a command (ping|stats|shutdown)"))?;
+    if !matches!(command, "ping" | "stats" | "shutdown") {
+        return Err(CliError::usage(format!(
+            "unknown ctl command {command:?} (ping|stats|shutdown)"
+        )));
+    }
+    let target = match (opts.get("unix"), opts.get("tcp")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("give --unix PATH or --tcp ADDR, not both"))
+        }
+        (Some(path), None) => format!("unix:{path}"),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => return Err(CliError::usage("gc ctl needs --unix PATH or --tcp ADDR")),
+    };
+    let mut client = connect_target(&target)?;
+    match command {
+        "ping" => {
+            client
+                .ping(Some("ctl"))
+                .map_err(|e| CliError::Runtime(format!("ping failed: {e}")))?;
+            println!("pong (session {})", client.session());
+            let _ = client.quit();
+        }
+        "stats" => {
+            let counters = client
+                .stats(StatsScope::Global)
+                .map_err(|e| CliError::Runtime(format!("stats failed: {e}")))?;
+            for (name, value) in counters {
+                println!("{name} {value}");
+            }
+            let _ = client.quit();
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .map_err(|e| CliError::Runtime(format!("shutdown failed: {e}")))?;
+            println!("shutdown requested; daemon draining");
+        }
+        _ => unreachable!("validated above"),
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> CliResult {
     let (opts, _) = parse_opts(args)?;
     let suite_name = opts.get("suite").map(|s| s.as_str()).unwrap_or("smoke");
@@ -554,16 +812,18 @@ fn cmd_bench(args: &[String]) -> CliResult {
         return Ok(());
     }
 
+    let served = opts.contains_key("serve");
     println!(
-        "running suite {} ({} scenarios)...",
+        "running suite {} ({} scenarios{})...",
         suite.name(),
-        suite.scenarios().len()
+        suite.scenarios().len(),
+        if served { ", via gc serve daemon" } else { "" }
     );
     println!(
         "{:<30} {:>7} {:>9} {:>9} {:>9} {:>7} {:>9}",
         "scenario", "queries", "assisted", "iso-tests", "gc-tests", "trunc", "wall-ms"
     );
-    let report = graphcache::harness::run_suite_with(suite, |s| {
+    let progress = |s: &graphcache::harness::ScenarioReport| {
         println!(
             "{:<30} {:>7} {:>9} {:>9} {:>9} {:>7} {:>9.1}",
             s.name,
@@ -574,7 +834,15 @@ fn cmd_bench(args: &[String]) -> CliResult {
             s.counter("truncated").unwrap_or(0),
             s.wall_ms,
         );
-    })
+    };
+    let report = if served {
+        // The served path replays every scenario through the daemon on a
+        // private unix socket; counters must match the in-process path
+        // byte-for-byte, so --check gates both against one baseline.
+        graphcache::server::bench::run_suite_served_with(suite, progress)
+    } else {
+        graphcache::harness::run_suite_with(suite, progress)
+    }
     .map_err(CliError::Runtime)?;
 
     if let Some(path) = opts.get("json") {

@@ -52,6 +52,7 @@ pub use gc_graph as graph;
 pub use gc_harness as harness;
 pub use gc_index as index;
 pub use gc_methods as methods;
+pub use gc_server as server;
 pub use gc_subiso as subiso;
 pub use gc_workload as workload;
 

@@ -397,6 +397,108 @@ fn exit_codes_are_distinct() {
     assert_exit(&["bench", "--suite", "smoke", "--check", &bad], 1);
 }
 
+/// Exit-code contract for the daemon-facing subcommands (`serve`, `ctl`,
+/// `query --connect`, `bench --serve`): bad invocations are usage errors
+/// (2), unreachable daemons are runtime errors (1). The happy path lives
+/// in tests/serve_smoke.rs and scripts/serve-smoke.sh.
+#[test]
+fn serve_and_ctl_exit_codes() {
+    let tmp = Scratch::new("serve-exit-codes");
+    let dataset = tmp.path("d.txt");
+    let queries = tmp.path("q.txt");
+    assert_exit(
+        &[
+            "generate",
+            "--profile",
+            "aids",
+            "--scale",
+            "0.01",
+            "--seed",
+            "3",
+            "--out",
+            &dataset,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "zz",
+            "--count",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            &queries,
+        ],
+        0,
+    );
+
+    // Usage errors → 2.
+    let sock = tmp.path("never-bound.sock");
+    // serve without any listener.
+    assert_exit(&["serve", "--dataset", &dataset], 2);
+    // serve without a dataset.
+    assert_exit(&["serve", "--unix", &sock], 2);
+    // serve with an unknown policy fails before binding anything.
+    assert_exit(
+        &[
+            "serve",
+            "--dataset",
+            &dataset,
+            "--unix",
+            &sock,
+            "--eviction",
+            "nope",
+        ],
+        2,
+    );
+    // ctl without a target / with two targets / with an unknown command.
+    assert_exit(&["ctl", "ping"], 2);
+    assert_exit(&["ctl", "--unix", &sock, "--tcp", "localhost:1", "ping"], 2);
+    assert_exit(&["ctl", "--unix", &sock, "frobnicate"], 2);
+    assert_exit(&["ctl", "--unix", &sock], 2); // no command at all
+                                               // query --connect with a malformed target or missing --queries.
+    assert_exit(
+        &["query", "--connect", "not-a-target", "--queries", &queries],
+        2,
+    );
+    assert_exit(&["query", "--connect", &format!("unix:{sock}")], 2);
+
+    // Runtime errors → 1: nothing is listening at these targets.
+    let out = assert_exit(&["ctl", "--unix", &sock, "ping"], 1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot connect"),
+        "connect failure names the problem: {stderr}"
+    );
+    assert_exit(
+        &[
+            "query",
+            "--connect",
+            &format!("unix:{sock}"),
+            "--queries",
+            &queries,
+        ],
+        1,
+    );
+    // serve with a dataset that doesn't exist fails before binding, so the
+    // daemon never starts and the test can't hang on it.
+    assert_exit(
+        &[
+            "serve",
+            "--dataset",
+            &tmp.path("missing.txt"),
+            "--unix",
+            &sock,
+        ],
+        1,
+    );
+}
+
 /// Save → restore round-trips through the CLI (the happy path the
 /// restore error message points at).
 #[test]
