@@ -1,0 +1,84 @@
+//! Fragment-cache payoff on the `fragments` suite regime: a flat Zipf
+//! workload (few exact repeats) over the index-free `vf2` baseline, where
+//! whole-query caching has little to offer but structurally-overlapping
+//! queries share path fragments.
+//!
+//! The headline counters are *hardware-independent* (total sub-iso tests
+//! and cache-assisted queries); this bench asserts the layer's contract —
+//!
+//! * fragments-on spends measurably fewer matcher tests than the same
+//!   scenario with the layer off (candidate pre-pruning is real), and
+//! * fragments-on assists strictly more queries (fragment hits raise the
+//!   hit rate on a workload whole-query caching barely touches) —
+//!
+//! and then times both replays with criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_harness::{run_scenario, Scenario, Suite};
+
+/// Pulls a named scenario out of the committed `fragments` suite, so the
+/// bench measures exactly what `gc bench --suite fragments` runs and CI
+/// gates against `benches/baseline.json`.
+fn suite_scenario(name: &str) -> Scenario {
+    Suite::from_name("fragments")
+        .expect("fragments suite exists")
+        .scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name:?} missing from the fragments suite"))
+}
+
+fn bench_fragments(c: &mut Criterion) {
+    let on = suite_scenario("fragments-aids-zz-on");
+    let off = suite_scenario("fragments-aids-zz-off");
+
+    // ---- Hardware-independent counters (asserted, printed once). ----
+    let r_on = run_scenario(&on).expect("fragments-on scenario");
+    let r_off = run_scenario(&off).expect("fragments-off scenario");
+    let get = |r: &gc_harness::ScenarioReport, key: &str| {
+        r.counter(key)
+            .unwrap_or_else(|| panic!("{} is missing counter {key}", r.name))
+    };
+
+    let tests_on = get(&r_on, "subiso_tests");
+    let tests_off = get(&r_off, "subiso_tests");
+    let assisted_on = get(&r_on, "cache_assisted");
+    let assisted_off = get(&r_off, "cache_assisted");
+    println!("fragment-cache counters on the suite's Zipf(1.05)/vf2 regime:");
+    println!("  fragments off: {tests_off:>9} sub-iso tests {assisted_off:>4} assisted",);
+    println!(
+        "  fragments on : {tests_on:>9} sub-iso tests {assisted_on:>4} assisted \
+         ({} probes, {} hits, {} candidates pruned, {} built)",
+        get(&r_on, "fragment_probes"),
+        get(&r_on, "fragment_hits"),
+        get(&r_on, "fragment_pruned"),
+        get(&r_on, "fragments_built"),
+    );
+
+    assert!(
+        get(&r_on, "fragment_pruned") > 0,
+        "the suite regime must actually prune candidates"
+    );
+    assert!(
+        tests_on < tests_off,
+        "fragment pruning must cut matcher tests: {tests_on} vs {tests_off}"
+    );
+    assert!(
+        assisted_on > assisted_off,
+        "fragment hits must raise the assisted-query count: {assisted_on} vs {assisted_off}"
+    );
+
+    // ---- Wall-clock comparison of the same two replays. ----
+    let mut group = c.benchmark_group("fragments");
+    group.sample_size(10);
+    group.bench_function("suite_scenario_off", |b| {
+        b.iter(|| run_scenario(&off).expect("off").counters.len())
+    });
+    group.bench_function("suite_scenario_on", |b| {
+        b.iter(|| run_scenario(&on).expect("on").counters.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragments);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! stores, statistics and Window.
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionPolicy, CostModel};
+use crate::fragments::FragmentState;
 use crate::metrics::{MaintStats, QueryRecord};
 use crate::policy::{EvictionPolicy, KindPolicy, PolicyKind};
 use crate::processors;
@@ -15,6 +16,7 @@ use crate::query_index::QueryIndexConfig;
 use crate::registry::{self, PolicyError};
 use crate::stats::{columns, QuerySerial, StatsStore};
 use crate::window::{self, MaintMsg, MaintenanceConfig, Shared, WindowEntry};
+use gc_fragments::FragmentConfig;
 use gc_graph::{idset, GraphId, LabeledGraph};
 use gc_methods::{FilterOutput, Method, QueryKind};
 use gc_subiso::{cost, MatchConfig};
@@ -93,6 +95,17 @@ pub struct GcConfig {
     /// independently. `0` (the default) sizes the shard count from the
     /// effective thread count, clamped to 64.
     pub shards: usize,
+    /// Enable the sub-query fragment cache: queries are decomposed into
+    /// canonical path fragments whose *exact* occurrence sets, cached
+    /// across queries, intersect-prune the candidate set before
+    /// verification — a fourth hit class alongside exact/sub/super.
+    /// Sound because intersection with an exact occurrence superset only
+    /// removes non-answers. Off by default.
+    pub fragments: bool,
+    /// Fragment-layer knobs (decomposition bounds, per-round build cap,
+    /// byte budget). Only consulted when [`fragments`](Self::fragments)
+    /// is on.
+    pub fragment: FragmentConfig,
 }
 
 impl Default for GcConfig {
@@ -112,6 +125,8 @@ impl Default for GcConfig {
             parallel_dispatch: false,
             threads: 0,
             shards: 0,
+            fragments: false,
+            fragment: FragmentConfig::default(),
         }
     }
 }
@@ -160,6 +175,7 @@ pub struct GraphCacheBuilder {
     cfg: GcConfig,
     eviction_spec: Option<String>,
     admission_spec: Option<String>,
+    fragment_eviction_spec: Option<String>,
 }
 
 impl GraphCacheBuilder {
@@ -283,6 +299,39 @@ impl GraphCacheBuilder {
         self
     }
 
+    /// Enables (or disables) the sub-query fragment cache (see
+    /// [`GcConfig::fragments`]).
+    pub fn fragments(mut self, on: bool) -> Self {
+        self.cfg.fragments = on;
+        self
+    }
+
+    /// Byte budget of the fragment store (see
+    /// [`FragmentConfig::budget_bytes`]).
+    pub fn fragment_budget(mut self, bytes: usize) -> Self {
+        self.cfg.fragment.budget_bytes = bytes;
+        self
+    }
+
+    /// Full fragment-layer configuration (decomposition bounds, build
+    /// cap, byte budget) — the fine-grained alternative to
+    /// [`fragment_budget`](Self::fragment_budget).
+    pub fn fragment_config(mut self, cfg: FragmentConfig) -> Self {
+        self.cfg.fragment = cfg;
+        self
+    }
+
+    /// Eviction policy for the *fragment* store by registry name (default
+    /// `"lru"`), e.g. `.fragment_eviction("slru")` or
+    /// `.fragment_eviction("greedy-dual")`. Resolved at build time like
+    /// [`eviction`](Self::eviction); the spec is validated even when the
+    /// fragment layer is disabled, so configuration errors surface
+    /// regardless of the `fragments` switch.
+    pub fn fragment_eviction(mut self, spec: impl Into<String>) -> Self {
+        self.fragment_eviction_spec = Some(spec.into());
+        self
+    }
+
     /// Builds the cache in front of `method`.
     ///
     /// # Panics
@@ -305,8 +354,17 @@ impl GraphCacheBuilder {
             Some(spec) => registry::build_admission(spec)?,
             None => Box::new(AdmissionControl::new(self.cfg.admission)),
         };
-        Ok(GraphCache::with_policies(
-            method, self.cfg, eviction, admission,
+        let fragment_eviction: Option<Box<dyn EvictionPolicy>> = match &self.fragment_eviction_spec
+        {
+            Some(spec) => Some(registry::build_eviction(spec)?),
+            None => None,
+        };
+        Ok(GraphCache::assemble(
+            method,
+            self.cfg,
+            eviction,
+            admission,
+            fragment_eviction,
         ))
     }
 }
@@ -712,12 +770,36 @@ impl GraphCache {
         eviction: Box<dyn EvictionPolicy>,
         admission: Box<dyn AdmissionPolicy>,
     ) -> Self {
+        // The fragment store defaults to LRU here; pick a different
+        // fragment policy through the builder's `fragment_eviction`.
+        GraphCache::assemble(method, cfg, eviction, admission, None)
+    }
+
+    /// The one true constructor: every public construction path funnels
+    /// here. A `None` fragment policy means "LRU if the fragment layer is
+    /// on"; the layer itself is only instantiated when `cfg.fragments`
+    /// asks for it.
+    fn assemble(
+        method: Method,
+        cfg: GcConfig,
+        eviction: Box<dyn EvictionPolicy>,
+        admission: Box<dyn AdmissionPolicy>,
+        fragment_eviction: Option<Box<dyn EvictionPolicy>>,
+    ) -> Self {
         let method = Arc::new(method);
+        let fragments = cfg.fragments.then(|| {
+            FragmentState::new(
+                cfg.fragment,
+                method.clone(),
+                fragment_eviction.unwrap_or_else(|| Box::new(KindPolicy::new(PolicyKind::Lru))),
+            )
+        });
         let shared = Arc::new(Shared::new(
             cfg.index,
             effective_shards(&cfg),
             eviction,
             admission,
+            fragments,
         ));
         let worker = cfg.background.then(|| {
             let (tx, handle) = window::spawn_manager(
@@ -776,6 +858,23 @@ impl GraphCache {
         self.shared.admission.lock().threshold()
     }
 
+    /// The fragment store's eviction policy name, when the fragment layer
+    /// is enabled (e.g. `Some("lru")`).
+    pub fn fragment_eviction_name(&self) -> Option<String> {
+        self.shared
+            .fragments
+            .as_ref()
+            .map(|f| f.eviction.lock().name().to_string())
+    }
+
+    /// Number of fragments currently cached (0 when the layer is off).
+    pub fn fragment_store_len(&self) -> usize {
+        self.shared
+            .fragments
+            .as_ref()
+            .map_or(0, |f| f.store.lock().len())
+    }
+
     /// The worker-thread count [`run_batch`](Self::run_batch) fans out to.
     pub fn batch_threads(&self) -> usize {
         effective_threads(self.cfg.threads)
@@ -813,10 +912,12 @@ impl GraphCache {
     }
 
     /// Approximate memory footprint of the cache stores (entries + query
-    /// indexes + statistics + the pending Window buffer), for the §7.3
-    /// space-overhead comparison. The Window buffer counts because its
-    /// queries hold graphs, answers and profiles that only the cache
-    /// retains — omitting them would understate the overhead.
+    /// indexes + statistics + the pending Window buffer + the fragment
+    /// store when enabled), for the §7.3 space-overhead comparison. The
+    /// Window buffer counts because its queries hold graphs, answers and
+    /// profiles that only the cache retains — omitting them would
+    /// understate the overhead, and the fragment store counts for the
+    /// same reason.
     pub fn memory_bytes(&self) -> usize {
         let pending: usize = self
             .shared
@@ -825,9 +926,15 @@ impl GraphCache {
             .iter()
             .map(|e| e.memory_bytes())
             .sum();
+        let fragments = self
+            .shared
+            .fragments
+            .as_ref()
+            .map_or(0, |f| f.memory_bytes());
         self.shared.load_snapshot().memory_bytes()
             + self.shared.stats.lock().memory_bytes()
             + pending
+            + fragments
     }
 
     /// Reads a statistics cell of a cached query (testing/diagnostics).
@@ -875,6 +982,27 @@ impl GraphCache {
                 stats: self.shared.stats.lock().clone(),
                 next_serial: self.shared.current_serial() + 1,
                 policy: Some(self.eviction_name()),
+                fragments: self
+                    .shared
+                    .fragments
+                    .as_ref()
+                    .map(|f| {
+                        f.store
+                            .lock()
+                            .iter_sorted()
+                            .into_iter()
+                            .map(|sf| crate::persist::PersistedFragment {
+                                key: sf.key,
+                                graph: sf.graph.clone(),
+                                occs: sf.occs.clone(),
+                                hits: sf.hits,
+                                last_hit: sf.last_hit,
+                                r_total: sf.r_total,
+                                c_total: sf.c_total,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             }
         };
         // File IO happens after the lock is released.
@@ -907,9 +1035,10 @@ impl GraphCache {
         // Legacy saves (no per-entry kind token) default to this cache's
         // configured kind — they predate mixed-direction caches, so the
         // whole save was answered under one direction.
-        let loaded =
+        let mut loaded =
             crate::persist::PersistedCache::load_with_default_kind(dir, self.cfg.query_kind)?;
         let saved_policy = loaded.policy.clone();
+        let saved_fragments = std::mem::take(&mut loaded.fragments);
         // The persisted format carries no shard layout: entries are
         // re-routed into this instance's shard count on load.
         let (snapshot, stats, next_serial) =
@@ -949,6 +1078,13 @@ impl GraphCache {
                 }
             }
             eviction.reset();
+        }
+        // The fragment layer swaps to the persisted fragment set the same
+        // way (legacy saves carry no fragment file and load as empty, so
+        // the store simply rebuilds from scratch). When this instance runs
+        // without the fragment layer, persisted fragments are dropped.
+        if let Some(frags) = &self.shared.fragments {
+            frags.install(saved_fragments);
         }
         Ok(())
     }
@@ -1188,8 +1324,50 @@ impl GraphCache {
                 })
             })
             .collect();
-        let pruned = pruner::prune(&m_out.candidates, &expanding_answers, &restricting_answers);
+        let mut pruned = pruner::prune(&m_out.candidates, &expanding_answers, &restricting_answers);
         record.cs_gc_size = pruned.remaining.len();
+
+        // (4b): fragment-layer pruning. The query's canonical fragments
+        // probe the fragment store; surviving candidates are intersected
+        // with each hit fragment's *exact* occurrence set — sound because
+        // every answer of the query contains every fragment of the query,
+        // so intersection can only remove non-answers. Restricted to
+        // subgraph semantics (occurrence sets certify containment of the
+        // fragment, which says nothing about supergraph answers), and
+        // skipped entirely when decomposition overflowed its work cap: a
+        // truncated fragment set is never treated as the whole query's
+        // fragments.
+        if kind == QueryKind::Subgraph
+            && matches!(pruned.outcome, PruneOutcome::Pruned)
+            && !pruned.remaining.is_empty()
+        {
+            if let Some(frags) = &self.shared.fragments {
+                if let Some(keys) = frags.query_keys(query) {
+                    let probe = frags.probe(&keys);
+                    record.fragment_probes = probe.probes;
+                    record.fragment_hits = probe.hit_ids.len() as u64;
+                    if let Some(occs) = &probe.intersection {
+                        let narrowed = idset::intersect(&pruned.remaining, occs);
+                        let removed = (pruned.remaining.len() - narrowed.len()) as u64;
+                        record.fragment_pruned = removed;
+                        if !probe.hit_ids.is_empty() {
+                            // Credit the contributing fragments (store
+                            // rows + fragment eviction policy), mirroring
+                            // the entry-level Statistics Manager: R is the
+                            // candidate reduction, C the estimated matcher
+                            // work avoided on the removed candidates.
+                            let saved: f64 = idset::difference(&pruned.remaining, &narrowed)
+                                .iter()
+                                .map(|&id| cost::estimate(query, self.method.dataset().graph(id)))
+                                .sum();
+                            frags.credit(&probe.hit_ids, removed, saved, serial);
+                        }
+                        pruned.remaining = narrowed;
+                        record.cs_gc_size = pruned.remaining.len();
+                    }
+                }
+            }
+        }
 
         // (5): verification of the reduced candidate set by Mverifier.
         let (answer, verify_duration) = match pruned.outcome {
@@ -1700,6 +1878,52 @@ mod tests {
         assert_eq!(gc.cache_len(), 2, "clone's queries visible via original");
         let r = gc.run(&path_graph(&[0, 1]));
         assert!(r.record.exact_hit, "original sees clone's cached query");
+    }
+
+    #[test]
+    fn fragment_layer_prunes_and_stays_sound() {
+        let d = dataset();
+        let baseline = MethodBuilder::si_vf2().build(&d);
+        // vf2 has no filter index, so CS_M is the whole dataset — exactly
+        // the regime where fragment occurrence sets have room to prune.
+        let gc = GraphCache::builder()
+            .capacity(10)
+            .window(1)
+            .fragments(true)
+            .cost_model(CostModel::Work)
+            .build(MethodBuilder::si_vf2().build(&d));
+        // q1 populates the fragment store on its maintenance round.
+        let q1 = path_graph(&[0, 1, 0, 1]);
+        let r1 = gc.run(&q1);
+        assert_eq!(r1.answer, baseline.run(&q1).answer);
+        assert!(gc.fragment_store_len() > 0, "q1's fragments cached");
+        assert_eq!(gc.fragment_eviction_name().as_deref(), Some("lru"));
+        // q2 shares the [1,0,1] fragment with q1 but is neither a sub- nor
+        // a supergraph of it, so only the fragment layer can prune.
+        let q2 = path_graph(&[1, 0, 1, 2]);
+        let r2 = gc.run(&q2);
+        assert_eq!(r2.answer, baseline.run(&q2).answer);
+        assert!(r2.record.fragment_probes > 0, "fragments probed");
+        assert!(r2.record.fragment_hits > 0, "shared fragment found");
+        assert!(
+            r2.record.fragment_pruned > 0,
+            "occurrence intersection must shrink the candidate set"
+        );
+        assert!(r2.record.cs_gc_size < r2.record.cs_m_size);
+        let maint = gc.maint_stats();
+        assert!(maint.fragments_built > 0);
+        assert!(gc.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn fragment_layer_off_reports_no_fragment_counters() {
+        let gc = cache();
+        let r = gc.run(&path_graph(&[0, 1, 0]));
+        assert_eq!(r.record.fragment_probes, 0);
+        assert_eq!(r.record.fragment_hits, 0);
+        assert_eq!(r.record.fragment_pruned, 0);
+        assert_eq!(gc.fragment_store_len(), 0);
+        assert_eq!(gc.fragment_eviction_name(), None);
     }
 
     #[test]

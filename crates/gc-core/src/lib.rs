@@ -72,6 +72,7 @@
 pub mod admission;
 mod cache;
 pub mod entry;
+mod fragments;
 pub mod metrics;
 pub mod persist;
 pub mod policies;
@@ -91,6 +92,7 @@ pub use cache::{
     QueryResult,
 };
 pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
+pub use gc_fragments::FragmentConfig;
 pub use gc_methods::QueryKind;
 pub use metrics::{MaintStats, QueryRecord, RunCounters, RunSummary};
 pub use persist::{PersistedCache, PersistedEntry};

@@ -49,6 +49,14 @@ pub struct QueryRecord {
     pub empty_shortcut: bool,
     /// Final answer size.
     pub answer_size: usize,
+    /// Fragment keys probed against the fragment store (0 when the
+    /// fragment layer is off, the query is supergraph-directed, or path
+    /// enumeration overflowed its work cap).
+    pub fragment_probes: u64,
+    /// Fragment keys found resident in the store.
+    pub fragment_hits: u64,
+    /// Candidates removed by intersecting fragment occurrence sets.
+    pub fragment_pruned: u64,
 }
 
 impl QueryRecord {
@@ -64,9 +72,16 @@ impl QueryRecord {
         self.m_filter + self.gc_filter + self.verify
     }
 
-    /// Whether any kind of cache hit helped this query.
+    /// Whether any kind of cache hit helped this query. Fragment hits are
+    /// the fourth hit class: a resident fragment pre-pruned (or could have
+    /// pre-pruned) the matcher even though no whole cached answer subsumed
+    /// the query.
     pub fn any_hit(&self) -> bool {
-        self.exact_hit || self.empty_shortcut || self.sub_hits > 0 || self.super_hits > 0
+        self.exact_hit
+            || self.empty_shortcut
+            || self.sub_hits > 0
+            || self.super_hits > 0
+            || self.fragment_hits > 0
     }
 
     /// The record fields that are a pure function of the query sequence
@@ -93,6 +108,9 @@ impl QueryRecord {
             ("exact", self.exact_hit as u64),
             ("empty", self.empty_shortcut as u64),
             ("answer_size", self.answer_size as u64),
+            ("fragment_probes", self.fragment_probes),
+            ("fragment_hits", self.fragment_hits),
+            ("fragment_pruned", self.fragment_pruned),
         ]
     }
 
@@ -116,6 +134,9 @@ impl QueryRecord {
             "exact" => self.exact_hit = value != 0,
             "empty" => self.empty_shortcut = value != 0,
             "answer_size" => self.answer_size = value as usize,
+            "fragment_probes" => self.fragment_probes = value,
+            "fragment_hits" => self.fragment_hits = value,
+            "fragment_pruned" => self.fragment_pruned = value,
             _ => return false,
         }
         true
@@ -145,6 +166,9 @@ pub struct MaintStats {
     pub index_delta: Duration,
     /// Time upkeeping statistics rows (drop victims, seed admissions).
     pub stats_upkeep: Duration,
+    /// Time spent on fragment-store upkeep (building occurrence sets for
+    /// new fragments and evicting down to the fragment byte budget).
+    pub fragment_upkeep: Duration,
     /// Entries admitted into the cache.
     pub entries_admitted: u64,
     /// Entries evicted from the cache.
@@ -153,6 +177,10 @@ pub struct MaintStats {
     pub shards_patched: u64,
     /// Per-shard dense rebuilds triggered by tombstone debt.
     pub compactions: u64,
+    /// Fragments built into the fragment store during maintenance.
+    pub fragments_built: u64,
+    /// Fragments evicted from the fragment store by its byte budget.
+    pub fragments_evicted: u64,
 }
 
 impl MaintStats {
@@ -174,6 +202,8 @@ impl MaintStats {
             ("entries_evicted", self.entries_evicted),
             ("shards_patched", self.shards_patched),
             ("compactions", self.compactions),
+            ("fragments_built", self.fragments_built),
+            ("fragments_evicted", self.fragments_evicted),
         ]
     }
 }
@@ -219,6 +249,12 @@ pub struct RunCounters {
     pub cs_gc: u64,
     /// Summed answer sizes — a strong end-to-end determinism signal.
     pub answers: u64,
+    /// Fragment keys probed against the fragment store.
+    pub fragment_probes: u64,
+    /// Fragment keys found resident (the fourth hit class).
+    pub fragment_hits: u64,
+    /// Candidates removed by fragment occurrence-set intersection.
+    pub fragment_pruned: u64,
 }
 
 impl RunCounters {
@@ -252,6 +288,9 @@ impl RunCounters {
         self.cs_m += r.cs_m_size as u64;
         self.cs_gc += r.cs_gc_size as u64;
         self.answers += r.answer_size as u64;
+        self.fragment_probes += r.fragment_probes;
+        self.fragment_hits += r.fragment_hits;
+        self.fragment_pruned += r.fragment_pruned;
     }
 
     /// Stable `(name, value)` enumeration of every counter, in schema
@@ -275,6 +314,9 @@ impl RunCounters {
             ("cs_m", self.cs_m),
             ("cs_gc", self.cs_gc),
             ("answers", self.answers),
+            ("fragment_probes", self.fragment_probes),
+            ("fragment_hits", self.fragment_hits),
+            ("fragment_pruned", self.fragment_pruned),
         ]
     }
 }
@@ -496,25 +538,30 @@ mod tests {
             cs_m: 13,
             cs_gc: 14,
             answers: 15,
+            fragment_probes: 16,
+            fragment_hits: 17,
+            fragment_pruned: 18,
         };
         let listed = c.deterministic_counters();
         // Every field appears exactly once, in declaration order, with
-        // distinct values 1..=15 proving no field maps to a wrong name.
-        assert_eq!(listed.len(), 15);
+        // distinct values 1..=18 proving no field maps to a wrong name.
+        assert_eq!(listed.len(), 18);
         let values: Vec<u64> = listed.iter().map(|(_, v)| *v).collect();
-        assert_eq!(values, (1..=15).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=18).collect::<Vec<u64>>());
         let m = MaintStats {
             rounds: 1,
             entries_admitted: 2,
             entries_evicted: 3,
             shards_patched: 4,
             compactions: 5,
+            fragments_built: 6,
+            fragments_evicted: 7,
             ..Default::default()
         };
         let maint = m.deterministic_counters();
-        assert_eq!(maint.len(), 5);
+        assert_eq!(maint.len(), 7);
         let values: Vec<u64> = maint.iter().map(|(_, v)| *v).collect();
-        assert_eq!(values, (1..=5).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=7).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -533,6 +580,9 @@ mod tests {
             exact_hit: true,
             empty_shortcut: true,
             answer_size: 13,
+            fragment_probes: 14,
+            fragment_hits: 15,
+            fragment_pruned: 16,
             ..Default::default()
         };
         let mut rebuilt = QueryRecord::default();

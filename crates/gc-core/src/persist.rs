@@ -15,7 +15,15 @@
 //!   query graph in the `gc_graph::io` record format, then an
 //!   `answers: <id> <id> …` line;
 //! * `stats.txt` — one `row <serial>` line per statistics row followed by
-//!   `  <column> <int|float> <value>` lines.
+//!   `  <column> <int|float> <value>` lines;
+//! * `fragments.txt` — the sub-query fragment store: a `fragments_v1`
+//!   version header, then per fragment an
+//!   `@fragment key:<hex> hits:<n> last:<n> r:<n> c:<float>` header, the
+//!   fragment graph in the `gc_graph::io` record format, and an
+//!   `occs: <id> <id> …` line with the fragment's exact occurrence set.
+//!   The file is absent in saves predating the fragment cache; such
+//!   legacy directories load with an empty fragment list and the store
+//!   simply rebuilds from scratch.
 //!
 //! Loading is strict: malformed input yields an error rather than a
 //! silently truncated cache.
@@ -57,6 +65,32 @@ pub struct PersistedCache {
     /// Restoring under a different policy logs a warning (see
     /// [`GraphCache::restore`](crate::GraphCache::restore)).
     pub policy: Option<String>,
+    /// The sub-query fragment store (empty for caches without the
+    /// fragment layer, and for legacy saves without `fragments.txt`).
+    pub fragments: Vec<PersistedFragment>,
+}
+
+/// One persisted fragment of the sub-query fragment cache: the canonical
+/// (iso-invariant) key, the fragment's path graph, its exact occurrence
+/// set, and the usage statistics that re-seed the fragment eviction
+/// policy after a restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedFragment {
+    /// Iso-invariant fragment key (`gc_index::fingerprint::iso_hash` of
+    /// the fragment graph).
+    pub key: u64,
+    /// The fragment's path graph.
+    pub graph: gc_graph::LabeledGraph,
+    /// The fragment's exact occurrence set (sorted dataset graph ids).
+    pub occs: Vec<GraphId>,
+    /// Probe hits credited to this fragment.
+    pub hits: u64,
+    /// Serial of the last query that credited this fragment.
+    pub last_hit: u64,
+    /// Total candidates removed thanks to this fragment.
+    pub r_total: u64,
+    /// Total estimated matcher work avoided thanks to this fragment.
+    pub c_total: f64,
 }
 
 impl PersistedCache {
@@ -98,7 +132,27 @@ impl PersistedCache {
                 }
             }
         }
-        sf.flush()
+        sf.flush()?;
+
+        // Always (re)written, even when empty: a save into a directory
+        // that previously held fragments must not leave the stale file
+        // behind for the next load to pick up.
+        let mut ff = BufWriter::new(std::fs::File::create(dir.join("fragments.txt"))?);
+        writeln!(ff, "fragments_v1")?;
+        for f in &self.fragments {
+            writeln!(
+                ff,
+                "@fragment key:{:016x} hits:{} last:{} r:{} c:{}",
+                f.key, f.hits, f.last_hit, f.r_total, f.c_total
+            )?;
+            io::write_graph(&mut ff, &format!("f{:016x}", f.key), &f.graph)?;
+            write!(ff, "occs:")?;
+            for id in &f.occs {
+                write!(ff, " {}", id.0)?;
+            }
+            writeln!(ff)?;
+        }
+        ff.flush()
     }
 
     /// Reads the state back from `dir`. Entries whose header omits the
@@ -266,6 +320,14 @@ impl PersistedCache {
                 }
             }
         }
+
+        // Fragment store: optional file (absent in saves predating the
+        // fragment cache — legacy directories load an empty list), strict
+        // once present.
+        let fragments_path = dir.join("fragments.txt");
+        if fragments_path.exists() {
+            out.fragments = load_fragments(&fragments_path)?;
+        }
         Ok(out)
     }
 
@@ -308,6 +370,111 @@ impl PersistedCache {
             self.next_serial,
         )
     }
+}
+
+/// Parses the strict `fragments.txt` format (see the module docs).
+fn load_fragments(path: &Path) -> Result<Vec<PersistedFragment>, GraphError> {
+    let ff = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = ff.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| GraphError::parse(1, "missing fragments version header"))?;
+    if header.trim() != "fragments_v1" {
+        return Err(GraphError::parse(1, "unknown fragments format version"));
+    }
+    let mut fragments = Vec::new();
+    let mut pending: Vec<String> = Vec::new();
+    let mut current: Option<PersistedFragment> = None;
+    let mut lineno = 1usize;
+    let finish = |mut frag: PersistedFragment,
+                  pending: &mut Vec<String>,
+                  fragments: &mut Vec<PersistedFragment>,
+                  lineno: usize|
+     -> Result<(), GraphError> {
+        let occs_line = pending
+            .pop()
+            .ok_or_else(|| GraphError::parse(lineno, "fragment missing occs line"))?;
+        let rest = occs_line
+            .strip_prefix("occs:")
+            .ok_or_else(|| GraphError::parse(lineno, "expected 'occs:' line"))?;
+        for tok in rest.split_whitespace() {
+            let id: u32 = tok
+                .parse()
+                .map_err(|_| GraphError::parse(lineno, format!("bad occurrence id {tok:?}")))?;
+            frag.occs.push(GraphId(id));
+        }
+        let text = pending.join("\n");
+        let ds = io::read_dataset(text.as_bytes())?;
+        if ds.len() != 1 {
+            return Err(GraphError::parse(
+                lineno,
+                "expected exactly one fragment graph record",
+            ));
+        }
+        frag.graph = ds.graph(GraphId(0)).clone();
+        fragments.push(frag);
+        pending.clear();
+        Ok(())
+    };
+    for line in lines {
+        let line = line?;
+        lineno += 1;
+        if let Some(s) = line.strip_prefix("@fragment ") {
+            if let Some(prev) = current.take() {
+                finish(prev, &mut pending, &mut fragments, lineno)?;
+            }
+            current = Some(parse_fragment_header(s, lineno)?);
+        } else if current.is_some() {
+            pending.push(line);
+        } else if !line.trim().is_empty() {
+            return Err(GraphError::parse(lineno, "content before first @fragment"));
+        }
+    }
+    if let Some(prev) = current.take() {
+        finish(prev, &mut pending, &mut fragments, lineno)?;
+    }
+    Ok(fragments)
+}
+
+/// Parses one `@fragment` header's `name:value` tokens. Every token is
+/// required and unknown names are rejected — a save that this code cannot
+/// fully understand must fail loudly, not load a half-read fragment.
+fn parse_fragment_header(s: &str, lineno: usize) -> Result<PersistedFragment, GraphError> {
+    let mut key = None;
+    let mut hits = None;
+    let mut last_hit = None;
+    let mut r_total = None;
+    let mut c_total = None;
+    for tok in s.split_whitespace() {
+        let (name, val) = tok.split_once(':').ok_or_else(|| {
+            GraphError::parse(lineno, format!("malformed fragment token {tok:?}"))
+        })?;
+        let bad = |what: &str| GraphError::parse(lineno, format!("bad fragment {what} {val:?}"));
+        match name {
+            "key" => key = Some(u64::from_str_radix(val, 16).map_err(|_| bad("key"))?),
+            "hits" => hits = Some(val.parse::<u64>().map_err(|_| bad("hits"))?),
+            "last" => last_hit = Some(val.parse::<u64>().map_err(|_| bad("last"))?),
+            "r" => r_total = Some(val.parse::<u64>().map_err(|_| bad("r"))?),
+            "c" => c_total = Some(val.parse::<f64>().map_err(|_| bad("c"))?),
+            other => {
+                return Err(GraphError::parse(
+                    lineno,
+                    format!("unknown fragment token {other:?}"),
+                ))
+            }
+        }
+    }
+    let missing = |what: &str| GraphError::parse(lineno, format!("fragment missing {what} token"));
+    Ok(PersistedFragment {
+        key: key.ok_or_else(|| missing("key"))?,
+        graph: gc_graph::LabeledGraph::from_parts(Vec::new(), &[]),
+        occs: Vec::new(),
+        hits: hits.ok_or_else(|| missing("hits"))?,
+        last_hit: last_hit.ok_or_else(|| missing("last"))?,
+        r_total: r_total.ok_or_else(|| missing("r"))?,
+        c_total: c_total.ok_or_else(|| missing("c"))?,
+    })
 }
 
 /// Statistics columns are `&'static str`; persisted columns outside the
@@ -369,6 +536,15 @@ mod tests {
             stats,
             next_serial: 42,
             policy: Some("hd".to_string()),
+            fragments: vec![PersistedFragment {
+                key: 0xdead_beef_0042_7711,
+                graph: LabeledGraph::from_parts(vec![1, 2, 1], &[(0, 1), (1, 2)]),
+                occs: vec![GraphId(0), GraphId(2)],
+                hits: 3,
+                last_hit: 40,
+                r_total: 9,
+                c_total: 2.25,
+            }],
         }
     }
 
@@ -393,6 +569,57 @@ mod tests {
             back.stats.get(3, columns::C_TOTAL),
             Some(Value::Float(12.5))
         );
+        assert_eq!(back.fragments, sample().fragments);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_dirs_without_fragments_load_empty() {
+        let dir = tmpdir("no-fragments");
+        sample().save(&dir).unwrap();
+        std::fs::remove_file(dir.join("fragments.txt")).unwrap();
+        let back = PersistedCache::load(&dir).unwrap();
+        assert!(back.fragments.is_empty(), "legacy save loads empty store");
+        assert_eq!(back.entries.len(), 2, "entries unaffected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_fragments_rejected() {
+        let dir = tmpdir("bad-fragments");
+        sample().save(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("fragments.txt")).unwrap();
+
+        // Wrong version header.
+        std::fs::write(
+            dir.join("fragments.txt"),
+            text.replace("fragments_v1", "fragments_v9"),
+        )
+        .unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        // Malformed key.
+        std::fs::write(dir.join("fragments.txt"), text.replace("key:", "key:zz")).unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        // Unknown header token.
+        std::fs::write(dir.join("fragments.txt"), text.replace("hits:", "hats:")).unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        // Missing occs line.
+        std::fs::write(
+            dir.join("fragments.txt"),
+            text.lines()
+                .filter(|l| !l.starts_with("occs:"))
+                .map(|l| format!("{l}\n"))
+                .collect::<String>(),
+        )
+        .unwrap();
+        assert!(PersistedCache::load(&dir).is_err());
+
+        // The intact file still loads (sanity-check the baseline).
+        std::fs::write(dir.join("fragments.txt"), &text).unwrap();
+        assert!(PersistedCache::load(&dir).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

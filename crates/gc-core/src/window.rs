@@ -36,6 +36,7 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
+use crate::fragments::{self, FragmentSource, FragmentState};
 use crate::metrics::MaintStats;
 use crate::policy::{EvictionPolicy, PolicyRow, PolicyView};
 use crate::query_index::QueryIndexConfig;
@@ -99,10 +100,13 @@ pub(crate) struct MaintCounters {
     victim_select_us: AtomicU64,
     index_delta_us: AtomicU64,
     stats_upkeep_us: AtomicU64,
+    fragment_upkeep_us: AtomicU64,
     entries_admitted: AtomicU64,
     entries_evicted: AtomicU64,
     shards_patched: AtomicU64,
     compactions: AtomicU64,
+    fragments_built: AtomicU64,
+    fragments_evicted: AtomicU64,
 }
 
 impl MaintCounters {
@@ -130,6 +134,13 @@ impl MaintCounters {
         self.shards_patched
             .fetch_add(shards_patched, Ordering::Relaxed);
         self.compactions.fetch_add(compactions, Ordering::Relaxed);
+    }
+
+    fn record_fragments(&self, upkeep: Duration, built: u64, evicted: u64) {
+        self.fragment_upkeep_us
+            .fetch_add(upkeep.as_micros() as u64, Ordering::Relaxed);
+        self.fragments_built.fetch_add(built, Ordering::Relaxed);
+        self.fragments_evicted.fetch_add(evicted, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +183,10 @@ pub(crate) struct Shared {
     pub maintenance_rounds: AtomicU64,
     /// Per-phase maintenance breakdown (see [`MaintStats`]).
     pub maint_counters: MaintCounters,
+    /// The optional fragment layer (probe on the query path, population
+    /// and budget eviction during maintenance). Carries its own `Method`
+    /// handle so the background manager can build exact occurrence sets.
+    pub fragments: Option<FragmentState>,
 }
 
 impl Shared {
@@ -180,6 +195,7 @@ impl Shared {
         shard_count: usize,
         eviction: Box<dyn EvictionPolicy>,
         admission: Box<dyn AdmissionPolicy>,
+        fragments: Option<FragmentState>,
     ) -> Self {
         Shared {
             shards: (0..shard_count.max(1))
@@ -195,6 +211,7 @@ impl Shared {
             maintenance_us: AtomicU64::new(0),
             maintenance_rounds: AtomicU64::new(0),
             maint_counters: MaintCounters::default(),
+            fragments,
         }
     }
 
@@ -238,10 +255,13 @@ impl Shared {
             victim_select: Duration::from_micros(c.victim_select_us.load(Ordering::Relaxed)),
             index_delta: Duration::from_micros(c.index_delta_us.load(Ordering::Relaxed)),
             stats_upkeep: Duration::from_micros(c.stats_upkeep_us.load(Ordering::Relaxed)),
+            fragment_upkeep: Duration::from_micros(c.fragment_upkeep_us.load(Ordering::Relaxed)),
             entries_admitted: c.entries_admitted.load(Ordering::Relaxed),
             entries_evicted: c.entries_evicted.load(Ordering::Relaxed),
             shards_patched: c.shards_patched.load(Ordering::Relaxed),
             compactions: c.compactions.load(Ordering::Relaxed),
+            fragments_built: c.fragments_built.load(Ordering::Relaxed),
+            fragments_evicted: c.fragments_evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -272,6 +292,24 @@ pub(crate) fn maintain(
     // (possible in inline mode, where any full window flushes on the
     // flushing query's thread) must not interleave those steps.
     let _round = shared.maint.lock();
+
+    // (0) Fragment-store upkeep runs over the *whole* answered batch, not
+    // just the admitted subset: fragment population is opportunistic and a
+    // query rejected by admission control still carries a verified answer
+    // worth decomposing. Only subgraph-direction answers qualify (a
+    // fragment occurrence set is a "graphs containing f" set).
+    if let Some(frag_state) = &shared.fragments {
+        let t_frag = Instant::now();
+        let sources: Vec<FragmentSource> = batch
+            .iter()
+            .filter(|e| e.kind == QueryKind::Subgraph)
+            .map(|e| (e.graph.clone(), e.answer.clone()))
+            .collect();
+        let (built, evicted) = fragments::upkeep(frag_state, &sources, now);
+        shared
+            .maint_counters
+            .record_fragments(t_frag.elapsed(), built, evicted);
+    }
 
     // (1) Admission control over the batch.
     let admitted: Vec<WindowEntry> = {
@@ -525,6 +563,7 @@ mod tests {
             shards,
             Box::new(KindPolicy::new(PolicyKind::Lru)),
             Box::new(AdmissionControl::new(AdmissionConfig::default())),
+            None,
         )
     }
 
@@ -598,6 +637,7 @@ mod tests {
                 calibration_windows: 0,
                 target_expensive_fraction: 0.5,
             })),
+            None,
         );
         // Calibrate instantly with one cheap observation.
         {

@@ -40,12 +40,19 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         // into admission decisions, greedy-dual credits and policy stats —
         // the harness always uses the deterministic work proxy so counters
         // are a pure function of the seeds even on a busy CI box.
-        .cost_model(CostModel::Work);
+        .cost_model(CostModel::Work)
+        .fragments(scenario.fragments);
     if let Some(budget) = scenario.verify_budget {
         builder = builder.verify_budget(budget);
     }
     if let Some(admission) = &scenario.admission {
         builder = builder.admission(admission.as_str());
+    }
+    if let Some(bytes) = scenario.fragment_budget {
+        builder = builder.fragment_budget(bytes);
+    }
+    if let Some(spec) = &scenario.fragment_eviction {
+        builder = builder.fragment_eviction(spec.as_str());
     }
     let cache = builder
         .try_build(method)
@@ -167,6 +174,35 @@ mod tests {
         assert_eq!(r.counter("queries"), Some(30));
         // Budgeted sweeps account their work in the budget pool.
         assert!(r.counter("budget_spent").is_some());
+    }
+
+    #[test]
+    fn fragment_scenarios_report_fragment_counters() {
+        use gc_methods::MethodKind;
+        let mut s = tiny();
+        s.fragments = true;
+        s.method = MethodKind::SiVf2;
+        s.workload = WorkloadSpec::Zz(1.05);
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+        assert_eq!(a.counters, b.counters, "fragment path is deterministic");
+        assert!(a.counter("fragment_probes").unwrap_or(0) > 0);
+        assert!(a.counter("fragments_built").unwrap_or(0) > 0);
+        // Off keeps the counters present (schema-stable) but zero.
+        s.fragments = false;
+        let off = run_scenario(&s).unwrap();
+        assert_eq!(off.counter("fragment_probes"), Some(0));
+        assert_eq!(off.counter("fragments_built"), Some(0));
+    }
+
+    #[test]
+    fn bad_fragment_eviction_spec_errors_with_scenario_name() {
+        let mut s = tiny();
+        s.fragments = true;
+        s.fragment_eviction = Some("no-such-policy".into());
+        let err = run_scenario(&s).unwrap_err();
+        assert!(err.contains("tiny"), "{err}");
+        assert!(err.contains("available"), "{err}");
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub struct Scenario {
     /// Queries excluded from the measured counters (the paper allows one
     /// window before measuring).
     pub warmup: usize,
+    /// Enable the sub-query fragment cache (default off, matching the
+    /// cache default).
+    pub fragments: bool,
+    /// Fragment-store byte budget; `None` = the cache default.
+    pub fragment_budget: Option<usize>,
+    /// Fragment-store eviction policy registry spec; `None` = the cache
+    /// default (`lru`).
+    pub fragment_eviction: Option<String>,
 }
 
 impl Scenario {
@@ -181,6 +189,9 @@ impl Scenario {
             threads: 1,
             kind: QueryKind::Subgraph,
             warmup: 20,
+            fragments: false,
+            fragment_budget: None,
+            fragment_eviction: None,
         }
     }
 
@@ -234,9 +245,19 @@ impl Scenario {
             // Pinned by the runner: the deterministic work-based cost
             // proxy, never wall time (see `runner::run_scenario`).
             ("cost_model".to_string(), "work".to_string()),
+            (
+                "fragments".to_string(),
+                if self.fragments { "on" } else { "off" }.to_string(),
+            ),
         ];
         if let Some(b) = self.verify_budget {
             echo.push(("verify_budget".to_string(), format!("{b}")));
+        }
+        if let Some(b) = self.fragment_budget {
+            echo.push(("fragment_budget".to_string(), format!("{b}")));
+        }
+        if let Some(spec) = &self.fragment_eviction {
+            echo.push(("fragment_eviction".to_string(), spec.clone()));
         }
         echo
     }
@@ -255,11 +276,20 @@ pub enum Suite {
     /// One dataset/workload replayed across the policy registry's
     /// eviction and admission strategies.
     Policies,
+    /// The fragment cache's home turf: a low-repetition Zipf workload of
+    /// structurally overlapping queries over a filterless method, paired
+    /// with fragments on vs off so the uplift is directly comparable.
+    Fragments,
 }
 
 impl Suite {
     /// All suites, for listings.
-    pub const ALL: [Suite; 3] = [Suite::Smoke, Suite::Paper, Suite::Policies];
+    pub const ALL: [Suite; 4] = [
+        Suite::Smoke,
+        Suite::Paper,
+        Suite::Policies,
+        Suite::Fragments,
+    ];
 
     /// The CLI name.
     pub fn name(&self) -> &'static str {
@@ -267,6 +297,7 @@ impl Suite {
             Suite::Smoke => "smoke",
             Suite::Paper => "paper",
             Suite::Policies => "policies",
+            Suite::Fragments => "fragments",
         }
     }
 
@@ -276,6 +307,7 @@ impl Suite {
             "smoke" => Some(Suite::Smoke),
             "paper" => Some(Suite::Paper),
             "policies" => Some(Suite::Policies),
+            "fragments" => Some(Suite::Fragments),
             _ => None,
         }
     }
@@ -287,6 +319,7 @@ impl Suite {
             Suite::Smoke => smoke_scenarios(),
             Suite::Paper => paper_scenarios(),
             Suite::Policies => policy_scenarios(),
+            Suite::Fragments => fragment_scenarios(),
         }
     }
 }
@@ -393,6 +426,38 @@ fn policy_scenarios() -> Vec<Scenario> {
         out.push(s);
     }
     out
+}
+
+/// The fragment suite's regime is chosen so fragment pruning is the only
+/// savings channel left: a flat Zipf (α = 1.05) keeps exact repeats rare,
+/// while small query sizes over one dataset shape make queries *share
+/// structure* without containing each other — and `si_vf2` has no filter
+/// index, so CS_M is the whole dataset and exact fragment occurrence sets
+/// have maximal room to prune. The on/off pair differs in nothing but the
+/// `fragments` switch.
+fn fragment_scenarios() -> Vec<Scenario> {
+    let base = |name: &str| {
+        let mut s = Scenario::named(name);
+        s.dataset_scale = 0.05;
+        s.workload = WorkloadSpec::Zz(1.05);
+        s.queries = 80;
+        s.capacity = 40;
+        s.window = 10;
+        s.query_sizes = vec![4, 6, 8];
+        s.method = MethodKind::SiVf2;
+        s.warmup = 10;
+        s
+    };
+    let mut on = base("fragments-aids-zz-on");
+    on.fragments = true;
+    let off = base("fragments-aids-zz-off");
+    // A second pair under the slru fragment policy and a tight budget, so
+    // the fragment store's own eviction loop is exercised by the gate.
+    let mut slru = base("fragments-aids-zz-slru-tight");
+    slru.fragments = true;
+    slru.fragment_eviction = Some("slru:protected=0.5".into());
+    slru.fragment_budget = Some(16 * 1024);
+    vec![on, off, slru]
 }
 
 #[cfg(test)]

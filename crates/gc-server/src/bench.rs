@@ -63,12 +63,19 @@ pub fn run_scenario_served(scenario: &Scenario) -> Result<ScenarioReport, String
         .query_kind(scenario.kind)
         .threads(scenario.threads)
         .shards(scenario.shards)
-        .cost_model(CostModel::Work);
+        .cost_model(CostModel::Work)
+        .fragments(scenario.fragments);
     if let Some(budget) = scenario.verify_budget {
         builder = builder.verify_budget(budget);
     }
     if let Some(admission) = &scenario.admission {
         builder = builder.admission(admission.as_str());
+    }
+    if let Some(bytes) = scenario.fragment_budget {
+        builder = builder.fragment_budget(bytes);
+    }
+    if let Some(spec) = &scenario.fragment_eviction {
+        builder = builder.fragment_eviction(spec.as_str());
     }
     let cache = builder
         .try_build(method)
@@ -116,6 +123,8 @@ pub fn run_scenario_served(scenario: &Scenario) -> Result<ScenarioReport, String
         "entries_evicted",
         "shards_patched",
         "compactions",
+        "fragments_built",
+        "fragments_evicted",
         "cache_entries",
         "memory_bytes",
     ] {
@@ -253,5 +262,24 @@ mod tests {
         let in_process = run_scenario(&s).expect("in-process run");
         let served = run_scenario_served(&s).expect("served run");
         assert_eq!(served.counters, in_process.counters);
+    }
+
+    /// Parity holds with the fragment layer live: the fragment counters in
+    /// the RESULT frames and the fragment upkeep counters in STATS must be
+    /// byte-identical to the in-process run.
+    #[test]
+    fn served_counters_match_with_fragments() {
+        use gc_harness::WorkloadSpec;
+        let mut s = tiny("served-parity-fragments");
+        s.fragments = true;
+        s.method = gc_methods::MethodKind::SiVf2;
+        s.workload = WorkloadSpec::Zz(1.05);
+        let in_process = run_scenario(&s).expect("in-process run");
+        let served = run_scenario_served(&s).expect("served run");
+        assert_eq!(served.counters, in_process.counters);
+        assert!(
+            in_process.counter("fragment_probes").unwrap_or(0) > 0,
+            "the parity check must actually exercise the fragment path"
+        );
     }
 }

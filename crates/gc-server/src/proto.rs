@@ -10,7 +10,7 @@
 //! ```text
 //! client → server                      server → client
 //! ---------------                      ---------------
-//! PING [token=T]                       HELLO proto=1 session=N max_inflight=N
+//! PING [token=T]                       HELLO proto=2 session=N max_inflight=N
 //! QUERY id=N graph=G [kind=sub|super]  PONG [token=T]
 //!       [budget=N] [max_hits=N]        RESULT id=N serial=N answers=N ids=L …
 //!       [bypass=1]                     BUSY id=N inflight=N max=N
@@ -30,7 +30,16 @@
 //!   [`QueryRecord::set_deterministic_field`] rebuilds a record whose
 //!   [`gc_core::RunCounters`] contribution is byte-identical to the
 //!   server's, which is what makes served counters comparable to
-//!   in-process `run_batch` counters;
+//!   in-process `run_batch` counters. Since proto 2 this includes the
+//!   fragment-cache fields `fragment_probes` (fragments of the query
+//!   probed against the fragment store), `fragment_hits` (probes that
+//!   found a cached fragment) and `fragment_pruned` (candidates removed
+//!   by occurrence-set intersection);
+//! * a `STATS` reply's tokens are counter `name=value` pairs; with the
+//!   fragment layer the global scope carries `fragments_built` /
+//!   `fragments_evicted` (fragment-store upkeep) and folds the fragment
+//!   store into `memory_bytes`. All three stay present — as zeros — when
+//!   the layer is off, so counter schemas never depend on configuration;
 //! * `msg="…"` is a quoted string (escapes: `\"`, `\\`, `\n`, `\r`,
 //!   `\t`) and is always the last token of its frame.
 //!
@@ -48,7 +57,12 @@ use std::io::Read;
 
 /// Protocol version announced in the `HELLO` greeting. Bump on any change
 /// to frame keywords, token names, or their meaning.
-pub const PROTO_VERSION: u64 = 1;
+///
+/// History: 1 — initial protocol; 2 — `RESULT` frames carry the
+/// fragment-cache fields (`fragment_probes`, `fragment_hits`,
+/// `fragment_pruned`) and global `STATS` replies the fragment upkeep
+/// counters (`fragments_built`, `fragments_evicted`).
+pub const PROTO_VERSION: u64 = 2;
 
 /// Hard cap on one frame's byte length (newline excluded). A frame beyond
 /// the cap is a [`ProtoError::TooLarge`]; since the remainder of the

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates benches/baseline.json — the committed deterministic-counter
-# baseline that `gc bench --check` (and the CI bench-smoke job) gates
-# against. Run this after a change that intentionally shifts counters,
-# then review the diff like any other code change:
+# Regenerates benches/baseline.json and benches/baseline-fragments.json —
+# the committed deterministic-counter baselines that `gc bench --check`
+# (and the CI bench-smoke job) gates against. Run this after a change that
+# intentionally shifts counters, then review the diff like any other code
+# change:
 #
 #   cargo build --release --bin gc
 #   scripts/refresh-baseline.sh
@@ -18,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 BIN=target/release/gc
 OUT=benches/baseline.json
+OUT_FRAGMENTS=benches/baseline-fragments.json
 
 die() {
     echo "refresh-baseline: $*" >&2
@@ -40,5 +42,11 @@ trap 'rm -f "$tmp"' EXIT
 mv "$tmp" "$OUT"
 trap - EXIT
 
+tmp=$(mktemp "$OUT_FRAGMENTS.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
+"$BIN" bench --suite fragments --json "$tmp"
+mv "$tmp" "$OUT_FRAGMENTS"
+trap - EXIT
+
 echo
-echo "baseline refreshed; review with: git diff $OUT"
+echo "baselines refreshed; review with: git diff $OUT $OUT_FRAGMENTS"

@@ -33,7 +33,8 @@ echo "== generate dataset + workload"
 
 echo "== start daemon"
 "$BIN" serve --dataset "$WORK/d.txt" --unix "$SOCK" \
-    --capacity 50 --window 10 --persist-on-exit "$WORK/snapshot" &
+    --capacity 50 --window 10 --fragments on \
+    --persist-on-exit "$WORK/snapshot" &
 SERVER_PID=$!
 
 # Wait for the socket to come up (the daemon binds before serving).
@@ -53,11 +54,13 @@ grep -q "^30 queries served" "$WORK/queries.out" || die "served replay did not r
 
 echo "== ctl stats"
 "$BIN" ctl --unix "$SOCK" stats > "$WORK/stats.out"
-for key in queries sub_hits super_hits cache_entries sessions_total inflight; do
+for key in queries sub_hits super_hits fragment_probes fragments_built cache_entries sessions_total inflight; do
     grep -q "^$key " "$WORK/stats.out" || die "STATS missing counter '$key'"
 done
 served=$(awk '$1 == "queries" { print $2 }' "$WORK/stats.out")
 [ "$served" -ge 30 ] || die "daemon counted $served queries, expected >= 30"
+built=$(awk '$1 == "fragments_built" { print $2 }' "$WORK/stats.out")
+[ "$built" -ge 1 ] || die "daemon ran with --fragments on but built $built fragments"
 
 echo "== SIGTERM drain"
 kill -TERM "$SERVER_PID"

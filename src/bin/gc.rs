@@ -10,10 +10,11 @@
 //! * `gc query --dataset FILE --queries FILE [--method NAME]
 //!   [--eviction NAME] [--admission [NAME]] [--capacity N] [--window N]
 //!   [--threads N] [--shards N] [--verify-budget N] [--verify-threads N]
+//!   [--fragments on|off] [--fragment-budget BYTES] [--fragment-eviction NAME]
 //!   [--supergraph] [--background] [--no-cache] [--maint-stats]
 //!   [--save DIR] [--restore DIR]` replays the queries and prints per-run
 //!   statistics;
-//! * `gc bench [--suite smoke|paper|policies] [--json FILE]
+//! * `gc bench [--suite smoke|paper|policies|fragments] [--json FILE]
 //!   [--check BASELINE] [--tolerance PCT] [--timings] [--list] [--serve]`
 //!   runs a scenario suite end-to-end (dataset generation → workload →
 //!   cached replay) and reports machine-readable metrics;
@@ -44,15 +45,17 @@
 //!   graceful drain (the `gc query --restore` format);
 //! * the cache-construction flags of `gc query` (`--method`,
 //!   `--eviction`, `--admission`, `--capacity`, `--window`, `--threads`,
-//!   `--shards`, `--verify-budget`, `--verify-threads`, `--supergraph`,
+//!   `--shards`, `--verify-budget`, `--verify-threads`, `--fragments`,
+//!   `--fragment-budget`, `--fragment-eviction`, `--supergraph`,
 //!   `--background`, `--restore`) configure the shared cache.
 //!
 //! `gc bench` flags:
 //!
 //! * `--suite NAME` — which scenario matrix to run (default `smoke`, the
 //!   CI suite; `paper` is the full dataset × workload matrix; `policies`
-//!   sweeps the policy registry). `--list` prints the scenarios of the
-//!   selected suite without running them;
+//!   sweeps the policy registry; `fragments` measures the fragment cache
+//!   on a low-repetition, structurally-overlapping workload). `--list`
+//!   prints the scenarios of the selected suite without running them;
 //! * `--json FILE` — write the versioned report (deterministic counters
 //!   only, so the bytes are identical across runs with the same build;
 //!   add `--timings` to include the advisory wall-clock section);
@@ -106,6 +109,15 @@
 //! * `--admission [NAME]` — admission policy by registry name
 //!   (`none|threshold|adaptive|…`); a bare `--admission` enables the
 //!   paper's calibrated threshold (as before the registry existed);
+//! * `--fragments on|off` — the sub-query fragment cache (default off):
+//!   answered subgraph queries are decomposed into canonical path
+//!   fragments whose exact occurrence sets pre-prune the candidate space
+//!   of later structurally-overlapping queries;
+//! * `--fragment-budget BYTES` — byte budget of the fragment store
+//!   (default 1 MiB); `--fragment-eviction NAME` — its replacement policy
+//!   by registry name (default `lru`; same registry as `--eviction`, so
+//!   `slru:protected=0.5` etc. apply). Unknown names fail with the list
+//!   of available policies;
 //! * `--supergraph` — supergraph (`G ⊆ g`) instead of subgraph semantics;
 //! * `--no-cache` — replay through the bare Method M (baseline timing);
 //! * `--save DIR` / `--restore DIR` — persist / preload the cache stores.
@@ -163,11 +175,13 @@ fn print_usage() {
     eprintln!("  gc query --dataset FILE --queries FILE [--method NAME] [--eviction NAME]");
     eprintln!("           [--admission [NAME]] [--capacity N] [--window N] [--threads N]");
     eprintln!("           [--shards N] [--verify-budget N] [--verify-threads N]");
-    eprintln!("           [--supergraph] [--background] [--no-cache] [--maint-stats]");
-    eprintln!("           [--save DIR] [--restore DIR]");
+    eprintln!("           [--fragments on|off] [--fragment-budget BYTES]");
+    eprintln!("           [--fragment-eviction NAME] [--supergraph] [--background]");
+    eprintln!("           [--no-cache] [--maint-stats] [--save DIR] [--restore DIR]");
     eprintln!("  gc query --connect unix:PATH|ADDR --queries FILE [--supergraph]");
     eprintln!("           [--verify-budget N]");
-    eprintln!("  gc bench [--suite smoke|paper|policies] [--json FILE] [--timings] [--list]");
+    eprintln!("  gc bench [--suite smoke|paper|policies|fragments] [--json FILE] [--timings]");
+    eprintln!("           [--list]");
     eprintln!("           [--check BASELINE] [--tolerance PCT] [--serve]");
     eprintln!("  gc serve --dataset FILE (--listen ADDR | --unix PATH) [--max-sessions N]");
     eprintln!("           [--max-inflight N] [--drain-timeout SECS] [--persist-on-exit DIR]");
@@ -274,6 +288,20 @@ fn num<T: std::str::FromStr>(
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("invalid --{key}: {v:?}"))),
+    }
+}
+
+/// `--fragments on|off` (default off). An explicit value keeps the flag
+/// scriptable — `--fragments "$MODE"` — where a bare boolean flag could
+/// only ever turn the layer on.
+fn fragments_enabled(opts: &HashMap<String, String>) -> Result<bool, CliError> {
+    match opts.get("fragments").map(|s| s.as_str()) {
+        None => Ok(false),
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(CliError::usage(format!(
+            "invalid --fragments {other:?} (on|off)"
+        ))),
     }
 }
 
@@ -405,6 +433,13 @@ fn cache_from_opts(
     if let Some(spec) = opts.get("admission") {
         builder = builder.admission(spec.as_str());
     }
+    builder = builder.fragments(fragments_enabled(opts)?);
+    if opts.contains_key("fragment-budget") {
+        builder = builder.fragment_budget(num(opts, "fragment-budget", 0usize)?);
+    }
+    if let Some(spec) = opts.get("fragment-eviction") {
+        builder = builder.fragment_eviction(spec.as_str());
+    }
     let cache = builder
         .try_build(method)
         .map_err(|e| CliError::usage(e.to_string()))?;
@@ -461,6 +496,11 @@ fn cmd_query(args: &[String]) -> CliResult {
     let admission = opts.get("admission").map(|s| s.as_str());
     if let Some(spec) = admission {
         registry::build_admission(spec).map_err(|e| CliError::usage(e.to_string()))?;
+    }
+    // Same early validation for the fragment-store knobs.
+    fragments_enabled(&opts)?;
+    if let Some(spec) = opts.get("fragment-eviction") {
+        registry::build_eviction(spec).map_err(|e| CliError::usage(e.to_string()))?;
     }
     let dataset = load_dataset(req(&opts, "dataset")?)?;
     let queries = load_dataset(req(&opts, "queries")?)?;
@@ -564,6 +604,16 @@ fn cmd_query(args: &[String]) -> CliResult {
         "hit verification: {} work spent | {} exact via fingerprint | {} truncated queries",
         summary.total_budget_spent, summary.exact_fp_hits, summary.truncated_queries,
     );
+    if cache.fragment_eviction_name().is_some() {
+        let probes: u64 = records.iter().map(|r| r.fragment_probes).sum();
+        let fragment_hits: u64 = records.iter().map(|r| r.fragment_hits).sum();
+        let pruned: u64 = records.iter().map(|r| r.fragment_pruned).sum();
+        println!(
+            "fragment cache: {probes} probes | {fragment_hits} fragment hits | \
+             {pruned} candidates pruned | {} fragments stored",
+            cache.fragment_store_len(),
+        );
+    }
     println!(
         "wall clock {:.1} ms on {} client thread(s) ({:.0} queries/s)",
         wall.as_secs_f64() * 1e3,
@@ -580,12 +630,13 @@ fn cmd_query(args: &[String]) -> CliResult {
         let m = cache.maint_stats();
         println!(
             "maintenance: {} rounds | total {:.1} ms | victim select {:.1} ms | \
-             index delta {:.1} ms | stats upkeep {:.1} ms",
+             index delta {:.1} ms | stats upkeep {:.1} ms | fragment upkeep {:.1} ms",
             m.rounds,
             m.total.as_secs_f64() * 1e3,
             m.victim_select.as_secs_f64() * 1e3,
             m.index_delta.as_secs_f64() * 1e3,
             m.stats_upkeep.as_secs_f64() * 1e3,
+            m.fragment_upkeep.as_secs_f64() * 1e3,
         );
         println!(
             "maintenance: {} admitted, {} evicted ({} entries touched) | \
@@ -596,6 +647,15 @@ fn cmd_query(args: &[String]) -> CliResult {
             m.shards_patched,
             cache.shard_count(),
             m.compactions,
+        );
+        println!(
+            "maintenance: {} fragments built, {} evicted ({} stored, eviction {})",
+            m.fragments_built,
+            m.fragments_evicted,
+            cache.fragment_store_len(),
+            cache
+                .fragment_eviction_name()
+                .unwrap_or_else(|| "off".to_string()),
         );
     }
     if let Some(dir) = opts.get("save") {
@@ -688,6 +748,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
     registry::build_eviction(eviction).map_err(|e| CliError::usage(e.to_string()))?;
     if let Some(spec) = opts.get("admission") {
         registry::build_admission(spec).map_err(|e| CliError::usage(e.to_string()))?;
+    }
+    fragments_enabled(&opts)?;
+    if let Some(spec) = opts.get("fragment-eviction") {
+        registry::build_eviction(spec).map_err(|e| CliError::usage(e.to_string()))?;
     }
     let listen = opts.get("listen").cloned();
     let unix = opts.get("unix").map(PathBuf::from);

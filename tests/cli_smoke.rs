@@ -132,11 +132,16 @@ fn pipeline_generate_workload_query_bench() {
             "subiso_tests",
             "gc_tests",
             "budget_spent",
+            "fragment_probes",
+            "fragment_hits",
+            "fragment_pruned",
             "maint_rounds",
             "entries_admitted",
             "entries_evicted",
             "shards_patched",
             "compactions",
+            "fragments_built",
+            "fragments_evicted",
             "cache_entries",
             "memory_bytes",
         ] {
@@ -251,6 +256,25 @@ fn committed_baseline_is_current() {
         ],
         0,
     );
+
+    // Same bar for the fragment-cache suite and its own baseline.
+    let fragments = Path::new(env!("CARGO_MANIFEST_DIR")).join("benches/baseline-fragments.json");
+    assert!(
+        fragments.is_file(),
+        "benches/baseline-fragments.json is missing — run scripts/refresh-baseline.sh"
+    );
+    assert_exit(
+        &[
+            "bench",
+            "--suite",
+            "fragments",
+            "--check",
+            fragments.to_str().unwrap(),
+            "--tolerance",
+            "5",
+        ],
+        0,
+    );
 }
 
 /// Exit-code contract: usage errors are 2, runtime failures are 1, and
@@ -342,6 +366,37 @@ fn exit_codes_are_distinct() {
             &queries,
             "--capacity",
             "many",
+        ],
+        2,
+    );
+    // An unknown fragment policy fails fast and lists what exists.
+    let out = assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--fragment-eviction",
+            "nope",
+        ],
+        2,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("available"),
+        "unknown fragment policy lists the registry: {stderr}"
+    );
+    // --fragments only takes on|off.
+    assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--fragments",
+            "maybe",
         ],
         2,
     );
@@ -456,6 +511,19 @@ fn serve_and_ctl_exit_codes() {
         ],
         2,
     );
+    // ... and the fragment-store policy gets the same early validation.
+    assert_exit(
+        &[
+            "serve",
+            "--dataset",
+            &dataset,
+            "--unix",
+            &sock,
+            "--fragment-eviction",
+            "nope",
+        ],
+        2,
+    );
     // ctl without a target / with two targets / with an unknown command.
     assert_exit(&["ctl", "ping"], 2);
     assert_exit(&["ctl", "--unix", &sock, "--tcp", "localhost:1", "ping"], 2);
@@ -563,4 +631,83 @@ fn save_then_restore_succeeds() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("restored"), "{stdout}");
+}
+
+/// The fragment flags work end-to-end through the CLI: `--fragments on`
+/// reports the fragment-cache summary and the maintenance breakdown
+/// carries the fragment-upkeep phase.
+#[test]
+fn fragments_flags_smoke() {
+    let tmp = Scratch::new("fragments");
+    let dataset = tmp.path("d.txt");
+    let queries = tmp.path("q.txt");
+    assert_exit(
+        &[
+            "generate",
+            "--profile",
+            "aids",
+            "--scale",
+            "0.05",
+            "--seed",
+            "5",
+            "--out",
+            &dataset,
+        ],
+        0,
+    );
+    assert_exit(
+        &[
+            "workload",
+            "--dataset",
+            &dataset,
+            "--kind",
+            "zz",
+            "--count",
+            "30",
+            "--seed",
+            "5",
+            "--out",
+            &queries,
+        ],
+        0,
+    );
+    let out = assert_exit(
+        &[
+            "query",
+            "--dataset",
+            &dataset,
+            "--queries",
+            &queries,
+            "--method",
+            "vf2",
+            "--fragments",
+            "on",
+            "--fragment-budget",
+            "65536",
+            "--fragment-eviction",
+            "slru:protected=0.5",
+            "--window",
+            "5",
+            "--maint-stats",
+        ],
+        0,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("fragment cache:"),
+        "fragment summary line: {stdout}"
+    );
+    assert!(
+        stdout.contains("fragments built"),
+        "maint-stats fragment line: {stdout}"
+    );
+    assert!(
+        stdout.contains("eviction slru"),
+        "fragment eviction name echoed: {stdout}"
+    );
+
+    // Off stays silent: no fragment summary, counters absent from output.
+    let out = assert_exit(&["query", "--dataset", &dataset, "--queries", &queries], 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("fragment cache:"), "{stdout}");
 }
