@@ -1,0 +1,145 @@
+//! Snapshot restore latency on a 10k-entry cache: binary arena snapshot
+//! vs text parse.
+//!
+//! A restore is decode + materialisation (`into_snapshot_sharded`). The
+//! text path parses every entry line token-by-token and re-enumerates
+//! every entry graph's simple paths — the dominant cost of standing a
+//! cache back up. The binary path bulk-reads the arena sections after a
+//! single checksum pass and reuses the stored profiles verbatim, so its
+//! materialisation is a copy, not a re-computation.
+//!
+//! Both paths pay the same index-rebuild cost (`build_sharded` from
+//! profiles), so the comparison isolates exactly what the format change
+//! buys. The bench asserts the binary restore is ≥ 5x faster than the
+//! text restore before handing both to criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{PersistedCache, QueryIndexConfig, StatsStore, StoredProfiles};
+use gc_graph::{GraphId, LabeledGraph};
+use gc_index::fingerprint::iso_hash;
+use gc_index::paths::enumerate_paths;
+use gc_methods::QueryKind;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const ENTRIES: u64 = 10_000;
+const SHARDS: usize = 8;
+/// The format-change contract this bench gates on.
+const MIN_SPEEDUP: f64 = 5.0;
+
+/// A 10–12 node labelled path with chords at distance 2 and 3 over a
+/// 2-letter alphabet. The density makes the simple-path walk expensive
+/// (thousands of walks per graph — the cost the text restore pays per
+/// entry), while the tiny alphabet collapses those walks into few
+/// distinct features, so the stored profile the binary restore reuses
+/// stays small and cheap to decode.
+fn seeded_graph(seed: u64) -> LabeledGraph {
+    let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let len = 10 + (h % 3) as usize;
+    let labels: Vec<u32> = (0..len).map(|i| ((h >> i) & 1) as u32).collect();
+    let mut edges: Vec<(u32, u32)> = (0..len as u32 - 1).map(|i| (i, i + 1)).collect();
+    for i in 0..len as u32 - 2 {
+        edges.push((i, i + 2));
+    }
+    for i in 0..len as u32 - 3 {
+        edges.push((i, i + 3));
+    }
+    for i in (0..len as u32 - 4).step_by(2) {
+        edges.push((i, i + 4));
+    }
+    LabeledGraph::from_parts(labels, &edges)
+}
+
+/// Builds the 10k-entry persisted state, profiles included (the text
+/// save drops them — only `snapshot.bin` carries a PROFILES section).
+fn corpus(cfg: &QueryIndexConfig) -> PersistedCache {
+    let mut entries = Vec::with_capacity(ENTRIES as usize);
+    let mut profiles = Vec::with_capacity(ENTRIES as usize);
+    for serial in 1..=ENTRIES {
+        let graph = seeded_graph(serial);
+        let fingerprint = iso_hash(&graph);
+        profiles.push(enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap));
+        let answers = vec![GraphId((serial % 256) as u32), GraphId(300)];
+        entries.push((serial, graph, answers, QueryKind::Subgraph, fingerprint));
+    }
+    PersistedCache {
+        entries,
+        stats: StatsStore::default(),
+        next_serial: ENTRIES + 1,
+        policy: Some("lru".to_string()),
+        fragments: Vec::new(),
+        profiles: Some(StoredProfiles {
+            max_path_len: cfg.max_path_len,
+            work_cap: cfg.work_cap,
+            profiles,
+        }),
+    }
+}
+
+/// One full restore: auto-detected load from `dir` + sharded
+/// materialisation. Returns the entry count so the work can't be
+/// optimised away.
+fn restore(dir: &Path, cfg: QueryIndexConfig) -> usize {
+    let loaded = PersistedCache::load_auto(dir, QueryKind::Subgraph).expect("load");
+    let (snap, _stats, _serial) = loaded.into_snapshot_sharded(cfg, SHARDS);
+    snap.len()
+}
+
+/// Best-of-3 wall time for the hardware gate (criterion's distributions
+/// come after; the assertion wants a stable point estimate).
+fn best_of_3(mut f: impl FnMut() -> usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut n = 0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        n = f();
+        best = best.min(t0.elapsed());
+    }
+    (best, n)
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let cfg = QueryIndexConfig::default();
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("gc-bench-restore-{}", std::process::id()));
+    let text_dir = root.join("text");
+    let bin_dir = root.join("binary");
+    let state = corpus(&cfg);
+    state.save(&text_dir).expect("text save");
+    state.save_binary(&bin_dir).expect("binary save");
+    let bin_bytes = std::fs::metadata(bin_dir.join("snapshot.bin"))
+        .expect("snapshot.bin")
+        .len();
+
+    // ---- The ≥5x restore contract (asserted, printed once). ----
+    let (text_t, text_n) = best_of_3(|| restore(&text_dir, cfg));
+    let (bin_t, bin_n) = best_of_3(|| restore(&bin_dir, cfg));
+    assert_eq!(text_n, ENTRIES as usize);
+    assert_eq!(bin_n, ENTRIES as usize);
+    let speedup = text_t.as_secs_f64() / bin_t.as_secs_f64().max(1e-9);
+    println!("restore of {ENTRIES} entries into {SHARDS} shards ({bin_bytes} snapshot bytes):");
+    println!(
+        "  text parse + re-enumerate : {:>9.1} ms",
+        text_t.as_secs_f64() * 1e3
+    );
+    println!(
+        "  binary arena snapshot     : {:>9.1} ms  ({speedup:.1}x faster)",
+        bin_t.as_secs_f64() * 1e3
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "binary restore must be ≥{MIN_SPEEDUP}x faster than text: {speedup:.2}x"
+    );
+
+    // ---- Wall-clock distributions of the same two paths. ----
+    let mut group = c.benchmark_group("restore");
+    group.sample_size(10);
+    group.bench_function("text", |b| b.iter(|| restore(&text_dir, cfg)));
+    group.bench_function("binary", |b| b.iter(|| restore(&bin_dir, cfg)));
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

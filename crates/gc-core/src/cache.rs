@@ -911,6 +911,14 @@ impl GraphCache {
         self.shared.maint_stats()
     }
 
+    /// Per-shard arena utilization as `(bytes_live, bytes_reserved)` —
+    /// how much of each shard's packed postings + answer arenas holds
+    /// live data versus reserved-but-dead slots awaiting compaction
+    /// (diagnostics; surfaced by `gc query --maint-stats`).
+    pub fn arena_utilization(&self) -> Vec<(usize, usize)> {
+        self.shared.load_snapshot().arena_utilization()
+    }
+
     /// Approximate memory footprint of the cache stores (entries + query
     /// indexes + statistics + the pending Window buffer + the fragment
     /// store when enabled), for the §7.3 space-overhead comparison. The
@@ -962,10 +970,32 @@ impl GraphCache {
     /// cannot produce a file whose entries and statistics disagree (an
     /// entry without its rows, or orphan rows for an unsaved entry).
     pub fn save(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.save_with_format(dir, crate::persist::PersistFormat::Text)
+    }
+
+    /// Like [`save`](Self::save), but picks the on-disk representation.
+    /// The binary format additionally captures every entry's path-feature
+    /// profile, so a restore under the same index configuration skips
+    /// path re-enumeration entirely (the dominant cost of a text
+    /// restore). Either format restores through [`restore`](Self::restore),
+    /// which auto-detects what the directory holds.
+    pub fn save_with_format(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        format: crate::persist::PersistFormat,
+    ) -> std::io::Result<()> {
         self.flush_pending();
         let persisted = {
             let _round = self.shared.maint.lock();
             let snapshot = self.shared.load_snapshot();
+            let profiles = match format {
+                crate::persist::PersistFormat::Text => None,
+                crate::persist::PersistFormat::Binary => Some(crate::persist::StoredProfiles {
+                    max_path_len: self.cfg.index.max_path_len,
+                    work_cap: self.cfg.index.work_cap,
+                    profiles: snapshot.iter_entries().map(|e| e.profile.clone()).collect(),
+                }),
+            };
             crate::persist::PersistedCache {
                 entries: snapshot
                     .iter_entries()
@@ -1003,10 +1033,11 @@ impl GraphCache {
                             .collect()
                     })
                     .unwrap_or_default(),
+                profiles,
             }
         };
         // File IO happens after the lock is released.
-        persisted.save(dir)
+        persisted.save_as(dir, format)
     }
 
     /// Restores a previously saved cache state into this instance (paper
@@ -1032,11 +1063,12 @@ impl GraphCache {
     /// bookkeeping, never answers. The serial counter only moves forward
     /// (`max` with the restored value), so in-flight serials stay unique.
     pub fn restore(&self, dir: impl AsRef<std::path::Path>) -> Result<(), gc_graph::GraphError> {
-        // Legacy saves (no per-entry kind token) default to this cache's
-        // configured kind — they predate mixed-direction caches, so the
-        // whole save was answered under one direction.
-        let mut loaded =
-            crate::persist::PersistedCache::load_with_default_kind(dir, self.cfg.query_kind)?;
+        // Format auto-detection: a `snapshot.bin` restores as a binary
+        // snapshot, text files otherwise. Legacy text saves (no per-entry
+        // kind token) default to this cache's configured kind — they
+        // predate mixed-direction caches, so the whole save was answered
+        // under one direction.
+        let mut loaded = crate::persist::PersistedCache::load_auto(dir, self.cfg.query_kind)?;
         let saved_policy = loaded.policy.clone();
         let saved_fragments = std::mem::take(&mut loaded.fragments);
         // The persisted format carries no shard layout: entries are

@@ -12,7 +12,7 @@
 
 use crate::query_index::{HitCandidates, QueryIndex, QueryIndexConfig};
 use crate::stats::QuerySerial;
-use gc_graph::{GraphId, LabeledGraph};
+use gc_graph::{sizing, GraphId, LabeledGraph};
 use gc_index::fingerprint::iso_hash;
 use gc_index::fx::FxHashMap;
 use gc_index::paths::{enumerate_paths, PathProfile};
@@ -72,9 +72,9 @@ impl CacheEntry {
     /// §7.3 space overhead just as it does while pending in the Window).
     pub fn memory_bytes(&self) -> usize {
         self.graph.memory_bytes()
-            + self.answer.len() * std::mem::size_of::<GraphId>()
+            + sizing::slice_bytes::<GraphId>(self.answer.len())
             + self.profile.memory_bytes()
-            + 32
+            + sizing::ENTRY_OVERHEAD
     }
 }
 
@@ -97,6 +97,9 @@ pub fn shard_for(serial: QuerySerial, shards: usize) -> usize {
 #[derive(Debug, Clone)]
 pub struct Shard {
     /// Entry per slot, aligned with the index; `None` marks a tombstone.
+    /// The full entry (graph + profile) is only dereferenced once a slot
+    /// survives candidate filtering — the filter itself runs on the packed
+    /// columns below.
     entries: Vec<Option<Arc<CacheEntry>>>,
     /// The combined subgraph/supergraph index over this shard's entries.
     index: QueryIndex,
@@ -105,6 +108,29 @@ pub struct Shard {
     /// (`insert` appends the slot, `remove` prunes it eagerly, so the map
     /// never accumulates tombstone debt).
     exact: FxHashMap<u64, Vec<u32>>,
+    /// Per-slot iso fingerprints, packed (struct-of-arrays hot lane).
+    fingerprints: Vec<u64>,
+    /// Per-slot query kinds, packed — the gather stage's direction filter
+    /// reads this column instead of chasing the entry `Arc`.
+    kinds: Vec<QueryKind>,
+    /// Per-slot distinct-label counts, packed. Computed once at admission:
+    /// `distinct_label_count` sorts the graph's label vector on every call,
+    /// so the §5.2 cost estimate used to pay that sort per candidate per
+    /// query.
+    distinct_labels: Vec<u32>,
+    /// Per-slot `(offset, len)` range into the shared [`answers`] arena.
+    /// Tombstoned slots keep their range; the ids behind it become
+    /// reserved-but-dead bytes until compaction reclaims them.
+    ///
+    /// [`answers`]: Shard::answers
+    answer_ranges: Vec<(u32, u32)>,
+    /// Shared answer arena: every slot's answer ids flattened contiguously
+    /// in admission order, so the verify stage walks packed ids instead of
+    /// per-entry `Vec` allocations scattered across the heap.
+    answers: Vec<GraphId>,
+    /// Answer ids belonging to live slots — the arena-utilization
+    /// numerator ([`arena_utilization`](Self::arena_utilization)).
+    answers_live: usize,
 }
 
 impl Shard {
@@ -114,6 +140,12 @@ impl Shard {
             entries: Vec::new(),
             index: QueryIndex::build_from_profiles(cfg, std::iter::empty()),
             exact: FxHashMap::default(),
+            fingerprints: Vec::new(),
+            kinds: Vec::new(),
+            distinct_labels: Vec::new(),
+            answer_ranges: Vec::new(),
+            answers: Vec::new(),
+            answers_live: 0,
         }
     }
 
@@ -173,6 +205,14 @@ impl Shard {
         );
         debug_assert_eq!(slot as usize, self.entries.len());
         self.exact.entry(entry.fingerprint).or_default().push(slot);
+        self.fingerprints.push(entry.fingerprint);
+        self.kinds.push(entry.kind);
+        self.distinct_labels
+            .push(entry.graph.distinct_label_count() as u32);
+        let offset = self.answers.len() as u32;
+        self.answers.extend_from_slice(&entry.answer);
+        self.answer_ranges.push((offset, entry.answer.len() as u32));
+        self.answers_live += entry.answer.len();
         self.entries.push(Some(entry));
     }
 
@@ -188,6 +228,9 @@ impl Shard {
                             self.exact.remove(&entry.fingerprint);
                         }
                     }
+                    // The range stays behind in `answer_ranges`/`answers`
+                    // as reserved-dead bytes; only the live counter moves.
+                    self.answers_live -= self.answer_ranges[slot as usize].1 as usize;
                 }
                 true
             }
@@ -202,6 +245,48 @@ impl Shard {
         self.exact.get(&fingerprint).map_or(&[], |v| v.as_slice())
     }
 
+    /// The query kind at a slot, from the packed column (valid for any
+    /// allocated slot, including tombstones).
+    pub fn kind_at(&self, slot: u32) -> QueryKind {
+        self.kinds[slot as usize]
+    }
+
+    /// The iso fingerprint at a slot, from the packed column.
+    pub fn fingerprint_at(&self, slot: u32) -> u64 {
+        self.fingerprints[slot as usize]
+    }
+
+    /// Distinct-label count of the graph at a slot, from the packed column
+    /// (precomputed at admission; see [`LabeledGraph::distinct_label_count`]).
+    pub fn distinct_labels_at(&self, slot: u32) -> u32 {
+        self.distinct_labels[slot as usize]
+    }
+
+    /// Answer-set length at a slot, from the packed range column — the
+    /// cost-estimation input the gather stage reads without dereferencing
+    /// the entry.
+    pub fn answer_len_at(&self, slot: u32) -> u32 {
+        self.answer_ranges[slot as usize].1
+    }
+
+    /// The answer ids at a slot, as a contiguous arena segment.
+    pub fn answer_at(&self, slot: u32) -> &[GraphId] {
+        let (offset, len) = self.answer_ranges[slot as usize];
+        &self.answers[offset as usize..(offset + len) as usize]
+    }
+
+    /// Arena utilization of this shard as `(bytes_live, bytes_reserved)`:
+    /// postings-arena and answer-arena bytes still referenced by live slots
+    /// versus total bytes held, so fragmentation left behind by tombstones
+    /// is observable before compaction reclaims it.
+    pub fn arena_utilization(&self) -> (usize, usize) {
+        let (index_live, index_reserved) = self.index.arena_utilization();
+        (
+            index_live + sizing::slice_bytes::<GraphId>(self.answers_live),
+            index_reserved + sizing::slice_bytes::<GraphId>(self.answers.len()),
+        )
+    }
+
     /// Fraction of slots that are tombstones — the compaction-debt signal
     /// the Window Manager compares against its threshold.
     pub fn tombstone_debt(&self) -> f64 {
@@ -211,6 +296,14 @@ impl Shard {
         } else {
             self.index.tombstones() as f64 / slots as f64
         }
+    }
+
+    /// Fraction of postings-arena slots owned by tombstoned entries — the
+    /// second compaction-debt signal. Evicting a few feature-rich entries
+    /// can rot most of the postings arena while tombstone debt still looks
+    /// healthy, so the Window Manager checks both.
+    pub fn postings_debt(&self) -> f64 {
+        self.index.postings_debt()
     }
 
     /// A dense rebuild of this shard from its live entries (slot order
@@ -229,12 +322,40 @@ impl Shard {
         *self = self.compacted();
     }
 
-    /// Approximate memory footprint of entries + index + exact map, in bytes.
+    /// A dense rebuild with slots reordered by a maintenance rank: entries
+    /// with smaller keys pack into the lowest slots, so the policy-hot
+    /// entries a sweep visits most often share cache lines instead of being
+    /// scattered in admission order. The key must totally order the live
+    /// serials (callers tie-break on the serial itself) so the layout is
+    /// deterministic; candidate *sets* are unchanged by construction — only
+    /// slot numbering moves, and hit assembly is serial-ordered downstream.
+    pub fn compacted_ranked<K, F>(&self, rank: F) -> Shard
+    where
+        K: Ord,
+        F: Fn(QuerySerial) -> K,
+    {
+        let mut live: Vec<Arc<CacheEntry>> = self.live_entries().cloned().collect();
+        live.sort_by_cached_key(|e| (rank(e.serial), e.serial));
+        Shard::build(self.index.config(), live)
+    }
+
+    /// Approximate memory footprint of entries + index + exact map + packed
+    /// columns, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        let exact: usize = self.exact.values().map(|v| v.len() * 4 + 32).sum();
+        let exact: usize = self
+            .exact
+            .values()
+            .map(|v| sizing::slice_bytes::<u32>(v.len()) + sizing::MAP_NODE_OVERHEAD)
+            .sum();
+        let columns = sizing::slice_bytes::<u64>(self.fingerprints.len())
+            + sizing::slice_bytes::<QueryKind>(self.kinds.len())
+            + sizing::slice_bytes::<u32>(self.distinct_labels.len())
+            + sizing::slice_bytes::<(u32, u32)>(self.answer_ranges.len())
+            + sizing::slice_bytes::<GraphId>(self.answers.len());
         self.live_entries().map(|e| e.memory_bytes()).sum::<usize>()
             + self.index.memory_bytes()
             + exact
+            + columns
     }
 }
 
@@ -370,6 +491,12 @@ impl CacheSnapshot {
     pub fn memory_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.memory_bytes()).sum()
     }
+
+    /// Per-shard arena utilization `(bytes_live, bytes_reserved)`, in
+    /// routing order (see [`Shard::arena_utilization`]).
+    pub fn arena_utilization(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| s.arena_utilization()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -468,6 +595,68 @@ mod tests {
         for &slot in shard.exact_slots(fp) {
             assert!(shard.entry_at(slot).is_some());
         }
+    }
+
+    #[test]
+    fn packed_columns_follow_insert_remove_compact() {
+        let mut shard = Shard::build(
+            QueryIndexConfig::default(),
+            vec![entry(1), entry(2), entry(3)],
+        );
+        for slot in 0..3u32 {
+            let e = shard.entry_at(slot).unwrap();
+            assert_eq!(shard.fingerprint_at(slot), e.fingerprint);
+            assert_eq!(shard.kind_at(slot), e.kind);
+            assert_eq!(shard.answer_len_at(slot) as usize, e.answer.len());
+            assert_eq!(shard.answer_at(slot), e.answer.as_slice());
+        }
+
+        let (live_full, reserved_full) = shard.arena_utilization();
+        assert_eq!(live_full, reserved_full, "dense shard fully utilized");
+
+        shard.remove(2);
+        let (live, reserved) = shard.arena_utilization();
+        assert!(live < reserved, "tombstoned ranges become dead bytes");
+        assert_eq!(reserved, reserved_full, "reserved unchanged until compact");
+        // Surviving slots still read their own columns.
+        let slot3 = 2u32; // slot of serial 3 (admission order 1, 2, 3)
+        assert_eq!(
+            shard.answer_at(slot3),
+            shard.entry(3).unwrap().answer.as_slice()
+        );
+
+        shard.compact();
+        let (live, reserved) = shard.arena_utilization();
+        assert_eq!(live, reserved, "compaction reclaims dead arena bytes");
+    }
+
+    #[test]
+    fn ranked_compaction_reorders_but_preserves_contents() {
+        let mut shard = Shard::build(
+            QueryIndexConfig::default(),
+            vec![entry(1), entry(2), entry(3), entry(4)],
+        );
+        shard.remove(2);
+        // Hotter = smaller key; make serial 4 hottest, then 1, then 3.
+        let heat = |serial: QuerySerial| match serial {
+            4 => 0u64,
+            1 => 1,
+            _ => 2,
+        };
+        let ranked = shard.compacted_ranked(heat);
+        let order: Vec<QuerySerial> = ranked.live_entries().map(|e| e.serial).collect();
+        assert_eq!(order, vec![4, 1, 3], "hot entries pack into low slots");
+        assert_eq!(ranked.tombstone_debt(), 0.0);
+        let (live, reserved) = ranked.arena_utilization();
+        assert_eq!(live, reserved);
+        // Same live serials, same per-serial answers, columns realigned.
+        for &serial in &[1u64, 3, 4] {
+            let e = ranked.entry(serial).unwrap();
+            let slot = ranked.index().slot_of(serial).unwrap();
+            assert_eq!(ranked.fingerprint_at(slot), e.fingerprint);
+            assert_eq!(ranked.answer_at(slot), e.answer.as_slice());
+        }
+        assert!(ranked.entry(2).is_none());
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod processors;
 pub mod pruner;
 pub mod query_index;
 pub mod registry;
+pub mod snapshot_bin;
 pub mod stats;
 pub mod window;
 
@@ -95,7 +96,7 @@ pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
 pub use gc_fragments::FragmentConfig;
 pub use gc_methods::QueryKind;
 pub use metrics::{MaintStats, QueryRecord, RunCounters, RunSummary};
-pub use persist::{PersistedCache, PersistedEntry};
+pub use persist::{PersistFormat, PersistedCache, PersistedEntry, StoredProfiles};
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};
 pub use processors::{find_hits, find_hits_naive, find_hits_opts, HitQuery, HitSet, VerifyOptions};

@@ -175,8 +175,13 @@ pub struct MaintStats {
     pub entries_evicted: u64,
     /// Shard patches applied (a shard touched by k rounds counts k times).
     pub shards_patched: u64,
-    /// Per-shard dense rebuilds triggered by tombstone debt.
+    /// Per-shard dense rebuilds triggered by tombstone or postings debt.
     pub compactions: u64,
+    /// Dead posting slots currently left behind in shard postings arenas by
+    /// evictions (a point-in-time gauge, reclaimed by compaction). Unlike
+    /// `tombstone_debt` this sees *postings* waste: evicting feature-rich
+    /// entries can rot the postings arena long before half the slots die.
+    pub dead_postings: u64,
     /// Fragments built into the fragment store during maintenance.
     pub fragments_built: u64,
     /// Fragments evicted from the fragment store by its byte budget.
@@ -204,6 +209,7 @@ impl MaintStats {
             ("compactions", self.compactions),
             ("fragments_built", self.fragments_built),
             ("fragments_evicted", self.fragments_evicted),
+            ("postings_debt", self.dead_postings),
         ]
     }
 }
@@ -556,12 +562,13 @@ mod tests {
             compactions: 5,
             fragments_built: 6,
             fragments_evicted: 7,
+            dead_postings: 8,
             ..Default::default()
         };
         let maint = m.deterministic_counters();
-        assert_eq!(maint.len(), 7);
+        assert_eq!(maint.len(), 8);
         let values: Vec<u64> = maint.iter().map(|(_, v)| *v).collect();
-        assert_eq!(values, (1..=7).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=8).collect::<Vec<u64>>());
     }
 
     #[test]

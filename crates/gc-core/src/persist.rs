@@ -27,17 +27,55 @@
 //!
 //! Loading is strict: malformed input yields an error rather than a
 //! silently truncated cache.
+//!
+//! A second on-disk representation, persist format v2, stores the same
+//! state as a single checksummed binary image (`snapshot.bin`) that
+//! mirrors the in-memory arena layout — see [`crate::snapshot_bin`] for
+//! the byte-level specification. [`PersistedCache::load_auto`] detects
+//! which format a directory holds, so either format restores through the
+//! same call; [`PersistedCache::save_as`] picks the format at save time
+//! and removes the other format's files so a directory never holds both.
 
 use crate::entry::{CacheEntry, CacheSnapshot};
 use crate::query_index::QueryIndexConfig;
 use crate::stats::{QuerySerial, StatsStore, Value};
 use gc_graph::{io, GraphError, GraphId};
 use gc_index::fingerprint::iso_hash;
-use gc_index::paths::enumerate_paths;
+use gc_index::paths::{enumerate_paths, PathProfile};
 use gc_methods::QueryKind;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
+
+/// On-disk representation selector for [`PersistedCache::save_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistFormat {
+    /// The line-oriented text format (`entries.txt` + `stats.txt` +
+    /// `fragments.txt`) — human-readable, diff-friendly, and what every
+    /// save before format v2 produced.
+    #[default]
+    Text,
+    /// Persist format v2: one checksummed little-endian binary image
+    /// (`snapshot.bin`) holding the arena layout directly, restored by a
+    /// bulk read + validate with no per-entry text parsing.
+    Binary,
+}
+
+/// Path-feature profiles captured at save time, so a binary restore can
+/// skip re-enumerating every entry graph's simple paths — the dominant
+/// cost of materialising a restored cache. The index configuration they
+/// were enumerated under is recorded alongside; profiles are only reused
+/// when the restoring configuration matches (see
+/// [`PersistedCache::into_snapshot_sharded`]).
+#[derive(Debug, Clone)]
+pub struct StoredProfiles {
+    /// `max_path_len` the profiles were enumerated with.
+    pub max_path_len: usize,
+    /// `work_cap` the profiles were enumerated with.
+    pub work_cap: u64,
+    /// One profile per entry, parallel to [`PersistedCache::entries`].
+    pub profiles: Vec<PathProfile>,
+}
 
 /// One persisted cache entry: serial, query graph, answer set, the query
 /// direction the answer was computed under, and the graph's iso
@@ -68,6 +106,10 @@ pub struct PersistedCache {
     /// The sub-query fragment store (empty for caches without the
     /// fragment layer, and for legacy saves without `fragments.txt`).
     pub fragments: Vec<PersistedFragment>,
+    /// Path-feature profiles captured at save time, parallel to
+    /// `entries`; `None` for text saves and binary saves taken without
+    /// profiles. Only the binary format persists them.
+    pub profiles: Option<StoredProfiles>,
 }
 
 /// One persisted fragment of the sub-query fragment cache: the canonical
@@ -119,40 +161,70 @@ impl PersistedCache {
         ef.flush()?;
 
         let mut sf = BufWriter::new(std::fs::File::create(dir.join("stats.txt"))?);
-        let mut keys: Vec<QuerySerial> = self.stats.keys().collect();
-        keys.sort_unstable();
-        for key in keys {
-            writeln!(sf, "row {key}")?;
-            if let Some(row) = self.stats.row(key) {
-                for (col, val) in row {
-                    match val {
-                        Value::Int(i) => writeln!(sf, "  {col} int {i}")?,
-                        Value::Float(f) => writeln!(sf, "  {col} float {f}")?,
-                    }
-                }
-            }
-        }
+        write_stats_text(&mut sf, &self.stats)?;
         sf.flush()?;
 
         // Always (re)written, even when empty: a save into a directory
         // that previously held fragments must not leave the stale file
         // behind for the next load to pick up.
         let mut ff = BufWriter::new(std::fs::File::create(dir.join("fragments.txt"))?);
-        writeln!(ff, "fragments_v1")?;
-        for f in &self.fragments {
-            writeln!(
-                ff,
-                "@fragment key:{:016x} hits:{} last:{} r:{} c:{}",
-                f.key, f.hits, f.last_hit, f.r_total, f.c_total
-            )?;
-            io::write_graph(&mut ff, &format!("f{:016x}", f.key), &f.graph)?;
-            write!(ff, "occs:")?;
-            for id in &f.occs {
-                write!(ff, " {}", id.0)?;
-            }
-            writeln!(ff)?;
+        write_fragments_text(&mut ff, &self.fragments)?;
+        ff.flush()?;
+
+        // Same stale-format hygiene across representations: a text save
+        // into a directory that previously held a binary snapshot must
+        // not leave it behind for auto-detection to prefer.
+        match std::fs::remove_file(dir.join("snapshot.bin")) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
         }
-        ff.flush()
+    }
+
+    /// Writes the state into `dir` as a persist-format-v2 binary snapshot
+    /// (see [`crate::snapshot_bin`]), removing any text-format files so
+    /// the directory holds exactly one representation.
+    pub fn save_binary(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("snapshot.bin"), crate::snapshot_bin::encode(self))?;
+        for stale in ["entries.txt", "stats.txt", "fragments.txt"] {
+            match std::fs::remove_file(dir.join(stale)) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the state into `dir` in the chosen [`PersistFormat`].
+    pub fn save_as(&self, dir: impl AsRef<Path>, format: PersistFormat) -> std::io::Result<()> {
+        match format {
+            PersistFormat::Text => self.save(dir),
+            PersistFormat::Binary => self.save_binary(dir),
+        }
+    }
+
+    /// Reads a persist-format-v2 binary snapshot back from `dir`. All
+    /// validation failures (truncation, checksum mismatch, malformed
+    /// sections) surface as [`GraphError::Snapshot`] — never a panic.
+    pub fn load_binary(dir: impl AsRef<Path>) -> Result<Self, GraphError> {
+        let bytes = std::fs::read(dir.as_ref().join("snapshot.bin"))?;
+        crate::snapshot_bin::decode(&bytes)
+    }
+
+    /// Reads the state back from `dir`, auto-detecting the format: a
+    /// `snapshot.bin` loads as binary, otherwise the text files load with
+    /// `default_kind` applied to legacy untagged entries (as in
+    /// [`load_with_default_kind`](Self::load_with_default_kind); binary
+    /// snapshots always carry explicit kinds, so the default is unused
+    /// there).
+    pub fn load_auto(dir: impl AsRef<Path>, default_kind: QueryKind) -> Result<Self, GraphError> {
+        let dir = dir.as_ref();
+        if dir.join("snapshot.bin").exists() {
+            Self::load_binary(dir)
+        } else {
+            Self::load_with_default_kind(dir, default_kind)
+        }
     }
 
     /// Reads the state back from `dir`. Entries whose header omits the
@@ -274,52 +346,7 @@ impl PersistedCache {
         }
 
         let sf = BufReader::new(std::fs::File::open(dir.join("stats.txt"))?);
-        let mut current: Option<QuerySerial> = None;
-        for (i, line) in sf.lines().enumerate() {
-            let line = line?;
-            let lineno = i + 1;
-            if let Some(k) = line.strip_prefix("row ") {
-                current = Some(
-                    k.trim()
-                        .parse()
-                        .map_err(|_| GraphError::parse(lineno, "bad stats key"))?,
-                );
-            } else if !line.trim().is_empty() {
-                let key = current
-                    .ok_or_else(|| GraphError::parse(lineno, "stats cell before any row"))?;
-                let mut parts = line.split_whitespace();
-                let col = parts
-                    .next()
-                    .ok_or_else(|| GraphError::parse(lineno, "missing column name"))?;
-                let kind = parts
-                    .next()
-                    .ok_or_else(|| GraphError::parse(lineno, "missing value kind"))?;
-                let raw = parts
-                    .next()
-                    .ok_or_else(|| GraphError::parse(lineno, "missing value"))?;
-                let col = leak_column(col);
-                match kind {
-                    "int" => out.stats.set(
-                        key,
-                        col,
-                        raw.parse::<i64>()
-                            .map_err(|_| GraphError::parse(lineno, "bad int"))?,
-                    ),
-                    "float" => out.stats.set(
-                        key,
-                        col,
-                        raw.parse::<f64>()
-                            .map_err(|_| GraphError::parse(lineno, "bad float"))?,
-                    ),
-                    other => {
-                        return Err(GraphError::parse(
-                            lineno,
-                            format!("unknown value kind {other:?}"),
-                        ))
-                    }
-                }
-            }
-        }
+        read_stats_text(sf, &mut out.stats)?;
 
         // Fragment store: optional file (absent in saves predating the
         // fragment cache — legacy directories load an empty list), strict
@@ -349,20 +376,37 @@ impl PersistedCache {
         cfg: QueryIndexConfig,
         shards: usize,
     ) -> (CacheSnapshot, StatsStore, QuerySerial) {
+        // Stored profiles skip the per-entry path enumeration — but only
+        // when they were captured under this exact index configuration
+        // and cover every entry; anything else re-enumerates, so a stale
+        // or mismatched profile section can never poison the index.
+        let stored = self.profiles.filter(|p| {
+            p.max_path_len == cfg.max_path_len
+                && p.work_cap == cfg.work_cap
+                && p.profiles.len() == self.entries.len()
+        });
+        let profiles: Vec<Option<PathProfile>> = match stored {
+            Some(p) => p.profiles.into_iter().map(Some).collect(),
+            None => vec![None; self.entries.len()],
+        };
         let entries: Vec<Arc<CacheEntry>> = self
             .entries
             .into_iter()
-            .map(|(serial, graph, answer, kind, fingerprint)| {
-                let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
-                Arc::new(CacheEntry {
-                    serial,
-                    graph: Arc::new(graph),
-                    answer,
-                    kind,
-                    profile,
-                    fingerprint,
-                })
-            })
+            .zip(profiles)
+            .map(
+                |((serial, graph, answer, kind, fingerprint), stored_profile)| {
+                    let profile = stored_profile
+                        .unwrap_or_else(|| enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap));
+                    Arc::new(CacheEntry {
+                        serial,
+                        graph: Arc::new(graph),
+                        answer,
+                        kind,
+                        profile,
+                        fingerprint,
+                    })
+                },
+            )
             .collect();
         (
             CacheSnapshot::build_sharded(cfg, shards, entries),
@@ -372,10 +416,112 @@ impl PersistedCache {
     }
 }
 
+/// Writes the `stats.txt` text codec: rows in sorted-serial order, each
+/// row's columns in the store's (sorted) iteration order — so identical
+/// stats always serialise to identical bytes. Shared between the text
+/// save and the binary snapshot's embedded STATS section.
+pub(crate) fn write_stats_text(mut w: impl Write, stats: &StatsStore) -> std::io::Result<()> {
+    let mut keys: Vec<QuerySerial> = stats.keys().collect();
+    keys.sort_unstable();
+    for key in keys {
+        writeln!(w, "row {key}")?;
+        if let Some(row) = stats.row(key) {
+            for (col, val) in row {
+                match val {
+                    Value::Int(i) => writeln!(w, "  {col} int {i}")?,
+                    Value::Float(f) => writeln!(w, "  {col} float {f}")?,
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `stats.txt` text codec into `stats`. Strict: malformed rows
+/// or cells are errors, not skips.
+pub(crate) fn read_stats_text(r: impl BufRead, stats: &mut StatsStore) -> Result<(), GraphError> {
+    let mut current: Option<QuerySerial> = None;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if let Some(k) = line.strip_prefix("row ") {
+            current = Some(
+                k.trim()
+                    .parse()
+                    .map_err(|_| GraphError::parse(lineno, "bad stats key"))?,
+            );
+        } else if !line.trim().is_empty() {
+            let key =
+                current.ok_or_else(|| GraphError::parse(lineno, "stats cell before any row"))?;
+            let mut parts = line.split_whitespace();
+            let col = parts
+                .next()
+                .ok_or_else(|| GraphError::parse(lineno, "missing column name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| GraphError::parse(lineno, "missing value kind"))?;
+            let raw = parts
+                .next()
+                .ok_or_else(|| GraphError::parse(lineno, "missing value"))?;
+            let col = leak_column(col);
+            match kind {
+                "int" => stats.set(
+                    key,
+                    col,
+                    raw.parse::<i64>()
+                        .map_err(|_| GraphError::parse(lineno, "bad int"))?,
+                ),
+                "float" => stats.set(
+                    key,
+                    col,
+                    raw.parse::<f64>()
+                        .map_err(|_| GraphError::parse(lineno, "bad float"))?,
+                ),
+                other => {
+                    return Err(GraphError::parse(
+                        lineno,
+                        format!("unknown value kind {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes the `fragments.txt` text codec (version header + one record per
+/// fragment). Shared between the text save and the binary snapshot's
+/// embedded FRAGMENTS section.
+pub(crate) fn write_fragments_text(
+    mut w: impl Write,
+    fragments: &[PersistedFragment],
+) -> std::io::Result<()> {
+    writeln!(w, "fragments_v1")?;
+    for f in fragments {
+        writeln!(
+            w,
+            "@fragment key:{:016x} hits:{} last:{} r:{} c:{}",
+            f.key, f.hits, f.last_hit, f.r_total, f.c_total
+        )?;
+        io::write_graph(&mut w, &format!("f{:016x}", f.key), &f.graph)?;
+        write!(w, "occs:")?;
+        for id in &f.occs {
+            write!(w, " {}", id.0)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
 /// Parses the strict `fragments.txt` format (see the module docs).
 fn load_fragments(path: &Path) -> Result<Vec<PersistedFragment>, GraphError> {
-    let ff = BufReader::new(std::fs::File::open(path)?);
-    let mut lines = ff.lines();
+    read_fragments_text(BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Parses the `fragments.txt` text codec from any reader. Shared between
+/// the text load and the binary snapshot's embedded FRAGMENTS section.
+pub(crate) fn read_fragments_text(r: impl BufRead) -> Result<Vec<PersistedFragment>, GraphError> {
+    let mut lines = r.lines();
     let header = lines
         .next()
         .transpose()?
@@ -545,6 +691,7 @@ mod tests {
                 r_total: 9,
                 c_total: 2.25,
             }],
+            profiles: None,
         }
     }
 

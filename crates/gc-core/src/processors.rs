@@ -244,15 +244,15 @@ pub fn find_hits_opts(
     let mut bucket: Vec<&std::sync::Arc<crate::entry::CacheEntry>> = Vec::new();
     for shard in snapshot.shards() {
         for &slot in shard.exact_slots(hq.fingerprint) {
-            let Some(entry) = shard.entry_at(slot) else {
-                continue;
-            };
-            if entry.kind != hq.kind
-                || entry.graph.node_count() != qn
-                || entry.graph.edge_count() != qm
+            // Kind and size prefilters run on the packed columns; the entry
+            // is only dereferenced once the slot survives them.
+            if shard.kind_at(slot) != hq.kind || shard.index().size(slot) != (qn as u32, qm as u32)
             {
                 continue;
             }
+            let Some(entry) = shard.entry_at(slot) else {
+                continue;
+            };
             bucket.push(entry);
         }
     }
@@ -291,6 +291,12 @@ pub fn find_hits_opts(
     // ever surface through the sub list (isomorphism implies identical
     // feature profiles, and overflow entries are conservative in both
     // directions), so the super list's same-size slots are skipped.
+    //
+    // The whole gather runs on the shard's packed metadata columns (kind,
+    // size, fingerprint, serial, distinct-label count): a linear pass over
+    // contiguous arrays with no entry-`Arc` dereference. Only a slot that
+    // survives every prefilter touches its entry — and then only to park
+    // the graph handle in the verification queue.
     let mut queue: Vec<Cand<'_>> = Vec::new();
     // The query is the *target* of every Super-direction estimate, so its
     // distinct-label count is computed once here instead of per candidate
@@ -301,56 +307,66 @@ pub fn find_hits_opts(
             .index()
             .candidates_from_profile(hq.profile, qn as u32, qm as u32);
         for &slot in &cands.sub {
-            // Candidate slots are always live (tombstones never leave the
-            // index sweep), so the lookup cannot miss.
-            let Some(entry) = shard.entry_at(slot) else {
-                continue;
-            };
-            if entry.kind != hq.kind {
+            if shard.kind_at(slot) != hq.kind {
                 continue;
             }
-            let same_size = entry.graph.node_count() == qn && entry.graph.edge_count() == qm;
+            let (cn, cm) = shard.index().size(slot);
+            let same_size = (cn, cm) == (qn as u32, qm as u32);
+            // Identical to `cost::estimate(query, candidate)`: the packed
+            // column holds the candidate's precomputed distinct-label count.
+            let cand_cost =
+                cost::estimate_raw(qn as u64, cn as u64, shard.distinct_labels_at(slot) as u64);
             if same_size {
-                if entry.fingerprint != hq.fingerprint {
+                if shard.fingerprint_at(slot) != hq.fingerprint {
                     continue; // iso-invariant mismatch proves a non-hit
                 }
-                if hits.exact == Some(entry.serial) {
+                let serial = shard.index().serial(slot);
+                if hits.exact == Some(serial) {
                     // Confirmed isomorphic by the probe: a hit in both
                     // directions, no further test needed.
-                    hits.sub.push(entry.serial);
-                    hits.super_.push(entry.serial);
+                    hits.sub.push(serial);
+                    hits.super_.push(serial);
                     continue;
                 }
-                if refuted.binary_search(&entry.serial).is_ok() {
+                if refuted.binary_search(&serial).is_ok() {
                     continue; // probe already disproved this one
                 }
+                // Candidate slots are always live (tombstones never leave
+                // the index sweep), so the lookup cannot miss.
+                let Some(entry) = shard.entry_at(slot) else {
+                    continue;
+                };
                 queue.push(Cand {
                     entry,
                     dir: Dir::Iso,
-                    cost: cost::estimate(hq.query, &entry.graph),
+                    cost: cand_cost,
                 });
             } else {
+                let Some(entry) = shard.entry_at(slot) else {
+                    continue;
+                };
                 queue.push(Cand {
                     entry,
                     dir: Dir::Sub,
-                    cost: cost::estimate(hq.query, &entry.graph),
+                    cost: cand_cost,
                 });
             }
         }
         for &slot in &cands.super_ {
+            if shard.kind_at(slot) != hq.kind {
+                continue;
+            }
+            let (cn, cm) = shard.index().size(slot);
+            if (cn, cm) == (qn as u32, qm as u32) {
+                continue; // same-size: handled through the sub list above
+            }
             let Some(entry) = shard.entry_at(slot) else {
                 continue;
             };
-            if entry.kind != hq.kind {
-                continue;
-            }
-            if entry.graph.node_count() == qn && entry.graph.edge_count() == qm {
-                continue; // same-size: handled through the sub list above
-            }
             queue.push(Cand {
                 entry,
                 dir: Dir::Super,
-                cost: cost::estimate_raw(entry.graph.node_count() as u64, qn as u64, q_distinct),
+                cost: cost::estimate_raw(cn as u64, qn as u64, q_distinct),
             });
         }
     }

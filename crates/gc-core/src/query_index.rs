@@ -20,7 +20,7 @@
 //! verify each candidate with a sub-iso test before it becomes a hit.
 
 use crate::stats::QuerySerial;
-use gc_graph::LabeledGraph;
+use gc_graph::{sizing, LabeledGraph};
 use gc_index::fx::FxHashMap as HashMap;
 use gc_index::paths::{enumerate_paths, PathFeature, PathProfile};
 
@@ -66,10 +66,31 @@ pub struct HitCandidates {
 /// insert/remove/compact sequence the index returns the same candidates
 /// (as serials) as a fresh [`build`](Self::build) over the live entries in
 /// slot order (see the equivalence proptests in `tests/`).
+///
+/// # Layout
+///
+/// Postings live in one flat **arena** of `(slot, count)` pairs, packed
+/// feature-by-feature, with a compact feature → `(offset, len)` directory:
+/// the candidate sweep resolves each query feature to an arena range and
+/// then scans packed slots linearly instead of hopping through per-feature
+/// heap vectors. A bulk build ([`build`](Self::build) /
+/// [`build_from_profiles`](Self::build_from_profiles)) always ends fully
+/// packed — so a compacted shard's index is 100% arena — while incremental
+/// [`insert_profile`](Self::insert_profile) calls accumulate in a small
+/// spill `tail` that the sweep visits after the arena range and the next
+/// bulk rebuild folds back in.
 #[derive(Debug, Clone)]
 pub struct QueryIndex {
     cfg: QueryIndexConfig,
-    postings: HashMap<PathFeature, Vec<(u32, u32)>>,
+    /// Flat postings arena: `(slot, count)` pairs packed per feature.
+    arena: Vec<(u32, u32)>,
+    /// Feature → `(offset, len)` range into [`QueryIndex::arena`].
+    directory: HashMap<PathFeature, (u32, u32)>,
+    /// Postings appended since the last pack (incremental inserts); folded
+    /// into the arena on the next bulk build.
+    tail: HashMap<PathFeature, Vec<(u32, u32)>>,
+    /// Number of postings resident in `tail` (totals without a map scan).
+    tail_len: usize,
     /// Per slot: number of distinct features (for super-candidate checks).
     distinct: Vec<u32>,
     /// Per slot: (node count, edge count) — cheap containment preconditions.
@@ -83,6 +104,10 @@ pub struct QueryIndex {
     slot_of: HashMap<QuerySerial, u32>,
     /// Number of tombstoned slots (the compaction-debt numerator).
     tombstones: usize,
+    /// Per slot: postings the slot contributed (debt accounting on remove).
+    feature_counts: Vec<u32>,
+    /// Postings owned by tombstoned slots, resident until compaction.
+    dead_postings: usize,
 }
 
 impl QueryIndex {
@@ -115,7 +140,10 @@ impl QueryIndex {
     ) -> Self {
         let mut index = QueryIndex {
             cfg,
-            postings: HashMap::default(),
+            arena: Vec::new(),
+            directory: HashMap::default(),
+            tail: HashMap::default(),
+            tail_len: 0,
             distinct: Vec::new(),
             sizes: Vec::new(),
             overflow: Vec::new(),
@@ -123,11 +151,50 @@ impl QueryIndex {
             live: Vec::new(),
             slot_of: HashMap::default(),
             tombstones: 0,
+            feature_counts: Vec::new(),
+            dead_postings: 0,
         };
         for (serial, size, profile) in entries {
             index.insert_profile(serial, size, profile);
         }
+        // A bulk build ends fully packed: compaction rebuilds route through
+        // here, so a fresh index never carries a spill tail.
+        index.pack();
         index
+    }
+
+    /// Folds the spill tail into the packed arena: every feature's postings
+    /// become one contiguous, directory-addressed range. Features are laid
+    /// out in sorted order so identical logical content always packs to an
+    /// identical arena — the property the binary snapshot format and the
+    /// byte-identical-rebuild tests rely on.
+    fn pack(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let tail = std::mem::take(&mut self.tail);
+        self.tail_len = 0;
+        let old_arena = std::mem::take(&mut self.arena);
+        let old_dir = std::mem::take(&mut self.directory);
+        let mut features: Vec<PathFeature> = old_dir.keys().cloned().collect();
+        features.extend(tail.keys().filter(|f| !old_dir.contains_key(*f)).cloned());
+        features.sort_unstable();
+        let extra: usize = tail.values().map(Vec::len).sum();
+        let mut arena = Vec::with_capacity(old_arena.len() + extra);
+        let mut directory = HashMap::default();
+        for feature in features {
+            let start = arena.len() as u32;
+            if let Some(&(off, len)) = old_dir.get(&feature) {
+                arena.extend_from_slice(&old_arena[off as usize..(off + len) as usize]);
+            }
+            if let Some(spill) = tail.get(&feature) {
+                arena.extend_from_slice(spill);
+            }
+            let len = arena.len() as u32 - start;
+            directory.insert(feature, (start, len));
+        }
+        self.arena = arena;
+        self.directory = directory;
     }
 
     /// Appends a new slot for `serial` and threads its features into the
@@ -153,16 +220,19 @@ impl QueryIndex {
             PathProfile::Counts(counts) => {
                 self.distinct.push(counts.len() as u32);
                 self.overflow.push(false);
+                self.feature_counts.push(counts.len() as u32);
                 for (feature, &count) in counts {
-                    self.postings
+                    self.tail
                         .entry(feature.clone())
                         .or_default()
                         .push((slot, count));
                 }
+                self.tail_len += counts.len();
             }
             PathProfile::Overflow => {
                 self.distinct.push(0);
                 self.overflow.push(true);
+                self.feature_counts.push(0);
             }
         }
         slot
@@ -176,12 +246,48 @@ impl QueryIndex {
         let slot = self.slot_of.remove(&serial)?;
         self.live[slot as usize] = false;
         self.tombstones += 1;
+        self.dead_postings += self.feature_counts[slot as usize] as usize;
         Some(slot)
     }
 
     /// Number of tombstoned slots still carrying postings.
     pub fn tombstones(&self) -> usize {
         self.tombstones
+    }
+
+    /// Postings owned by tombstoned slots but still resident in the arena
+    /// (reclaimed only by compaction). A handful of tombstoned slots can
+    /// own a large share of the postings, so this is the debt signal the
+    /// slot-count ratio misses.
+    pub fn dead_postings(&self) -> usize {
+        self.dead_postings
+    }
+
+    /// Total resident postings, live and dead, arena and spill tail.
+    pub fn postings_len(&self) -> usize {
+        self.arena.len() + self.tail_len
+    }
+
+    /// Fraction of resident postings owned by tombstoned slots — the
+    /// postings-side compaction-debt ratio, complementing the slot-count
+    /// ratio ([`tombstones`](Self::tombstones) / [`slots`](Self::slots)).
+    pub fn postings_debt(&self) -> f64 {
+        let total = self.postings_len();
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_postings as f64 / total as f64
+        }
+    }
+
+    /// Arena utilization in bytes: `(live, reserved)`. Reserved covers
+    /// every resident posting (arena + spill tail); live excludes the
+    /// postings owned by tombstoned slots. The gap is the fragmentation a
+    /// compaction would reclaim.
+    pub fn arena_utilization(&self) -> (usize, usize) {
+        let reserved = sizing::slice_bytes::<(u32, u32)>(self.postings_len());
+        let live = sizing::slice_bytes::<(u32, u32)>(self.postings_len() - self.dead_postings);
+        (live, reserved)
     }
 
     /// Total slots, live and dead (the candidate sweep's array bound).
@@ -288,8 +394,18 @@ impl QueryIndex {
         let mut sat_super: Vec<u32> = vec![0; n];
         let g_features = features.len() as u32;
         for (feature, &g_count) in features {
-            if let Some(posting) = self.postings.get(feature) {
-                for &(slot, q_count) in posting {
+            // The packed arena range first (a linear scan over contiguous
+            // postings), then any spill-tail postings appended since the
+            // last pack. The counters are order-independent, so visiting
+            // the two segments in sequence is build-equivalent.
+            if let Some(&(off, len)) = self.directory.get(feature) {
+                for &(slot, q_count) in &self.arena[off as usize..(off + len) as usize] {
+                    sat_super[slot as usize] += (q_count <= g_count) as u32;
+                    sat_sub[slot as usize] += (q_count >= g_count) as u32;
+                }
+            }
+            if let Some(spill) = self.tail.get(feature) {
+                for &(slot, q_count) in spill {
                     sat_super[slot as usize] += (q_count <= g_count) as u32;
                     sat_sub[slot as usize] += (q_count >= g_count) as u32;
                 }
@@ -317,12 +433,25 @@ impl QueryIndex {
     /// Approximate memory footprint in bytes (tombstoned slots still count
     /// until a compaction reclaims their postings).
     pub fn memory_bytes(&self) -> usize {
-        let postings: usize = self
-            .postings
-            .iter()
-            .map(|(k, v)| k.len() * 4 + v.len() * 8 + 48)
+        let directory: usize = self
+            .directory
+            .keys()
+            .map(|k| sizing::slice_bytes::<u32>(k.len()) + sizing::MAP_NODE_OVERHEAD)
             .sum();
-        postings + self.serials.len() * 24 + self.slot_of.len() * 16
+        let tail: usize = self
+            .tail
+            .iter()
+            .map(|(k, v)| {
+                sizing::slice_bytes::<u32>(k.len())
+                    + sizing::slice_bytes::<(u32, u32)>(v.len())
+                    + sizing::MAP_NODE_OVERHEAD
+            })
+            .sum();
+        sizing::slice_bytes::<(u32, u32)>(self.arena.len())
+            + directory
+            + tail
+            + self.serials.len() * sizing::INDEX_SLOT_BYTES
+            + self.slot_of.len() * sizing::MAP_SLOT_BYTES
     }
 }
 
@@ -529,5 +658,60 @@ mod tests {
                 to_serials(&fresh, &want.super_)
             );
         }
+    }
+
+    #[test]
+    fn bulk_build_is_fully_packed() {
+        let idx = build(&[path_graph(&[0, 1, 0]), path_graph(&[5, 5])]);
+        assert!(idx.tail.is_empty(), "bulk build must end arena-resident");
+        assert_eq!(idx.tail_len, 0);
+        assert!(idx.postings_len() > 0);
+        assert_eq!(idx.postings_len(), idx.arena.len());
+        // Incremental inserts spill into the tail…
+        let mut idx = idx;
+        let g = path_graph(&[7, 8]);
+        let profile = enumerate_paths(&g, 4, u64::MAX);
+        idx.insert_profile(99, (2, 1), &profile);
+        assert!(idx.tail_len > 0);
+        assert_eq!(idx.postings_len(), idx.arena.len() + idx.tail_len);
+        // …and probing still sees them.
+        let c = idx.candidates(&path_graph(&[7, 8]));
+        assert_eq!(c.sub, vec![2]);
+    }
+
+    #[test]
+    fn postings_debt_tracks_dead_slots() {
+        // Slot 0 owns far more postings than slot 1, so removing it must
+        // push the postings-debt ratio well past the slot-count ratio.
+        let mut idx = build(&[path_graph(&[0, 1, 2, 3, 4]), path_graph(&[5, 5])]);
+        assert_eq!(idx.dead_postings(), 0);
+        assert_eq!(idx.postings_debt(), 0.0);
+        let total = idx.postings_len();
+        idx.remove(0);
+        assert!(idx.dead_postings() > 0);
+        assert_eq!(idx.postings_len(), total, "postings stay until compaction");
+        assert!(
+            idx.postings_debt() > 0.5,
+            "big dead slot dominates the postings: {}",
+            idx.postings_debt()
+        );
+        let (live, reserved) = idx.arena_utilization();
+        assert!(live < reserved);
+        assert_eq!(reserved, total * std::mem::size_of::<(u32, u32)>());
+        // Rebuilding over the survivor clears the debt.
+        let fresh = build(&[path_graph(&[5, 5])]);
+        assert_eq!(fresh.dead_postings(), 0);
+        let (l, r) = fresh.arena_utilization();
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn packed_layout_is_deterministic() {
+        // Same logical content → identical arena bytes, regardless of the
+        // insertion history that produced it (bulk builds sort features).
+        let a = build(&[path_graph(&[0, 1, 0]), path_graph(&[1, 0, 1, 0])]);
+        let b = build(&[path_graph(&[0, 1, 0]), path_graph(&[1, 0, 1, 0])]);
+        assert_eq!(a.arena, b.arena);
+        assert_eq!(a.arena.len(), b.postings_len());
     }
 }

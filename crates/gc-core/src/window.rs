@@ -41,7 +41,8 @@ use crate::metrics::MaintStats;
 use crate::policy::{EvictionPolicy, PolicyRow, PolicyView};
 use crate::query_index::QueryIndexConfig;
 use crate::stats::{columns, QuerySerial, StatsStore};
-use gc_graph::{GraphId, LabeledGraph};
+use gc_graph::{sizing, GraphId, LabeledGraph};
+use gc_index::fx::FxHashMap;
 use gc_index::paths::PathProfile;
 use gc_methods::QueryKind;
 use parking_lot::{Mutex, RwLock};
@@ -86,9 +87,9 @@ impl WindowEntry {
     /// [`GraphCache::memory_bytes`](crate::GraphCache::memory_bytes).
     pub fn memory_bytes(&self) -> usize {
         self.graph.memory_bytes()
-            + self.answer.len() * std::mem::size_of::<GraphId>()
+            + sizing::slice_bytes::<GraphId>(self.answer.len())
             + self.profile.memory_bytes()
-            + 72
+            + sizing::WINDOW_ENTRY_OVERHEAD
     }
 }
 
@@ -262,6 +263,11 @@ impl Shared {
             compactions: c.compactions.load(Ordering::Relaxed),
             fragments_built: c.fragments_built.load(Ordering::Relaxed),
             fragments_evicted: c.fragments_evicted.load(Ordering::Relaxed),
+            dead_postings: self
+                .shards
+                .iter()
+                .map(|s| s.read().index().dead_postings() as u64)
+                .sum(),
         }
     }
 }
@@ -437,7 +443,10 @@ pub(crate) fn maintain(
             for e in inserts {
                 shard.insert(e);
             }
-            shard.tombstone_debt() > cfg.compact_debt
+            // Either debt signal triggers the rebuild: slot tombstones or
+            // postings-arena rot (evicting feature-rich entries can waste
+            // most of the arena while slot debt still looks healthy).
+            shard.tombstone_debt() > cfg.compact_debt || shard.postings_debt() > cfg.compact_debt
         };
         if over_debt {
             // Compaction is the O(|shard|) fallback, so it runs OFF the
@@ -446,9 +455,37 @@ pub(crate) fn maintain(
             // writers, so the shard cannot change between the rebuild and
             // the swap; readers keep probing the tombstoned (but correct)
             // shard meanwhile — exactly the paper's rebuild-then-swap.
+            //
+            // The rebuild packs slots in maintenance rank: most-hit (then
+            // most-recently-hit) entries first, so the entries every sweep
+            // visits most often share cache lines. Hit assembly sorts by
+            // serial and the verify queue orders by (cost, serial), so slot
+            // renumbering is invisible to every deterministic counter.
             compactions += 1;
             let current = shared.shards[i].read().clone();
-            let rebuilt = Arc::new(current.compacted());
+            let heat: FxHashMap<QuerySerial, (u64, u64)> = {
+                let stats = shared.stats.lock();
+                current
+                    .live_entries()
+                    .map(|e| {
+                        let hits = stats
+                            .get(e.serial, columns::HITS)
+                            .map(|v| v.as_i64() as u64)
+                            .unwrap_or(0);
+                        let last_hit = stats
+                            .get(e.serial, columns::LAST_HIT)
+                            .map(|v| v.as_i64() as u64)
+                            .unwrap_or(e.serial);
+                        // Hotter sorts first: more hits, then fresher.
+                        (e.serial, (u64::MAX - hits, u64::MAX - last_hit))
+                    })
+                    .collect()
+            };
+            let rebuilt = Arc::new(current.compacted_ranked(|serial| {
+                heat.get(&serial)
+                    .copied()
+                    .unwrap_or((u64::MAX, u64::MAX - serial))
+            }));
             *shared.shards[i].write() = rebuilt;
         }
     }
@@ -719,6 +756,81 @@ mod tests {
         // Debt is bounded by the threshold after compaction rounds.
         for shard in snap.shards() {
             assert!(shard.tombstone_debt() <= DEFAULT_COMPACT_DEBT + 1e-9);
+        }
+    }
+
+    /// Evictions leave dead postings behind; the gauge must see them while
+    /// the shard is under the compaction threshold, and compaction must
+    /// clear them.
+    #[test]
+    fn postings_debt_gauge_reflects_evictions() {
+        let s = shared();
+        maintain(&s, &cfg(2), vec![entry(1, 1.0), entry(2, 1.0)], 2);
+        assert_eq!(s.maint_stats().dead_postings, 0, "dense cache, no debt");
+        // Mark entry 2 as recently hit so LRU evicts entry 1; the shard
+        // ends with 1 tombstone of 3 slots (debt 1/3 < 1/2, no compaction).
+        s.stats.lock().set(2, columns::LAST_HIT, 9i64);
+        maintain(&s, &cfg(2), vec![entry(3, 1.0)], 3);
+        let m = s.maint_stats();
+        assert_eq!(m.compactions, 0);
+        assert!(m.dead_postings > 0, "evicted entry's postings are debt");
+        let snap = s.load_snapshot();
+        assert!(snap.shards()[0].postings_debt() > 0.0);
+        let (live, reserved) = snap.shards()[0].arena_utilization();
+        assert!(live < reserved, "fragmentation observable");
+    }
+
+    /// Maintenance-triggered compaction packs policy-hot entries into the
+    /// lowest slots (hits desc, then last-hit desc).
+    #[test]
+    fn compaction_packs_hot_entries_first() {
+        let s = shared();
+        let capacity = 4usize;
+        let mut serial = 0u64;
+        let mut compacted_snapshots = 0;
+        for _ in 0..10 {
+            let batch: Vec<WindowEntry> = (0..4)
+                .map(|_| {
+                    serial += 1;
+                    entry(serial, 1.0)
+                })
+                .collect();
+            // Give the oldest live entry a big hit count so rank-ordered
+            // compaction must pull it to slot 0 despite its age.
+            maintain(&s, &cfg(capacity), batch, serial);
+            let snap = s.load_snapshot();
+            let oldest = snap.iter_entries().map(|e| e.serial).min().unwrap();
+            s.stats.lock().set(oldest, columns::HITS, 1_000i64);
+            if snap.shards()[0].tombstone_debt() == 0.0 && snap.len() == capacity {
+                compacted_snapshots += 1;
+            }
+        }
+        assert!(s.maint_stats().compactions > 0);
+        assert!(compacted_snapshots > 0);
+        // After the last round, find a dense (just-compacted) state and
+        // check the most-hit live entry sits in slot 0.
+        let snap = s.load_snapshot();
+        let shard = &snap.shards()[0];
+        if shard.tombstone_debt() == 0.0 {
+            let first = shard.entry_at(0).map(|e| e.serial);
+            let stats = s.stats.lock();
+            let hottest = shard
+                .live_entries()
+                .max_by_key(|e| {
+                    (
+                        stats
+                            .get(e.serial, columns::HITS)
+                            .map(|v| v.as_i64())
+                            .unwrap_or(0),
+                        stats
+                            .get(e.serial, columns::LAST_HIT)
+                            .map(|v| v.as_i64())
+                            .unwrap_or(e.serial as i64),
+                        std::cmp::Reverse(e.serial),
+                    )
+                })
+                .map(|e| e.serial);
+            assert_eq!(first, hottest, "hot entry packed into slot 0");
         }
     }
 

@@ -165,9 +165,13 @@ pub struct StoredFragment {
 }
 
 impl StoredFragment {
-    /// Approximate resident bytes: graph + occurrence list + bookkeeping.
+    /// Approximate resident bytes: graph + occurrence list + bookkeeping,
+    /// accounted through the shared sizing model (`gc_graph::sizing`) so
+    /// the fragment store and the cache stores agree on what a byte is.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes() + self.occs.len() * std::mem::size_of::<GraphId>() + 96
+        self.graph.memory_bytes()
+            + gc_graph::sizing::slice_bytes::<GraphId>(self.occs.len())
+            + gc_graph::sizing::FRAGMENT_OVERHEAD
     }
 }
 

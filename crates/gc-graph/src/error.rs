@@ -14,6 +14,16 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A binary snapshot failed validation (truncated, checksum mismatch,
+    /// malformed section); carries the byte offset and message. Always an
+    /// error return, never a panic — corrupted snapshots must be
+    /// diagnosable, not fatal.
+    Snapshot {
+        /// Byte offset where the problem was detected.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
 }
 
 impl GraphError {
@@ -21,6 +31,14 @@ impl GraphError {
     pub fn parse(line: usize, message: impl Into<String>) -> Self {
         GraphError::Parse {
             line,
+            message: message.into(),
+        }
+    }
+
+    /// Constructs a binary-snapshot validation error at a byte offset.
+    pub fn snapshot(offset: usize, message: impl Into<String>) -> Self {
+        GraphError::Snapshot {
+            offset,
             message: message.into(),
         }
     }
@@ -33,6 +51,9 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            GraphError::Snapshot { offset, message } => {
+                write!(f, "snapshot error at byte {offset}: {message}")
+            }
         }
     }
 }
@@ -41,7 +62,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
-            GraphError::Parse { .. } => None,
+            GraphError::Parse { .. } | GraphError::Snapshot { .. } => None,
         }
     }
 }
@@ -66,5 +87,12 @@ mod tests {
         let io = GraphError::from(std::io::Error::other("boom"));
         assert!(format!("{io}").contains("boom"));
         assert!(io.source().is_some());
+
+        let s = GraphError::snapshot(128, "checksum mismatch");
+        assert_eq!(
+            format!("{s}"),
+            "snapshot error at byte 128: checksum mismatch"
+        );
+        assert!(s.source().is_none());
     }
 }

@@ -28,6 +28,7 @@ mod graph;
 pub mod idset;
 pub mod io;
 pub mod random;
+pub mod sizing;
 pub mod zipf;
 
 pub use builder::GraphBuilder;

@@ -4,7 +4,7 @@
 
 use crate::report::{MatrixReport, ScenarioReport, SCHEMA_VERSION};
 use crate::scenario::{Scenario, Suite};
-use gc_core::{CostModel, GraphCache, QueryRecord, QueryRequest, RunCounters};
+use gc_core::{CostModel, GraphCache, PersistFormat, QueryRecord, QueryRequest, RunCounters};
 use std::time::Instant;
 
 /// Runs one scenario and collects its report.
@@ -27,36 +27,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         scenario.queries,
         scenario.workload_seed,
     );
-    let method = scenario.method.build(&dataset);
-
-    let mut builder = GraphCache::builder()
-        .capacity(scenario.capacity)
-        .window(scenario.window)
-        .eviction(scenario.eviction.as_str())
-        .query_kind(scenario.kind)
-        .threads(scenario.threads)
-        .shards(scenario.shards)
-        // Wall-time expensiveness (the cache default) leaks machine load
-        // into admission decisions, greedy-dual credits and policy stats —
-        // the harness always uses the deterministic work proxy so counters
-        // are a pure function of the seeds even on a busy CI box.
-        .cost_model(CostModel::Work)
-        .fragments(scenario.fragments);
-    if let Some(budget) = scenario.verify_budget {
-        builder = builder.verify_budget(budget);
-    }
-    if let Some(admission) = &scenario.admission {
-        builder = builder.admission(admission.as_str());
-    }
-    if let Some(bytes) = scenario.fragment_budget {
-        builder = builder.fragment_budget(bytes);
-    }
-    if let Some(spec) = &scenario.fragment_eviction {
-        builder = builder.fragment_eviction(spec.as_str());
-    }
-    let cache = builder
-        .try_build(method)
-        .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+    let cache = build_cache(scenario, &dataset)?;
 
     let records: Vec<QueryRecord> = cache
         .run_batch(workload.graphs().map(QueryRequest::from))
@@ -85,12 +56,129 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     counters.push(("cache_entries".to_string(), cache.cache_len() as u64));
     counters.push(("memory_bytes".to_string(), cache.memory_bytes() as u64));
 
+    if scenario.persist_cycle {
+        let snapshot_bytes = persist_cycle(scenario, &cache, &dataset)?;
+        counters.push(("persisted_entries".to_string(), cache.cache_len() as u64));
+        counters.push(("snapshot_bytes".to_string(), snapshot_bytes as u64));
+    }
+
     Ok(ScenarioReport {
         name: scenario.name.clone(),
         config: scenario.config_echo(),
         counters,
         wall_ms,
     })
+}
+
+/// Builds the scenario's cache over a freshly built Method M. Factored
+/// out so the persistence cycle can stand up a second, identically
+/// configured cache to restore into.
+fn build_cache(
+    scenario: &Scenario,
+    dataset: &gc_graph::GraphDataset,
+) -> Result<GraphCache, String> {
+    let method = scenario.method.build(dataset);
+    let mut builder = GraphCache::builder()
+        .capacity(scenario.capacity)
+        .window(scenario.window)
+        .eviction(scenario.eviction.as_str())
+        .query_kind(scenario.kind)
+        .threads(scenario.threads)
+        .shards(scenario.shards)
+        // Wall-time expensiveness (the cache default) leaks machine load
+        // into admission decisions, greedy-dual credits and policy stats —
+        // the harness always uses the deterministic work proxy so counters
+        // are a pure function of the seeds even on a busy CI box.
+        .cost_model(CostModel::Work)
+        .fragments(scenario.fragments);
+    if let Some(budget) = scenario.verify_budget {
+        builder = builder.verify_budget(budget);
+    }
+    if let Some(admission) = &scenario.admission {
+        builder = builder.admission(admission.as_str());
+    }
+    if let Some(bytes) = scenario.fragment_budget {
+        builder = builder.fragment_budget(bytes);
+    }
+    if let Some(spec) = &scenario.fragment_eviction {
+        builder = builder.fragment_eviction(spec.as_str());
+    }
+    builder
+        .try_build(method)
+        .map_err(|e| format!("scenario {:?}: {e}", scenario.name))
+}
+
+/// Runs the scenario's persistence cycle: save the replayed cache as a
+/// binary snapshot, restore it into a freshly built (empty) cache, and
+/// re-save that restored cache. The cycle passes only if the re-save is
+/// byte-identical to the first snapshot — one comparison that covers
+/// entries, answer sets, stored profiles, policy stats and fragments at
+/// once, because the binary encoding is deterministic. Returns the
+/// snapshot size in bytes.
+fn persist_cycle(
+    scenario: &Scenario,
+    cache: &GraphCache,
+    dataset: &gc_graph::GraphDataset,
+) -> Result<usize, String> {
+    let root = std::env::temp_dir().join(format!(
+        "gc-harness-persist-{}-{}",
+        std::process::id(),
+        scenario.name
+    ));
+    let result = persist_cycle_in(scenario, cache, dataset, &root);
+    // Best-effort cleanup on success and failure alike; a vanished dir
+    // must not mask the cycle's real outcome.
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+fn persist_cycle_in(
+    scenario: &Scenario,
+    cache: &GraphCache,
+    dataset: &gc_graph::GraphDataset,
+    root: &std::path::Path,
+) -> Result<usize, String> {
+    let ctx = |stage: &str, e: String| {
+        format!("scenario {:?} persist cycle: {stage}: {e}", scenario.name)
+    };
+    let saved = root.join("saved");
+    let resaved = root.join("resaved");
+    cache
+        .save_with_format(&saved, PersistFormat::Binary)
+        .map_err(|e| ctx("save", e.to_string()))?;
+    let original = std::fs::read(saved.join("snapshot.bin"))
+        .map_err(|e| ctx("read snapshot", e.to_string()))?;
+
+    let restored = build_cache(scenario, dataset)?;
+    restored
+        .restore(&saved)
+        .map_err(|e| ctx("restore", e.to_string()))?;
+    if restored.cache_len() != cache.cache_len() {
+        return Err(ctx(
+            "entry parity",
+            format!(
+                "restored {} entries, expected {}",
+                restored.cache_len(),
+                cache.cache_len()
+            ),
+        ));
+    }
+    restored
+        .save_with_format(&resaved, PersistFormat::Binary)
+        .map_err(|e| ctx("re-save", e.to_string()))?;
+    let roundtripped = std::fs::read(resaved.join("snapshot.bin"))
+        .map_err(|e| ctx("read re-saved snapshot", e.to_string()))?;
+    if roundtripped != original {
+        return Err(ctx(
+            "byte parity",
+            format!(
+                "re-saved snapshot differs ({} vs {} bytes)",
+                roundtripped.len(),
+                original.len()
+            ),
+        ));
+    }
+    Ok(original.len())
 }
 
 /// Runs every scenario of a suite, in order, with a progress callback

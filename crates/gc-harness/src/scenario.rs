@@ -163,6 +163,12 @@ pub struct Scenario {
     /// Fragment-store eviction policy registry spec; `None` = the cache
     /// default (`lru`).
     pub fragment_eviction: Option<String>,
+    /// After the replay, run a persistence cycle: save the cache as a
+    /// binary snapshot, restore it into a freshly built cache, and fail
+    /// the scenario unless the restored cache re-saves to byte-identical
+    /// snapshot bytes (entry/stat/profile/fragment parity in one check).
+    /// Adds the `persisted_entries` and `snapshot_bytes` counters.
+    pub persist_cycle: bool,
 }
 
 impl Scenario {
@@ -192,6 +198,7 @@ impl Scenario {
             fragments: false,
             fragment_budget: None,
             fragment_eviction: None,
+            persist_cycle: false,
         }
     }
 
@@ -259,6 +266,9 @@ impl Scenario {
         if let Some(spec) = &self.fragment_eviction {
             echo.push(("fragment_eviction".to_string(), spec.clone()));
         }
+        if self.persist_cycle {
+            echo.push(("persist_cycle".to_string(), "on".to_string()));
+        }
         echo
     }
 }
@@ -280,15 +290,20 @@ pub enum Suite {
     /// structurally overlapping queries over a filterless method, paired
     /// with fragments on vs off so the uplift is directly comparable.
     Fragments,
+    /// Persistence round-trips: replay, save a binary arena snapshot,
+    /// restore it into a fresh cache, and require the restored cache to
+    /// re-save byte-identically (the save→restore→parity gate CI runs).
+    Restore,
 }
 
 impl Suite {
     /// All suites, for listings.
-    pub const ALL: [Suite; 4] = [
+    pub const ALL: [Suite; 5] = [
         Suite::Smoke,
         Suite::Paper,
         Suite::Policies,
         Suite::Fragments,
+        Suite::Restore,
     ];
 
     /// The CLI name.
@@ -298,6 +313,7 @@ impl Suite {
             Suite::Paper => "paper",
             Suite::Policies => "policies",
             Suite::Fragments => "fragments",
+            Suite::Restore => "restore",
         }
     }
 
@@ -308,6 +324,7 @@ impl Suite {
             "paper" => Some(Suite::Paper),
             "policies" => Some(Suite::Policies),
             "fragments" => Some(Suite::Fragments),
+            "restore" => Some(Suite::Restore),
             _ => None,
         }
     }
@@ -320,6 +337,7 @@ impl Suite {
             Suite::Paper => paper_scenarios(),
             Suite::Policies => policy_scenarios(),
             Suite::Fragments => fragment_scenarios(),
+            Suite::Restore => restore_scenarios(),
         }
     }
 }
@@ -458,6 +476,45 @@ fn fragment_scenarios() -> Vec<Scenario> {
     slru.fragment_eviction = Some("slru:protected=0.5".into());
     slru.fragment_budget = Some(16 * 1024);
     vec![on, off, slru]
+}
+
+/// The restore suite keeps CI-smoke size but flips the persistence cycle
+/// on: a plain subgraph scenario, an evicting supergraph scenario (so
+/// tombstone/compaction state precedes the save), and a fragments-on
+/// scenario (so the snapshot's FRAGMENTS section is non-trivial). Each
+/// cycle asserts byte-identical re-save of the restored cache.
+fn restore_scenarios() -> Vec<Scenario> {
+    let mut zz = Scenario::named("restore-aids-zz-binary");
+    zz.dataset_scale = 0.05;
+    zz.queries = 80;
+    zz.capacity = 40;
+    zz.query_sizes = vec![4, 8, 12];
+    zz.persist_cycle = true;
+
+    let mut sup = Scenario::named("restore-pcm-zu-super-binary");
+    sup.dataset = DatasetProfile::pcm();
+    sup.dataset_scale = 0.2;
+    sup.workload = WorkloadSpec::Zu(1.4);
+    sup.queries = 50;
+    sup.capacity = 20; // tight: eviction churn precedes the save
+    sup.query_sizes = vec![4, 6, 8];
+    sup.method = MethodKind::SiVf2;
+    sup.kind = QueryKind::Supergraph;
+    sup.persist_cycle = true;
+
+    let mut frags = Scenario::named("restore-aids-zz-fragments-binary");
+    frags.dataset_scale = 0.05;
+    frags.workload = WorkloadSpec::Zz(1.05);
+    frags.queries = 60;
+    frags.capacity = 40;
+    frags.window = 10;
+    frags.query_sizes = vec![4, 6, 8];
+    frags.method = MethodKind::SiVf2;
+    frags.warmup = 10;
+    frags.fragments = true;
+    frags.persist_cycle = true;
+
+    vec![zz, sup, frags]
 }
 
 #[cfg(test)]

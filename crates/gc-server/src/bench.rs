@@ -125,6 +125,7 @@ pub fn run_scenario_served(scenario: &Scenario) -> Result<ScenarioReport, String
         "compactions",
         "fragments_built",
         "fragments_evicted",
+        "postings_debt",
         "cache_entries",
         "memory_bytes",
     ] {

@@ -102,6 +102,10 @@ pub struct ServeConfig {
     pub drain_timeout: Duration,
     /// Persist the cache snapshot to this directory after drain.
     pub persist_on_exit: Option<PathBuf>,
+    /// On-disk representation for `persist_on_exit` saves (text or the
+    /// binary arena snapshot); restores auto-detect, so either works with
+    /// `--restore`.
+    pub persist_format: gc_core::PersistFormat,
     /// Install SIGTERM/SIGINT handlers that trigger graceful drain (the
     /// CLI daemon sets this; in-process test servers leave it off).
     pub handle_signals: bool,
@@ -116,6 +120,7 @@ impl Default for ServeConfig {
             max_inflight: 0,
             drain_timeout: Duration::from_secs(10),
             persist_on_exit: None,
+            persist_format: gc_core::PersistFormat::default(),
             handle_signals: false,
         }
     }
@@ -182,6 +187,7 @@ struct Shared {
     /// Global query counters, accumulated record-by-record.
     global: Mutex<RunCounters>,
     persist_on_exit: Option<PathBuf>,
+    persist_format: gc_core::PersistFormat,
 }
 
 impl Shared {
@@ -348,6 +354,7 @@ impl Server {
                 draining: AtomicBool::new(false),
                 global: Mutex::new(RunCounters::default()),
                 persist_on_exit: cfg.persist_on_exit.clone(),
+                persist_format: cfg.persist_format,
             }),
             listeners,
             drain_timeout: cfg.drain_timeout,
@@ -405,7 +412,9 @@ impl Server {
             }
         }
         if let Some(dir) = &self.shared.persist_on_exit {
-            self.shared.cache.save(dir)?;
+            self.shared
+                .cache
+                .save_with_format(dir, self.shared.persist_format)?;
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);

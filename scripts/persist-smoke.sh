@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end persistence smoke using only the release CLI: replay a
+# workload, save the warmed cache in both on-disk formats, restore each
+# into a fresh process replaying the same workload, and require
+# counter-identical behaviour — the text parse and the binary arena
+# snapshot must be indistinguishable above the persistence layer. Also
+# checks the format hygiene contract (each save directory holds exactly
+# one representation, auto-detected on restore). CI runs this under a
+# hard `timeout`; locally it is self-contained and cleans up after
+# itself:
+#
+#   cargo build --release --bin gc
+#   scripts/persist-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/gc
+[ -x "$BIN" ] || { echo "persist-smoke: $BIN not found — run: cargo build --release --bin gc" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+die() {
+    echo "persist-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# Strips the hardware-dependent lines (latency averages, wall clock,
+# maintenance timing breakdown) and the save/restore directory paths so
+# the diff below compares deterministic counters only.
+counters() {
+    grep -v -e "wall clock" -e "rounds | total" -e "^saved cache state" "$1" \
+        | sed -e 's/avg [0-9]* µs/avg - µs/' -e 's| from .*| from -|'
+}
+
+echo "== generate dataset + workload"
+"$BIN" generate --profile aids --scale 0.05 --seed 11 --out "$WORK/d.txt"
+"$BIN" workload --dataset "$WORK/d.txt" --kind zz --count 30 --seed 13 --out "$WORK/q.txt"
+
+run() { # run <extra flags...> — one deterministic replay
+    "$BIN" query --dataset "$WORK/d.txt" --queries "$WORK/q.txt" \
+        --capacity 50 --window 5 --maint-stats "$@"
+}
+
+echo "== warm replays, saving text and binary"
+run --save "$WORK/text" > "$WORK/warm-text.out"
+run --save "$WORK/bin" --persist-format binary > "$WORK/warm-bin.out"
+
+[ -f "$WORK/text/entries.txt" ] || die "text save missing entries.txt"
+[ ! -e "$WORK/text/snapshot.bin" ] || die "text save left a snapshot.bin behind"
+[ -f "$WORK/bin/snapshot.bin" ] || die "binary save missing snapshot.bin"
+[ ! -e "$WORK/bin/entries.txt" ] || die "binary save left an entries.txt behind"
+
+# The two warm replays are the same deterministic run; anything else
+# means the save format leaked into replay behaviour.
+diff <(counters "$WORK/warm-text.out") <(counters "$WORK/warm-bin.out") \
+    || die "warm replay counters differ between save formats"
+
+echo "== restored replays (auto-detected format)"
+run --restore "$WORK/text" > "$WORK/replay-text.out"
+run --restore "$WORK/bin" > "$WORK/replay-bin.out"
+
+grep -q "^restored " "$WORK/replay-bin.out" || die "binary restore did not report restored entries"
+diff <(counters "$WORK/replay-text.out") <(counters "$WORK/replay-bin.out") \
+    || die "restored replay counters differ between text and binary snapshots"
+
+# A restored cache replaying its own workload must be far warmer than
+# the cold run that produced the snapshot — the round-trip preserved the
+# entries and their answer sets, not just the entry count.
+warm=$(grep -o "[0-9]* cache-assisted" "$WORK/warm-bin.out" | awk '{ print $1 }')
+assisted=$(grep -o "[0-9]* cache-assisted" "$WORK/replay-bin.out" | awk '{ print $1 }')
+[ "$assisted" -gt "$warm" ] || die "restored replay assisted $assisted queries, cold run $warm — snapshot did not warm the cache"
+[ "$assisted" -ge 25 ] || die "restored cache served only $assisted/30 queries cache-assisted"
+
+echo "persist-smoke: OK"

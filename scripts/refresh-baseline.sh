@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates benches/baseline.json and benches/baseline-fragments.json —
-# the committed deterministic-counter baselines that `gc bench --check`
+# Regenerates benches/baseline.json, benches/baseline-fragments.json and
+# benches/baseline-restore.json — the committed deterministic-counter
+# baselines that `gc bench --check`
 # (and the CI bench-smoke job) gates against. Run this after a change that
 # intentionally shifts counters, then review the diff like any other code
 # change:
@@ -20,6 +21,7 @@ cd "$(dirname "$0")/.."
 BIN=target/release/gc
 OUT=benches/baseline.json
 OUT_FRAGMENTS=benches/baseline-fragments.json
+OUT_RESTORE=benches/baseline-restore.json
 
 die() {
     echo "refresh-baseline: $*" >&2
@@ -48,5 +50,11 @@ trap 'rm -f "$tmp"' EXIT
 mv "$tmp" "$OUT_FRAGMENTS"
 trap - EXIT
 
+tmp=$(mktemp "$OUT_RESTORE.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
+"$BIN" bench --suite restore --json "$tmp"
+mv "$tmp" "$OUT_RESTORE"
+trap - EXIT
+
 echo
-echo "baselines refreshed; review with: git diff $OUT $OUT_FRAGMENTS"
+echo "baselines refreshed; review with: git diff $OUT $OUT_FRAGMENTS $OUT_RESTORE"

@@ -12,8 +12,8 @@
 //!   [--threads N] [--shards N] [--verify-budget N] [--verify-threads N]
 //!   [--fragments on|off] [--fragment-budget BYTES] [--fragment-eviction NAME]
 //!   [--supergraph] [--background] [--no-cache] [--maint-stats]
-//!   [--save DIR] [--restore DIR]` replays the queries and prints per-run
-//!   statistics;
+//!   [--save DIR] [--persist-format text|binary] [--restore DIR]` replays
+//!   the queries and prints per-run statistics;
 //! * `gc bench [--suite smoke|paper|policies|fragments] [--json FILE]
 //!   [--check BASELINE] [--tolerance PCT] [--timings] [--list] [--serve]`
 //!   runs a scenario suite end-to-end (dataset generation → workload →
@@ -42,7 +42,8 @@
 //!   or a `SHUTDOWN` frame) waits for sessions to finish in-flight work
 //!   (default 10);
 //! * `--persist-on-exit DIR` — save the cache snapshot to DIR after a
-//!   graceful drain (the `gc query --restore` format);
+//!   graceful drain (the `gc query --restore` format; `--persist-format
+//!   text|binary` picks the representation, as for `gc query --save`);
 //! * the cache-construction flags of `gc query` (`--method`,
 //!   `--eviction`, `--admission`, `--capacity`, `--window`, `--threads`,
 //!   `--shards`, `--verify-budget`, `--verify-threads`, `--fragments`,
@@ -101,7 +102,9 @@
 //!   thread (the paper's deployment design) instead of inline;
 //! * `--maint-stats` — print the per-phase maintenance breakdown (victim
 //!   selection / index delta / stats upkeep, entries touched, shards
-//!   patched, compactions) after the replay;
+//!   patched, compactions) after the replay, plus per-shard arena
+//!   utilization (bytes live / bytes reserved in the packed postings and
+//!   answer arenas) and the postings-debt gauge;
 //! * `--eviction NAME` — replacement policy by registry name
 //!   (`lru|pop|pin|pinc|hd|gcr|slru|greedy-dual|…`, with optional
 //!   parameters like `slru:protected=0.5`); `--policy NAME` is accepted as
@@ -120,7 +123,12 @@
 //!   of available policies;
 //! * `--supergraph` — supergraph (`G ⊆ g`) instead of subgraph semantics;
 //! * `--no-cache` — replay through the bare Method M (baseline timing);
-//! * `--save DIR` / `--restore DIR` — persist / preload the cache stores.
+//! * `--save DIR` / `--restore DIR` — persist / preload the cache stores;
+//! * `--persist-format text|binary` — on-disk representation for `--save`
+//!   (and `gc serve --persist-on-exit`): `text` (default) writes the
+//!   line-oriented files, `binary` writes the checksummed arena snapshot
+//!   (`snapshot.bin`) that restores with no per-entry parsing.
+//!   `--restore` auto-detects the format, so either loads transparently.
 //!
 //! Example session:
 //! ```text
@@ -178,9 +186,12 @@ fn print_usage() {
     eprintln!("           [--fragments on|off] [--fragment-budget BYTES]");
     eprintln!("           [--fragment-eviction NAME] [--supergraph] [--background]");
     eprintln!("           [--no-cache] [--maint-stats] [--save DIR] [--restore DIR]");
+    eprintln!("           [--persist-format text|binary]");
     eprintln!("  gc query --connect unix:PATH|ADDR --queries FILE [--supergraph]");
     eprintln!("           [--verify-budget N]");
-    eprintln!("  gc bench [--suite smoke|paper|policies|fragments] [--json FILE] [--timings]");
+    eprintln!(
+        "  gc bench [--suite smoke|paper|policies|fragments|restore] [--json FILE] [--timings]"
+    );
     eprintln!("           [--list]");
     eprintln!("           [--check BASELINE] [--tolerance PCT] [--serve]");
     eprintln!("  gc serve --dataset FILE (--listen ADDR | --unix PATH) [--max-sessions N]");
@@ -288,6 +299,21 @@ fn num<T: std::str::FromStr>(
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("invalid --{key}: {v:?}"))),
+    }
+}
+
+/// `--persist-format text|binary` (default text) — the on-disk
+/// representation `--save` / `--persist-on-exit` writes. Restores
+/// auto-detect, so the flag never affects `--restore`.
+fn persist_format(
+    opts: &HashMap<String, String>,
+) -> Result<graphcache::core::PersistFormat, CliError> {
+    match opts.get("persist-format").map(|s| s.as_str()) {
+        None | Some("text") => Ok(graphcache::core::PersistFormat::Text),
+        Some("binary") => Ok(graphcache::core::PersistFormat::Binary),
+        Some(other) => Err(CliError::usage(format!(
+            "invalid --persist-format {other:?} (text|binary)"
+        ))),
     }
 }
 
@@ -446,10 +472,13 @@ fn cache_from_opts(
     if let Some(dir) = opts.get("restore") {
         // A missing save directory used to surface as a bare
         // "No such file or directory" with no hint which path was wrong.
-        if !std::path::Path::new(dir).join("entries.txt").is_file() {
+        // Either representation qualifies: a binary snapshot.bin or the
+        // text entries.txt.
+        let root = std::path::Path::new(dir);
+        if !root.join("snapshot.bin").is_file() && !root.join("entries.txt").is_file() {
             return Err(CliError::Runtime(format!(
                 "cannot restore from {dir:?}: not a saved cache directory \
-                 (no entries.txt — was it written by `gc query --save`?)"
+                 (no snapshot.bin or entries.txt — was it written by `gc query --save`?)"
             )));
         }
         cache
@@ -497,11 +526,13 @@ fn cmd_query(args: &[String]) -> CliResult {
     if let Some(spec) = admission {
         registry::build_admission(spec).map_err(|e| CliError::usage(e.to_string()))?;
     }
-    // Same early validation for the fragment-store knobs.
+    // Same early validation for the fragment-store knobs and the
+    // persist-format selector.
     fragments_enabled(&opts)?;
     if let Some(spec) = opts.get("fragment-eviction") {
         registry::build_eviction(spec).map_err(|e| CliError::usage(e.to_string()))?;
     }
+    let save_format = persist_format(&opts)?;
     let dataset = load_dataset(req(&opts, "dataset")?)?;
     let queries = load_dataset(req(&opts, "queries")?)?;
     let kind = if opts.contains_key("supergraph") {
@@ -657,10 +688,23 @@ fn cmd_query(args: &[String]) -> CliResult {
                 .fragment_eviction_name()
                 .unwrap_or_else(|| "off".to_string()),
         );
+        // Arena utilization: how tightly the packed postings + answer
+        // arenas are used per shard, and the dead-posting gauge the 50%
+        // compaction heuristic watches.
+        let util = cache.arena_utilization();
+        let live: usize = util.iter().map(|(l, _)| l).sum();
+        let reserved: usize = util.iter().map(|(_, r)| r).sum();
+        let per_shard: Vec<String> = util.iter().map(|(l, r)| format!("{l}/{r}")).collect();
+        println!(
+            "maintenance: arena utilization {live}/{reserved} bytes live/reserved \
+             (per shard: {}) | postings debt {}",
+            per_shard.join(" "),
+            m.dead_postings,
+        );
     }
     if let Some(dir) = opts.get("save") {
         cache
-            .save(dir)
+            .save_with_format(dir, save_format)
             .map_err(|e| CliError::Runtime(format!("cannot save to {dir:?}: {e}")))?;
         println!("saved cache state to {dir}");
     }
@@ -767,6 +811,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         max_inflight: num(&opts, "max-inflight", 0usize)?,
         drain_timeout: Duration::from_secs(num(&opts, "drain-timeout", 10u64)?),
         persist_on_exit: opts.get("persist-on-exit").map(PathBuf::from),
+        persist_format: persist_format(&opts)?,
         handle_signals: true,
     };
     let dataset = load_dataset(req(&opts, "dataset")?)?;

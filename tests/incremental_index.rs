@@ -11,11 +11,12 @@
 //!   same cached set under the same deterministic policy.
 
 use graphcache::core::{
-    shard_for, CacheEntry, CacheSnapshot, CostModel, GraphCache, QueryIndexConfig, QuerySerial,
-    Shard,
+    find_hits_naive, find_hits_opts, shard_for, CacheEntry, CacheSnapshot, CostModel, GraphCache,
+    HitQuery, QueryIndexConfig, QuerySerial, Shard, VerifyOptions,
 };
 use graphcache::index::paths::enumerate_paths;
 use graphcache::prelude::*;
+use graphcache::subiso::{MatchConfig, Vf2};
 use graphcache::workload::generate_type_a;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
@@ -172,6 +173,97 @@ proptest! {
         }
         prop_assert!(snap.entry(0).is_none());
         prop_assert!(snap.entry(10_001).is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arena-backed candidate sweep (packed postings directory +
+    /// SoA entry columns) is an implementation detail: for any churned
+    /// state — tombstones included — and after hot-ranked compaction
+    /// reorders the slots, [`find_hits_opts`] over the arena layout
+    /// returns exactly the `HitSet` of the pointer-rich
+    /// [`find_hits_naive`] sweep that visits every live entry directly.
+    /// Pinned across 1/4/16 shards with mixed entry directions.
+    #[test]
+    fn arena_sweep_equals_pointer_sweep(
+        seeds in pvec(0u64..1_000_000, 5..50usize),
+        evicts in pvec(any::<bool>(), 5..50usize),
+        ranks in pvec(0u64..16, 5..50usize),
+        shard_sel in 0usize..3,
+    ) {
+        let n_shards = [1usize, 4, 16][shard_sel];
+        let cfg = QueryIndexConfig::default();
+        let entry_with_kind = |serial: QuerySerial, seed: u64| {
+            let graph = seeded_graph(seed);
+            let profile = enumerate_paths(&graph, cfg.max_path_len, cfg.work_cap);
+            let kind = if seed.is_multiple_of(3) {
+                QueryKind::Supergraph
+            } else {
+                QueryKind::Subgraph
+            };
+            Arc::new(CacheEntry::new(
+                serial,
+                Arc::new(graph),
+                vec![GraphId((serial % 3) as u32)],
+                kind,
+                profile,
+            ))
+        };
+
+        let mut shards: Vec<Arc<Shard>> =
+            (0..n_shards).map(|_| Arc::new(Shard::empty(cfg))).collect();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let serial = i as QuerySerial + 1;
+            let e = entry_with_kind(serial, seed);
+            Arc::make_mut(&mut shards[shard_for(serial, n_shards)]).insert(e);
+        }
+        // Tombstone a subset so the packed postings carry dead slots —
+        // the sweep must skip them, not resurrect them.
+        for (i, _) in seeds.iter().enumerate() {
+            let serial = i as QuerySerial + 1;
+            if evicts[i % evicts.len()] && i > 0 {
+                Arc::make_mut(&mut shards[shard_for(serial, n_shards)]).remove(serial);
+            }
+        }
+
+        let check = |snap: &CacheSnapshot| {
+            for probe in probes() {
+                let naive = find_hits_naive(
+                    snap,
+                    &probe,
+                    QueryKind::Subgraph,
+                    &Vf2::new(),
+                    &MatchConfig::UNBOUNDED,
+                );
+                let profile = snap.profile_of(&probe);
+                let swept = find_hits_opts(
+                    snap,
+                    &HitQuery::new(&probe, QueryKind::Subgraph, &profile),
+                    &Vf2::new(),
+                    &MatchConfig::UNBOUNDED,
+                    &VerifyOptions::default(),
+                );
+                prop_assert_eq!(&swept.sub, &naive.sub, "sub hits, probe {:?}", &probe);
+                prop_assert_eq!(&swept.super_, &naive.super_, "super hits, probe {:?}", &probe);
+                prop_assert_eq!(swept.exact, naive.exact, "exact hit, probe {:?}", &probe);
+            }
+        };
+
+        // Churned layout: live slots interleaved with tombstones.
+        check(&CacheSnapshot::from_shards(cfg, shards.clone()));
+
+        // Hot-packed layout: every shard compacted with an arbitrary
+        // maintenance rank, reordering slots (and the answer/posting
+        // arenas with them).
+        let ranked: Vec<Arc<Shard>> = shards
+            .iter()
+            .map(|s| {
+                Arc::new(s.compacted_ranked(|serial| ranks[serial as usize % ranks.len()]))
+            })
+            .collect();
+        check(&CacheSnapshot::from_shards(cfg, ranked));
     }
 }
 

@@ -1,9 +1,16 @@
 //! Cache persistence across process lifetimes (paper §6.1: stores are
-//! loaded on startup and written back on shutdown).
+//! loaded on startup and written back on shutdown), in both on-disk
+//! representations: the text format and the persist-format-v2 binary
+//! arena snapshot. The property tests pin the compat contract — the two
+//! formats load into identical caches, re-saves are byte-identical,
+//! legacy text saves keep loading, and corrupted binary snapshots fail
+//! with typed errors, never a panic.
 
-use graphcache::core::{CostModel, GraphCache};
+use graphcache::core::{CostModel, GraphCache, PersistFormat, PersistedCache};
+use graphcache::graph::GraphError;
 use graphcache::prelude::*;
 use graphcache::workload::generate_type_a;
+use proptest::prelude::*;
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("gc-it-persist-{tag}-{}", std::process::id()));
@@ -104,5 +111,190 @@ fn save_flushes_background_maintenance() {
     gc.save(&dir).unwrap();
     let persisted = graphcache::core::PersistedCache::load(&dir).unwrap();
     assert_eq!(persisted.entries.len(), gc.cache_len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs a small deterministic workload and returns the warmed cache
+/// (plus the dataset so callers can build identically configured fresh
+/// caches to restore into).
+fn warmed_cache(seed: u64, count: usize, capacity: usize) -> (GraphCache, GraphDataset) {
+    let d = datasets::aids_like(0.04, 400 + seed);
+    let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(count).seed(seed + 1));
+    let gc = GraphCache::builder()
+        .capacity(capacity)
+        .window(4)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    for q in workload.graphs() {
+        gc.run(q);
+    }
+    gc.flush_pending();
+    (gc, d)
+}
+
+fn read_file(dir: &std::path::Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Both formats written from the same cache load into caches the
+    /// canonical text encoding cannot tell apart, and each format
+    /// re-saves byte-identically — save ∘ load is the identity on disk.
+    #[test]
+    fn formats_agree_and_resave_identically(
+        seed in 0u64..200,
+        count in 8usize..30,
+        capacity in 5usize..25,
+    ) {
+        let (gc, _d) = warmed_cache(seed, count, capacity);
+        let root = tmpdir(&format!("formats-{seed}-{count}-{capacity}"));
+        let text = root.join("text");
+        let bin = root.join("bin");
+        gc.save_with_format(&text, PersistFormat::Text).unwrap();
+        gc.save_with_format(&bin, PersistFormat::Binary).unwrap();
+
+        // Loaded states must agree once both are re-encoded canonically
+        // as text (entries, stats and fragments in one comparison).
+        let from_text = PersistedCache::load_auto(&text, QueryKind::Subgraph).unwrap();
+        let from_bin = PersistedCache::load_auto(&bin, QueryKind::Subgraph).unwrap();
+        prop_assert_eq!(from_text.entries.len(), from_bin.entries.len());
+        let text2 = root.join("text2");
+        let bin_as_text = root.join("bin-as-text");
+        from_text.save(&text2).unwrap();
+        from_bin.save(&bin_as_text).unwrap();
+        for name in ["entries.txt", "stats.txt", "fragments.txt"] {
+            prop_assert_eq!(
+                read_file(&text2, name),
+                read_file(&bin_as_text, name),
+                "{} differs between text and binary loads",
+                name
+            );
+        }
+        // Text re-save is byte-identical to the original text save.
+        for name in ["entries.txt", "stats.txt", "fragments.txt"] {
+            prop_assert_eq!(read_file(&text, name), read_file(&text2, name));
+        }
+        // Binary re-save (profiles included) is byte-identical too.
+        let bin2 = root.join("bin2");
+        PersistedCache::load_binary(&bin)
+            .unwrap()
+            .save_binary(&bin2)
+            .unwrap();
+        prop_assert_eq!(
+            read_file(&bin, "snapshot.bin"),
+            read_file(&bin2, "snapshot.bin")
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// A binary snapshot restores into a fresh cache that answers the
+    /// original workload identically to a text restore of the same state.
+    #[test]
+    fn binary_restore_replays_like_text_restore(
+        seed in 0u64..200,
+        count in 8usize..25,
+    ) {
+        let (gc, d) = warmed_cache(seed, count, 15);
+        let workload = generate_type_a(&d, &TypeAConfig::zz(1.4).count(count).seed(seed + 1));
+        let root = tmpdir(&format!("replay-{seed}-{count}"));
+        gc.save_with_format(root.join("text"), PersistFormat::Text).unwrap();
+        gc.save_with_format(root.join("bin"), PersistFormat::Binary).unwrap();
+        drop(gc);
+
+        let fresh = |dir: std::path::PathBuf| {
+            let c = GraphCache::builder()
+                .capacity(15)
+                .window(4)
+                .cost_model(CostModel::Work)
+                .build(MethodBuilder::ggsx().build(&d));
+            c.restore(dir).unwrap();
+            c
+        };
+        let via_text = fresh(root.join("text"));
+        let via_bin = fresh(root.join("bin"));
+        prop_assert_eq!(via_text.cache_len(), via_bin.cache_len());
+        for q in workload.graphs() {
+            let a = via_text.run(q);
+            let b = via_bin.run(q);
+            prop_assert_eq!(a.answer, b.answer);
+            prop_assert_eq!(a.record.exact_hit, b.record.exact_hit);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+/// Pre-fingerprint, pre-kind-token text saves (the legacy on-disk shape)
+/// still load — into the same arena-backed layout as everything else —
+/// and restore into a working cache.
+#[test]
+fn legacy_text_save_loads_into_arena_layout() {
+    let (gc, d) = warmed_cache(7, 20, 12);
+    let dir = tmpdir("legacy");
+    gc.save(&dir).unwrap();
+    let cached = gc.cache_len();
+    drop(gc);
+
+    // Strip the modern header tokens: "@entry N sub fp:abcd…" → "@entry N",
+    // and drop the policy line — the shape written before direction
+    // tagging, fingerprints and the policy engine existed.
+    let entries = std::fs::read_to_string(dir.join("entries.txt")).unwrap();
+    let legacy: String = entries
+        .lines()
+        .filter(|l| !l.starts_with("policy "))
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("@entry ") {
+                let serial = rest.split_whitespace().next().unwrap();
+                format!("@entry {serial}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(dir.join("entries.txt"), legacy).unwrap();
+
+    let loaded = PersistedCache::load_auto(&dir, QueryKind::Subgraph).unwrap();
+    assert_eq!(loaded.entries.len(), cached);
+    let second = GraphCache::builder()
+        .capacity(12)
+        .window(4)
+        .cost_model(CostModel::Work)
+        .build(MethodBuilder::ggsx().build(&d));
+    second.restore(&dir).unwrap();
+    assert_eq!(second.cache_len(), cached);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Truncating or flipping bytes anywhere in a binary snapshot must
+/// surface as a typed [`GraphError::Snapshot`] from the load — never a
+/// panic, and never a silently wrong cache.
+#[test]
+fn corrupted_binary_snapshot_fails_typed() {
+    let (gc, _d) = warmed_cache(9, 20, 12);
+    let dir = tmpdir("corrupt");
+    gc.save_with_format(&dir, PersistFormat::Binary).unwrap();
+    drop(gc);
+    let good = read_file(&dir, "snapshot.bin");
+    assert!(PersistedCache::load_binary(&dir).is_ok());
+
+    let expect_snapshot_err = |bytes: &[u8], what: String| {
+        std::fs::write(dir.join("snapshot.bin"), bytes).unwrap();
+        match PersistedCache::load_binary(&dir) {
+            Err(GraphError::Snapshot { .. }) => {}
+            other => panic!("{what}: expected GraphError::Snapshot, got {other:?}"),
+        }
+    };
+    // Truncations at coarse steps plus the boundary-sensitive first bytes.
+    let step = (good.len() / 64).max(1);
+    for cut in (0..good.len()).step_by(step).chain(0..16.min(good.len())) {
+        expect_snapshot_err(&good[..cut], format!("truncated to {cut} bytes"));
+    }
+    // Bit flips anywhere break the checksum.
+    for pos in (0..good.len()).step_by((good.len() / 32).max(1)) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x40;
+        expect_snapshot_err(&bad, format!("flipped byte {pos}"));
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
