@@ -417,6 +417,15 @@ pub struct QueryRequest {
     /// statistics. Useful for baselines and for queries known to be
     /// one-off.
     pub bypass_cache: bool,
+    /// Wall-clock deadline for this request, in milliseconds from the
+    /// moment execution starts. When it expires mid-query the execution
+    /// aborts at the next checkpoint: the result comes back with an empty
+    /// answer and
+    /// [`deadline_exceeded`](crate::QueryRecord::deadline_exceeded) set,
+    /// and the query is neither admitted to the Window nor credited in
+    /// the statistics (an aborted query must not perturb cache state).
+    /// `None` = no deadline.
+    pub timeout_ms: Option<u64>,
     /// Caller-chosen correlation tag, echoed on the [`QueryResponse`].
     /// Batch submission preserves input order, so the tag is only needed
     /// when responses are routed onward asynchronously.
@@ -433,6 +442,7 @@ impl QueryRequest {
             verify_budget: None,
             max_hits: None,
             bypass_cache: false,
+            timeout_ms: None,
             tag: 0,
         }
     }
@@ -465,6 +475,13 @@ impl QueryRequest {
     /// Routes this request around the cache (uncached Method M execution).
     pub fn bypass_cache(mut self, bypass: bool) -> Self {
         self.bypass_cache = bypass;
+        self
+    }
+
+    /// Sets a wall-clock deadline (milliseconds from execution start) for
+    /// this request; expiry aborts the query at the next checkpoint.
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
         self
     }
 
@@ -501,6 +518,27 @@ struct RunOverrides {
     hit_match: Option<MatchConfig>,
     verify_budget: Option<u64>,
     max_hits: Option<usize>,
+    deadline: Option<Instant>,
+}
+
+/// True once a request's wall-clock deadline has passed.
+fn deadline_past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Finishes a deadline-aborted execution: the record keeps the work
+/// counters of the phases that did run (truthful accounting), the answer
+/// is empty, and the caller returns without Window admission or
+/// statistics credit so the abort leaves cache state untouched.
+fn deadline_abort(serial: QuerySerial, mut record: QueryRecord) -> QueryResult {
+    record.deadline_exceeded = true;
+    record.truncated = true;
+    record.answer_size = 0;
+    QueryResult {
+        serial,
+        answer: Vec::new(),
+        record,
+    }
 }
 
 /// Outcome of one [`QueryRequest`]: the wrapped [`QueryResult`] plus
@@ -513,6 +551,17 @@ pub struct QueryResponse {
     pub bypassed_cache: bool,
     /// The execution outcome (serial, answer, metrics).
     pub result: QueryResult,
+}
+
+/// What [`GraphCache::restore`] recovered: which snapshot generation it
+/// came from and how many entries landed in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Sequence number of the generation the state was loaded from, or
+    /// `None` for a legacy flat-file (pre-MANIFEST) restore.
+    pub generation: Option<u64>,
+    /// Number of entries in the cache after the restore.
+    pub entries: usize,
 }
 
 /// Owns the background Window Manager thread. Held behind an `Arc` by
@@ -1062,13 +1111,21 @@ impl GraphCache {
     /// pre-restore statistics, which only affects replacement-policy
     /// bookkeeping, never answers. The serial counter only moves forward
     /// (`max` with the restored value), so in-flight serials stay unique.
-    pub fn restore(&self, dir: impl AsRef<std::path::Path>) -> Result<(), gc_graph::GraphError> {
-        // Format auto-detection: a `snapshot.bin` restores as a binary
-        // snapshot, text files otherwise. Legacy text saves (no per-entry
-        // kind token) default to this cache's configured kind — they
-        // predate mixed-direction caches, so the whole save was answered
-        // under one direction.
-        let mut loaded = crate::persist::PersistedCache::load_auto(dir, self.cfg.query_kind)?;
+    pub fn restore(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<RestoreReport, gc_graph::GraphError> {
+        // Generation-aware recovery: when a checksum-valid MANIFEST is
+        // present the newest intact generation wins (falling back to the
+        // previous one if the newest is damaged); manifest-less
+        // directories keep the legacy flat-file auto-detection — a
+        // `snapshot.bin` restores as a binary snapshot, text files
+        // otherwise. Legacy text saves (no per-entry kind token) default
+        // to this cache's configured kind — they predate mixed-direction
+        // caches, so the whole save was answered under one direction.
+        let recovered = crate::persist::PersistedCache::load_resilient(dir, self.cfg.query_kind)?;
+        let generation = recovered.generation;
+        let mut loaded = recovered.state;
         let saved_policy = loaded.policy.clone();
         let saved_fragments = std::mem::take(&mut loaded.fragments);
         // The persisted format carries no shard layout: entries are
@@ -1118,7 +1175,28 @@ impl GraphCache {
         if let Some(frags) = &self.shared.fragments {
             frags.install(saved_fragments);
         }
-        Ok(())
+        self.shared.recovered_generation.store(
+            generation.unwrap_or(0),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        Ok(RestoreReport {
+            generation,
+            entries: self.cache_len(),
+        })
+    }
+
+    /// The generation the cache was last [`restore`](Self::restore)d from,
+    /// or `None` when it never restored from a generational snapshot
+    /// (fresh cache, or a legacy flat-file restore).
+    pub fn recovered_generation(&self) -> Option<u64> {
+        match self
+            .shared
+            .recovered_generation
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            0 => None,
+            g => Some(g),
+        }
     }
 
     /// Blocks until all queued background maintenance has been applied.
@@ -1204,6 +1282,9 @@ impl GraphCache {
                     hit_match: request.hit_match,
                     verify_budget: request.verify_budget,
                     max_hits: request.max_hits,
+                    deadline: request
+                        .timeout_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms)),
                 },
             )
         };
@@ -1277,6 +1358,7 @@ impl GraphCache {
                 // verification would be wasted work on that path.
                 exact_shortcut: true,
                 threads: self.cfg.verify_threads.max(1),
+                deadline: ov.deadline,
                 ..processors::VerifyOptions::default()
             },
         );
@@ -1293,6 +1375,15 @@ impl GraphCache {
             exact_via_fingerprint: hits.exact_via_fingerprint,
             ..Default::default()
         };
+
+        // Deadline checkpoint: the hit sweep itself timed out. Abort with
+        // an empty answer before any cache-state side effect (no Window
+        // admission, no statistics credit) — an aborted query must leave
+        // the cache exactly as it found it.
+        if hits.deadline_exceeded {
+            drop(pending_filter);
+            return deadline_abort(serial, record);
+        }
 
         // First special case: an isomorphic cached query answers instantly,
         // without waiting for (or even running) Method M's filter; a
@@ -1332,6 +1423,12 @@ impl GraphCache {
         };
         record.m_filter = m_charge;
         record.cs_m_size = m_out.candidates.len();
+
+        // Deadline checkpoint after Method M's filter (the last phase
+        // before pruning touches statistics).
+        if deadline_past(ov.deadline) {
+            return deadline_abort(serial, record);
+        }
 
         // (4): candidate set pruning via equations (1) and (2).
         let (expanding, restricting) = match kind {
@@ -1399,6 +1496,15 @@ impl GraphCache {
                     }
                 }
             }
+        }
+
+        // Deadline checkpoint before Mverify — the NP-complete sweep is
+        // the phase most likely to blow a latency budget, so it never
+        // starts once the deadline has passed. (A test already in flight
+        // inside Mverify runs to completion; deadlines are checked between
+        // phases and between matcher tests, never inside one.)
+        if deadline_past(ov.deadline) {
+            return deadline_abort(serial, record);
         }
 
         // (5): verification of the reduced candidate set by Mverifier.

@@ -82,6 +82,7 @@ pub mod pruner;
 pub mod query_index;
 pub mod registry;
 pub mod snapshot_bin;
+pub mod staged;
 pub mod stats;
 pub mod window;
 
@@ -90,17 +91,20 @@ pub use admission::{
 };
 pub use cache::{
     AdmissionSpec, GcConfig, GraphCache, GraphCacheBuilder, QueryRequest, QueryResponse,
-    QueryResult,
+    QueryResult, RestoreReport,
 };
 pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
 pub use gc_fragments::FragmentConfig;
 pub use gc_methods::QueryKind;
 pub use metrics::{MaintStats, QueryRecord, RunCounters, RunSummary};
-pub use persist::{PersistFormat, PersistedCache, PersistedEntry, StoredProfiles};
+pub use persist::{
+    PersistFormat, PersistedCache, PersistedEntry, RecoveredSnapshot, StoredProfiles,
+};
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};
 pub use processors::{find_hits, find_hits_naive, find_hits_opts, HitQuery, HitSet, VerifyOptions};
 pub use query_index::{QueryIndex, QueryIndexConfig};
 pub use registry::{PolicyError, PolicyParams, PolicyRegistry};
+pub use staged::{FaultIo, FaultMode, Manifest, RealIo, SnapshotIo};
 pub use stats::{QuerySerial, StatsStore};
 pub use window::WindowEntry;

@@ -57,6 +57,10 @@ pub struct QueryRecord {
     pub fragment_hits: u64,
     /// Candidates removed by intersecting fragment occurrence sets.
     pub fragment_pruned: u64,
+    /// The query's wall-clock deadline expired mid-execution: the sweep
+    /// was aborted and the answer discarded (the daemon maps this to
+    /// `ERR code=deadline`). Implies [`truncated`](Self::truncated).
+    pub deadline_exceeded: bool,
 }
 
 impl QueryRecord {
@@ -111,6 +115,7 @@ impl QueryRecord {
             ("fragment_probes", self.fragment_probes),
             ("fragment_hits", self.fragment_hits),
             ("fragment_pruned", self.fragment_pruned),
+            ("deadline", self.deadline_exceeded as u64),
         ]
     }
 
@@ -137,6 +142,7 @@ impl QueryRecord {
             "fragment_probes" => self.fragment_probes = value,
             "fragment_hits" => self.fragment_hits = value,
             "fragment_pruned" => self.fragment_pruned = value,
+            "deadline" => self.deadline_exceeded = value != 0,
             _ => return false,
         }
         true
@@ -261,6 +267,8 @@ pub struct RunCounters {
     pub fragment_hits: u64,
     /// Candidates removed by fragment occurrence-set intersection.
     pub fragment_pruned: u64,
+    /// Queries aborted because their wall-clock deadline expired.
+    pub deadline_aborts: u64,
 }
 
 impl RunCounters {
@@ -297,6 +305,7 @@ impl RunCounters {
         self.fragment_probes += r.fragment_probes;
         self.fragment_hits += r.fragment_hits;
         self.fragment_pruned += r.fragment_pruned;
+        self.deadline_aborts += r.deadline_exceeded as u64;
     }
 
     /// Stable `(name, value)` enumeration of every counter, in schema
@@ -323,6 +332,7 @@ impl RunCounters {
             ("fragment_probes", self.fragment_probes),
             ("fragment_hits", self.fragment_hits),
             ("fragment_pruned", self.fragment_pruned),
+            ("deadline_aborts", self.deadline_aborts),
         ]
     }
 }
@@ -547,13 +557,14 @@ mod tests {
             fragment_probes: 16,
             fragment_hits: 17,
             fragment_pruned: 18,
+            deadline_aborts: 19,
         };
         let listed = c.deterministic_counters();
         // Every field appears exactly once, in declaration order, with
-        // distinct values 1..=18 proving no field maps to a wrong name.
-        assert_eq!(listed.len(), 18);
+        // distinct values 1..=19 proving no field maps to a wrong name.
+        assert_eq!(listed.len(), 19);
         let values: Vec<u64> = listed.iter().map(|(_, v)| *v).collect();
-        assert_eq!(values, (1..=18).collect::<Vec<u64>>());
+        assert_eq!(values, (1..=19).collect::<Vec<u64>>());
         let m = MaintStats {
             rounds: 1,
             entries_admitted: 2,
@@ -590,6 +601,7 @@ mod tests {
             fragment_probes: 14,
             fragment_hits: 15,
             fragment_pruned: 16,
+            deadline_exceeded: true,
             ..Default::default()
         };
         let mut rebuilt = QueryRecord::default();

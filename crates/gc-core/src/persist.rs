@@ -43,7 +43,7 @@ use gc_graph::{io, GraphError, GraphId};
 use gc_index::fingerprint::iso_hash;
 use gc_index::paths::{enumerate_paths, PathProfile};
 use gc_methods::QueryKind;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -112,6 +112,17 @@ pub struct PersistedCache {
     pub profiles: Option<StoredProfiles>,
 }
 
+/// What [`PersistedCache::load_resilient`] recovered: the state plus the
+/// generation it came from (`None` for legacy flat-file directories with
+/// no `MANIFEST`).
+#[derive(Debug)]
+pub struct RecoveredSnapshot {
+    /// The recovered cache state.
+    pub state: PersistedCache,
+    /// The manifest generation the state was read from, when one exists.
+    pub generation: Option<u64>,
+}
+
 /// One persisted fragment of the sub-query fragment cache: the canonical
 /// (iso-invariant) key, the fragment's path graph, its exact occurrence
 /// set, and the usage statistics that re-seed the fragment eviction
@@ -136,71 +147,85 @@ pub struct PersistedFragment {
 }
 
 impl PersistedCache {
-    /// Writes the state into `dir` (created if missing).
+    /// Writes the state into `dir` (created if missing) in the text
+    /// format, through the crash-safe staged path (see
+    /// [`save_staged`](Self::save_staged)).
     pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let mut ef = BufWriter::new(std::fs::File::create(dir.join("entries.txt"))?);
-        writeln!(ef, "next_serial {}", self.next_serial)?;
-        if let Some(policy) = &self.policy {
-            writeln!(ef, "policy {policy}")?;
-        }
-        for (serial, graph, answer, kind, fingerprint) in &self.entries {
-            let kind_tok = match kind {
-                QueryKind::Subgraph => "sub",
-                QueryKind::Supergraph => "super",
-            };
-            writeln!(ef, "@entry {serial} {kind_tok} fp:{fingerprint:016x}")?;
-            io::write_graph(&mut ef, &format!("q{serial}"), graph)?;
-            write!(ef, "answers:")?;
-            for id in answer {
-                write!(ef, " {}", id.0)?;
-            }
-            writeln!(ef)?;
-        }
-        ef.flush()?;
-
-        let mut sf = BufWriter::new(std::fs::File::create(dir.join("stats.txt"))?);
-        write_stats_text(&mut sf, &self.stats)?;
-        sf.flush()?;
-
-        // Always (re)written, even when empty: a save into a directory
-        // that previously held fragments must not leave the stale file
-        // behind for the next load to pick up.
-        let mut ff = BufWriter::new(std::fs::File::create(dir.join("fragments.txt"))?);
-        write_fragments_text(&mut ff, &self.fragments)?;
-        ff.flush()?;
-
-        // Same stale-format hygiene across representations: a text save
-        // into a directory that previously held a binary snapshot must
-        // not leave it behind for auto-detection to prefer.
-        match std::fs::remove_file(dir.join("snapshot.bin")) {
-            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
-            _ => Ok(()),
-        }
+        self.save_as(dir, PersistFormat::Text)
     }
 
     /// Writes the state into `dir` as a persist-format-v2 binary snapshot
     /// (see [`crate::snapshot_bin`]), removing any text-format files so
-    /// the directory holds exactly one representation.
+    /// the flat view of the directory holds exactly one representation.
     pub fn save_binary(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("snapshot.bin"), crate::snapshot_bin::encode(self))?;
-        for stale in ["entries.txt", "stats.txt", "fragments.txt"] {
-            match std::fs::remove_file(dir.join(stale)) {
-                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e),
-                _ => {}
-            }
-        }
-        Ok(())
+        self.save_as(dir, PersistFormat::Binary)
     }
 
     /// Writes the state into `dir` in the chosen [`PersistFormat`].
     pub fn save_as(&self, dir: impl AsRef<Path>, format: PersistFormat) -> std::io::Result<()> {
+        self.save_staged(dir, format, &crate::staged::RealIo)
+            .map(|_| ())
+    }
+
+    /// The crash-safe save path every other save entry point funnels
+    /// through: encodes the chosen format's files, stages them (write to
+    /// `*.tmp`, fsync, rename) into a new generation slot, and commits by
+    /// atomically replacing the checksum-validated `MANIFEST` — see
+    /// [`crate::staged`]. All filesystem mutations run through `io`, so a
+    /// fault-injecting [`SnapshotIo`](crate::staged::SnapshotIo) can
+    /// deterministically crash the save at any operation. Returns the
+    /// committed generation number.
+    pub fn save_staged(
+        &self,
+        dir: impl AsRef<Path>,
+        format: PersistFormat,
+        io: &dyn crate::staged::SnapshotIo,
+    ) -> std::io::Result<u64> {
+        let files = self.encoded_files(format)?;
+        crate::staged::commit_generation(dir.as_ref(), &files, format, io)
+    }
+
+    /// Encodes the on-disk file set of one save, fully in memory — the
+    /// staged writer publishes whole files atomically, so contents are
+    /// assembled before any filesystem mutation happens.
+    fn encoded_files(
+        &self,
+        format: PersistFormat,
+    ) -> std::io::Result<Vec<(&'static str, Vec<u8>)>> {
         match format {
-            PersistFormat::Text => self.save(dir),
-            PersistFormat::Binary => self.save_binary(dir),
+            PersistFormat::Text => {
+                let mut ef: Vec<u8> = Vec::new();
+                writeln!(ef, "next_serial {}", self.next_serial)?;
+                if let Some(policy) = &self.policy {
+                    writeln!(ef, "policy {policy}")?;
+                }
+                for (serial, graph, answer, kind, fingerprint) in &self.entries {
+                    let kind_tok = match kind {
+                        QueryKind::Subgraph => "sub",
+                        QueryKind::Supergraph => "super",
+                    };
+                    writeln!(ef, "@entry {serial} {kind_tok} fp:{fingerprint:016x}")?;
+                    io::write_graph(&mut ef, &format!("q{serial}"), graph)?;
+                    write!(ef, "answers:")?;
+                    for id in answer {
+                        write!(ef, " {}", id.0)?;
+                    }
+                    writeln!(ef)?;
+                }
+                let mut sf: Vec<u8> = Vec::new();
+                write_stats_text(&mut sf, &self.stats)?;
+                // Always (re)written, even when empty: a save into a
+                // directory that previously held fragments must not leave
+                // the stale file behind for the next load to pick up.
+                let mut ff: Vec<u8> = Vec::new();
+                write_fragments_text(&mut ff, &self.fragments)?;
+                Ok(vec![
+                    ("entries.txt", ef),
+                    ("stats.txt", sf),
+                    ("fragments.txt", ff),
+                ])
+            }
+            PersistFormat::Binary => Ok(vec![("snapshot.bin", crate::snapshot_bin::encode(self))]),
         }
     }
 
@@ -224,6 +249,74 @@ impl PersistedCache {
             Self::load_binary(dir)
         } else {
             Self::load_with_default_kind(dir, default_kind)
+        }
+    }
+
+    /// The crash-recovering load: when the directory carries a valid
+    /// `MANIFEST` (see [`crate::staged`]), generations are tried newest
+    /// first — each validated against its recorded checksums before
+    /// parsing — and the first valid one wins, so a save that crashed
+    /// mid-write falls back to the previous good generation. Directories
+    /// without a manifest (or with a corrupt one) load through the legacy
+    /// flat-file [`load_auto`](Self::load_auto) path.
+    pub fn load_resilient(
+        dir: impl AsRef<Path>,
+        default_kind: QueryKind,
+    ) -> Result<RecoveredSnapshot, GraphError> {
+        let dir = dir.as_ref();
+        let Some(manifest) = crate::staged::Manifest::read(dir) else {
+            return Ok(RecoveredSnapshot {
+                state: Self::load_auto(dir, default_kind)?,
+                generation: None,
+            });
+        };
+        let mut last_err: Option<GraphError> = None;
+        for gen in &manifest.generations {
+            match Self::load_generation(dir, gen, default_kind) {
+                Ok(state) => {
+                    return Ok(RecoveredSnapshot {
+                        state,
+                        generation: Some(gen.seq),
+                    })
+                }
+                Err(e) => {
+                    eprintln!(
+                        "gc-core: warning: generation {} in {dir:?} failed to load ({e}); \
+                         falling back to the previous generation",
+                        gen.seq
+                    );
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| GraphError::snapshot(0, "manifest lists no usable generation")))
+    }
+
+    /// Loads one manifest-listed generation, validating every file's
+    /// length and checksum against the manifest before parsing — a torn
+    /// or bit-flipped file is rejected without trusting its contents.
+    fn load_generation(
+        dir: &Path,
+        gen: &crate::staged::Generation,
+        default_kind: QueryKind,
+    ) -> Result<Self, GraphError> {
+        let slot = dir.join(crate::staged::generation_dir_name(gen.seq));
+        for file in &gen.files {
+            let bytes = std::fs::read(slot.join(&file.name))?;
+            if bytes.len() as u64 != file.len || crate::staged::fnv1a(&bytes) != file.checksum {
+                return Err(GraphError::snapshot(
+                    0,
+                    format!(
+                        "generation {} file {} fails manifest validation",
+                        gen.seq, file.name
+                    ),
+                ));
+            }
+        }
+        match gen.format {
+            PersistFormat::Binary => Self::load_binary(&slot),
+            PersistFormat::Text => Self::load_with_default_kind(&slot, default_kind),
         }
     }
 

@@ -75,6 +75,10 @@ pub struct HitSet {
     /// The exact hit was resolved through the fingerprint map (as opposed
     /// to falling out of a full candidate sweep, as the naive path does).
     pub exact_via_fingerprint: bool,
+    /// The per-query deadline expired mid-sweep: the hit sets are a sound
+    /// subset, cut short by wall-clock time rather than the work pool.
+    /// Implies [`truncated`](Self::truncated).
+    pub deadline_exceeded: bool,
 }
 
 /// The query-side inputs of hit detection, bundled so the profile and
@@ -127,6 +131,12 @@ pub struct VerifyOptions {
     /// Minimum ordered-queue length before verification fans across
     /// threads; below it the sweep stays sequential (spawn cost dominates).
     pub parallel_threshold: usize,
+    /// Wall-clock deadline for the sweep, checked at the same arbitration
+    /// points as the work pool (between matcher tests, never inside one).
+    /// Expiry stops the sweep with
+    /// [`deadline_exceeded`](HitSet::deadline_exceeded) set. `None` =
+    /// no deadline.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for VerifyOptions {
@@ -137,6 +147,7 @@ impl Default for VerifyOptions {
             exact_shortcut: false,
             threads: 1,
             parallel_threshold: 32,
+            deadline: None,
         }
     }
 }
@@ -261,6 +272,11 @@ pub fn find_hits_opts(
     for entry in bucket {
         if pool == Some(0) {
             hits.truncated = true;
+            break;
+        }
+        if deadline_expired(opts) {
+            hits.truncated = true;
+            hits.deadline_exceeded = true;
             break;
         }
         // Equal node and edge counts make containment isomorphism (§5.1),
@@ -413,6 +429,12 @@ fn hit_budget_met(hits: &HitSet, opts: &VerifyOptions) -> bool {
         .is_some_and(|m| hits.sub.len() + hits.super_.len() >= m)
 }
 
+/// True once the sweep's wall-clock deadline has passed.
+fn deadline_expired(opts: &VerifyOptions) -> bool {
+    opts.deadline
+        .is_some_and(|d| std::time::Instant::now() >= d)
+}
+
 fn verify_sequential(
     queue: &[Cand<'_>],
     hq: &HitQuery<'_>,
@@ -428,6 +450,11 @@ fn verify_sequential(
         }
         if pool == Some(0) {
             hits.truncated = true;
+            break;
+        }
+        if deadline_expired(opts) {
+            hits.truncated = true;
+            hits.deadline_exceeded = true;
             break;
         }
         let (pattern, target) = match cand.dir {
@@ -469,6 +496,7 @@ fn verify_parallel(
     let next = AtomicUsize::new(0);
     let hit_count = AtomicUsize::new(hits.sub.len() + hits.super_.len());
     let stop = AtomicBool::new(false);
+    let expired = AtomicBool::new(false);
     // u64::MAX stands in for "unbounded" so one atomic covers both cases.
     let pool_left = AtomicU64::new(pool.unwrap_or(u64::MAX));
     let bounded = pool.is_some();
@@ -480,11 +508,17 @@ fn verify_parallel(
                 let next = &next;
                 let hit_count = &hit_count;
                 let stop = &stop;
+                let expired = &expired;
                 let pool_left = &pool_left;
                 s.spawn(move || {
                     let mut local: Vec<(usize, MatchOutcome, bool)> = Vec::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if deadline_expired(opts) {
+                            expired.store(true, Ordering::Relaxed);
+                            stop.store(true, Ordering::Relaxed);
                             break;
                         }
                         if opts
@@ -571,6 +605,10 @@ fn verify_parallel(
     // Candidates left unverified for any reason other than the caller's
     // own hit budget mean the pool cut the sweep short.
     if outcomes.len() < n && !hit_budget_met(hits, opts) {
+        hits.truncated = true;
+    }
+    if expired.load(Ordering::Relaxed) {
+        hits.deadline_exceeded = true;
         hits.truncated = true;
     }
 }

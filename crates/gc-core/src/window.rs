@@ -178,6 +178,11 @@ pub(crate) struct Shared {
     pub maint: Mutex<()>,
     /// Serial-number source; queries claim `fetch_add(1) + 1` on arrival.
     pub serial: AtomicU64,
+    /// Sequence number of the snapshot generation the cache was last
+    /// restored from (`0` = never restored, or restored from a flat
+    /// pre-generation snapshot). A gauge, not a counter: each successful
+    /// [`GraphCache::restore`](crate::GraphCache::restore) overwrites it.
+    pub recovered_generation: AtomicU64,
     /// Cumulative maintenance time (µs) and rounds — the Fig. 10 overhead.
     pub maintenance_us: AtomicU64,
     /// Number of maintenance rounds executed.
@@ -209,6 +214,7 @@ impl Shared {
             window: Mutex::new(Vec::new()),
             maint: Mutex::new(()),
             serial: AtomicU64::new(0),
+            recovered_generation: AtomicU64::new(0),
             maintenance_us: AtomicU64::new(0),
             maintenance_rounds: AtomicU64::new(0),
             maint_counters: MaintCounters::default(),

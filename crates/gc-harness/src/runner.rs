@@ -55,6 +55,15 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
     );
     counters.push(("cache_entries".to_string(), cache.cache_len() as u64));
     counters.push(("memory_bytes".to_string(), cache.memory_bytes() as u64));
+    // Durability gauges, mirrored from the daemon's STATS payload so the
+    // served and in-process counter vectors stay byte-identical. An
+    // in-process run never writes periodic snapshots and never restores,
+    // so both are structurally zero here.
+    counters.push(("snapshots_written".to_string(), 0));
+    counters.push((
+        "recovered_generation".to_string(),
+        cache.recovered_generation().unwrap_or(0),
+    ));
 
     if scenario.persist_cycle {
         let snapshot_bytes = persist_cycle(scenario, &cache, &dataset)?;

@@ -14,7 +14,7 @@
 //! the correctness spine for routing queries to remote caches later
 //! (ROADMAP item 5).
 
-use crate::client::{Client, ClientError, QueryOutcome};
+use crate::client::{Client, ClientError, QueryOutcome, RetryPolicy};
 use crate::proto::{QueryFrame, StatsScope};
 use crate::server::{ServeConfig, Server};
 use gc_core::{CostModel, GraphCache, QueryRecord, RunCounters};
@@ -128,6 +128,8 @@ pub fn run_scenario_served(scenario: &Scenario) -> Result<ScenarioReport, String
         "postings_debt",
         "cache_entries",
         "memory_bytes",
+        "snapshots_written",
+        "recovered_generation",
     ] {
         let value = stats
             .iter()
@@ -157,6 +159,13 @@ fn serve_workload<'a>(
 ) -> Result<ReplayOutput, ClientError> {
     let mut client = connect_with_retry(socket)?;
     let mut records = Vec::new();
+    // The ISSUE's parity bar: counters must stay byte-identical *with the
+    // failure-handling paths enabled*. Every query carries a generous
+    // deadline (never hit on these tiny scenarios) and goes through the
+    // retry wrapper (BUSY never fires for one sequential client), so the
+    // deadline and retry machinery is exercised without perturbing the
+    // deterministic counter stream.
+    let retry = RetryPolicy::default();
     for (i, graph) in graphs.enumerate() {
         let frame = QueryFrame {
             id: i as u64,
@@ -165,8 +174,9 @@ fn serve_workload<'a>(
             verify_budget: None,
             max_hits: None,
             bypass: false,
+            timeout_ms: Some(60_000),
         };
-        match client.query(frame)? {
+        match client.query_with_retry(frame, &retry)? {
             QueryOutcome::Result(result) => records.push(result.record),
             QueryOutcome::Busy { inflight, max } => {
                 // One sequential client can never saturate the pool; a

@@ -14,6 +14,96 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+/// Bounded, deterministic retry/backoff for `BUSY` rejections and
+/// transient connect failures. The protocol's contract is "the client
+/// owns the retry" — this is that retry, with two properties the server
+/// counters depend on:
+///
+/// * **Bounded**: at most `attempts` retries after the first try, so a
+///   saturated or dead server fails fast instead of spinning forever.
+/// * **Deterministic**: the backoff schedule (exponential with jitter) is
+///   a pure function of `seed` and the attempt number — no wall-clock
+///   randomness — so two replays with the same seed sleep identically
+///   and served counter streams stay reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry, plain `query`).
+    pub attempts: u32,
+    /// Backoff base: attempt `i` targets `base_delay_ms << i`.
+    pub base_delay_ms: u64,
+    /// Hard cap on any single backoff delay.
+    pub max_delay_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` retries and the default backoff shape.
+    pub fn with_attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy with a caller-chosen jitter seed.
+    pub fn seeded(attempts: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// growth capped at `max_delay_ms`, landing in the upper half of the
+    /// cap window via seeded xorshift jitter. Pure — same policy, same
+    /// attempt, same delay.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let capped = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        if capped == 0 {
+            return Duration::ZERO;
+        }
+        // xorshift64* over (seed, attempt) — deterministic jitter with no
+        // shared mutable state.
+        let mut x = self.seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let jitter = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (capped / 2 + 1);
+        Duration::from_millis(capped - capped / 2 + jitter)
+    }
+
+    /// Whether a connect-time I/O failure is worth retrying: the errors a
+    /// daemon mid-restart produces (socket file not there yet, listener
+    /// not accepting yet). Anything else — permission, address in use by
+    /// a live server, unreachable host — fails fast.
+    pub fn transient_connect(err: &std::io::Error) -> bool {
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::NotFound
+                | std::io::ErrorKind::AddrNotAvailable
+        )
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -114,6 +204,7 @@ pub struct Client {
     reader: FrameReader,
     session: u64,
     max_inflight: u64,
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -127,6 +218,39 @@ impl Client {
         Client::greet(Conn::Unix(UnixStream::connect(path)?))
     }
 
+    /// Connects over TCP, retrying transient failures (connection
+    /// refused/reset) under the policy's deterministic backoff.
+    pub fn connect_tcp_with_retry(addr: &str, policy: &RetryPolicy) -> Result<Client, ClientError> {
+        Client::connect_with_retry(policy, || TcpStream::connect(addr).map(Conn::Tcp))
+    }
+
+    /// Connects over a unix socket, retrying transient failures (socket
+    /// file missing or refusing) under the policy's deterministic backoff.
+    pub fn connect_unix_with_retry(
+        path: impl AsRef<Path>,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let path = path.as_ref();
+        Client::connect_with_retry(policy, || UnixStream::connect(path).map(Conn::Unix))
+    }
+
+    fn connect_with_retry(
+        policy: &RetryPolicy,
+        mut dial: impl FnMut() -> std::io::Result<Conn>,
+    ) -> Result<Client, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match dial() {
+                Ok(conn) => return Client::greet(conn),
+                Err(e) if attempt < policy.attempts && RetryPolicy::transient_connect(&e) => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
     fn greet(conn: Conn) -> Result<Client, ClientError> {
         conn.set_read_timeout(None)?;
         let mut client = Client {
@@ -134,6 +258,7 @@ impl Client {
             reader: FrameReader::new(),
             session: 0,
             max_inflight: 0,
+            timeout: None,
         };
         match client.recv()? {
             Response::Hello {
@@ -157,6 +282,16 @@ impl Client {
     /// The server's admission-permit pool size, from `HELLO`.
     pub fn max_inflight(&self) -> u64 {
         self.max_inflight
+    }
+
+    /// Bounds every subsequent read on this session: when the server goes
+    /// silent for `timeout`, the pending call fails with
+    /// [`ClientError::Io`] of kind `TimedOut` instead of blocking forever.
+    /// `None` restores fully blocking reads.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.conn.set_read_timeout(timeout)?;
+        self.timeout = timeout;
+        Ok(())
     }
 
     fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -183,9 +318,18 @@ impl Client {
                     }
                 }
                 FrameEvent::Closed => return Err(ClientError::SessionClosed { reason: None }),
-                // Blocking sockets only go Idle under an OS-level timeout
-                // some embedder set; treat it as "keep waiting".
-                FrameEvent::Idle => continue,
+                // Idle means the OS read timeout elapsed without bytes.
+                // With a caller-set deadline that is the failure; without
+                // one it is a spurious wakeup — keep waiting.
+                FrameEvent::Idle => {
+                    if self.timeout.is_some() {
+                        return Err(ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "server did not reply within the configured timeout",
+                        )));
+                    }
+                    continue;
+                }
             }
         }
     }
@@ -210,6 +354,29 @@ impl Client {
                 max,
             } if busy_id == id => Ok(QueryOutcome::Busy { inflight, max }),
             other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Submits one query, retrying `BUSY` rejections under `policy`.
+    /// Every retry resubmits the identical frame, so the executed query —
+    /// and therefore the server's deterministic counter stream — is
+    /// byte-identical to a non-retried submission that was admitted first
+    /// try. Returns the final `Busy` when the budget is exhausted; real
+    /// errors (transport, protocol, `ERR`) are never retried.
+    pub fn query_with_retry(
+        &mut self,
+        frame: QueryFrame,
+        policy: &RetryPolicy,
+    ) -> Result<QueryOutcome, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.query(frame.clone())? {
+                QueryOutcome::Busy { .. } if attempt < policy.attempts => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                outcome => return Ok(outcome),
+            }
         }
     }
 

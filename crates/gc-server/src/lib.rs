@@ -38,9 +38,9 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, HoldOutcome, QueryOutcome};
+pub use client::{Client, ClientError, HoldOutcome, QueryOutcome, RetryPolicy};
 pub use proto::{
     FrameReader, ProtoError, QueryFrame, Request, Response, ResultFrame, StatsScope,
     MAX_FRAME_BYTES, PROTO_VERSION,
 };
-pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use server::{ServeConfig, ServeError, Server, ShutdownHandle};

@@ -61,8 +61,12 @@ use std::io::Read;
 /// History: 1 — initial protocol; 2 — `RESULT` frames carry the
 /// fragment-cache fields (`fragment_probes`, `fragment_hits`,
 /// `fragment_pruned`) and global `STATS` replies the fragment upkeep
-/// counters (`fragments_built`, `fragments_evicted`).
-pub const PROTO_VERSION: u64 = 2;
+/// counters (`fragments_built`, `fragments_evicted`); 3 — `QUERY` frames
+/// accept a `timeout=` token (per-query deadline in milliseconds, expiry
+/// answered with `ERR code=deadline`), `RESULT` frames carry the
+/// `deadline` field, and global `STATS` replies add `deadline_aborts`,
+/// `snapshots_written` and `recovered_generation`.
+pub const PROTO_VERSION: u64 = 3;
 
 /// Hard cap on one frame's byte length (newline excluded). A frame beyond
 /// the cap is a [`ProtoError::TooLarge`]; since the remainder of the
@@ -167,6 +171,9 @@ pub struct QueryFrame {
     pub max_hits: Option<u64>,
     /// Route around the cache (baseline execution).
     pub bypass: bool,
+    /// Per-query deadline in milliseconds; the server answers expiry with
+    /// `ERR code=deadline`.
+    pub timeout_ms: Option<u64>,
 }
 
 /// A client → server frame.
@@ -484,6 +491,9 @@ pub fn encode_request(req: &Request) -> String {
             if q.bypass {
                 out.push_str(" bypass=1");
             }
+            if let Some(t) = q.timeout_ms {
+                let _ = write!(out, " timeout={t}");
+            }
             out
         }
         Request::Stats(scope) => match scope.name() {
@@ -536,6 +546,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     )))
                 }
             };
+            let timeout_ms = find_value(args, "timeout")
+                .map(|v| parse_u64(v, "timeout"))
+                .transpose()?;
             Ok(Request::Query(QueryFrame {
                 id,
                 graph,
@@ -543,6 +556,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 verify_budget,
                 max_hits,
                 bypass,
+                timeout_ms,
             }))
         }
         "STATS" => match find_value(args, "scope") {
@@ -833,6 +847,7 @@ mod tests {
                 verify_budget: Some(500),
                 max_hits: Some(3),
                 bypass: true,
+                timeout_ms: Some(250),
             }),
             Request::Query(QueryFrame {
                 id: 0,
@@ -841,6 +856,7 @@ mod tests {
                 verify_budget: None,
                 max_hits: None,
                 bypass: false,
+                timeout_ms: None,
             }),
             Request::Stats(StatsScope::Global),
             Request::Stats(StatsScope::Mine),
@@ -1063,6 +1079,7 @@ mod tests {
                 verify_budget: Some(9),
                 max_hits: Some(2),
                 bypass: false,
+                timeout_ms: Some(100),
             }));
             let cut = cut.min(full.len());
             if full.is_char_boundary(cut) {
@@ -1091,6 +1108,7 @@ mod tests {
                 verify_budget: budget.then_some(7),
                 max_hits: None,
                 bypass: false,
+                timeout_ms: budget.then_some(42),
             });
             let back = parse_request(&encode_request(&frame)).unwrap();
             prop_assert_eq!(back, frame);

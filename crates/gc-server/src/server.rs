@@ -50,6 +50,51 @@ use std::time::{Duration, Instant};
 /// latency bound on noticing a drain request mid-idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Why the daemon stopped abnormally. Typed so callers can distinguish a
+/// transport failure from a drain-time snapshot that did not land — the
+/// latter means the service ran fine but its final state was **not**
+/// persisted, which deserves a different exit path than an accept error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A listener or transport error in the accept loop.
+    Io(std::io::Error),
+    /// The drain-time `persist_on_exit` snapshot failed; the cache served
+    /// correctly but its final state is only as durable as the last
+    /// committed generation.
+    ExitSnapshot {
+        /// The snapshot directory the save targeted.
+        dir: PathBuf,
+        /// The underlying staged-write failure.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::ExitSnapshot { dir, source } => {
+                write!(f, "exit snapshot to {dir:?} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::ExitSnapshot { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
 /// SIGTERM/SIGINT handling. `std` exposes no signal API and the offline
 /// build has no `libc` crate, so this is a minimal hand-rolled binding to
 /// the one function needed: `signal(2)`, which std's runtime already
@@ -102,6 +147,12 @@ pub struct ServeConfig {
     pub drain_timeout: Duration,
     /// Persist the cache snapshot to this directory after drain.
     pub persist_on_exit: Option<PathBuf>,
+    /// Also persist the snapshot periodically while serving (into the
+    /// `persist_on_exit` directory), so a `kill -9` loses at most this
+    /// much history. Saves run from the accept loop through the atomic
+    /// generational writer; queries keep flowing while one is in
+    /// progress. `None` = exit-time snapshot only.
+    pub snapshot_every: Option<Duration>,
     /// On-disk representation for `persist_on_exit` saves (text or the
     /// binary arena snapshot); restores auto-detect, so either works with
     /// `--restore`.
@@ -120,6 +171,7 @@ impl Default for ServeConfig {
             max_inflight: 0,
             drain_timeout: Duration::from_secs(10),
             persist_on_exit: None,
+            snapshot_every: None,
             persist_format: gc_core::PersistFormat::default(),
             handle_signals: false,
         }
@@ -188,6 +240,8 @@ struct Shared {
     global: Mutex<RunCounters>,
     persist_on_exit: Option<PathBuf>,
     persist_format: gc_core::PersistFormat,
+    /// Snapshot generations committed while serving (periodic saves).
+    snapshots_written: AtomicU64,
 }
 
 impl Shared {
@@ -261,6 +315,14 @@ impl Shared {
             "proto_errors".into(),
             self.proto_errors.load(Ordering::SeqCst),
         ));
+        out.push((
+            "snapshots_written".into(),
+            self.snapshots_written.load(Ordering::SeqCst),
+        ));
+        out.push((
+            "recovered_generation".into(),
+            self.cache.recovered_generation().unwrap_or(0),
+        ));
         out
     }
 }
@@ -300,6 +362,7 @@ pub struct Server {
     shared: Arc<Shared>,
     listeners: Vec<Listener>,
     drain_timeout: Duration,
+    snapshot_every: Option<Duration>,
     handle_signals: bool,
     /// Socket file to unlink on exit.
     unix_path: Option<PathBuf>,
@@ -331,10 +394,25 @@ impl Server {
         }
         let mut unix_path = None;
         if let Some(path) = &cfg.unix {
-            // The daemon owns its socket path: a stale file from a
-            // previous run would otherwise make every restart fail with
-            // AddrInUse.
-            let _ = std::fs::remove_file(path);
+            // The daemon owns its socket path, but only when no other
+            // daemon is serving it: probe a leftover socket file with a
+            // connect before unlinking. A live server answers the connect
+            // (bind fails with AddrInUse instead of silently stealing the
+            // path); a dead one refuses, which marks the file stale — the
+            // residue of a crashed or killed daemon — and safe to remove.
+            if path.exists() {
+                match UnixStream::connect(path) {
+                    Ok(_probe) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("socket {} is served by a live daemon", path.display()),
+                        ));
+                    }
+                    Err(_) => {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
             let l = UnixListener::bind(path)?;
             l.set_nonblocking(true)?;
             listeners.push(Listener::Unix(l));
@@ -355,9 +433,11 @@ impl Server {
                 global: Mutex::new(RunCounters::default()),
                 persist_on_exit: cfg.persist_on_exit.clone(),
                 persist_format: cfg.persist_format,
+                snapshots_written: AtomicU64::new(0),
             }),
             listeners,
             drain_timeout: cfg.drain_timeout,
+            snapshot_every: cfg.snapshot_every,
             handle_signals: cfg.handle_signals,
             unix_path,
             tcp_addr,
@@ -378,12 +458,15 @@ impl Server {
 
     /// Runs the accept loop until drain, then waits for sessions to
     /// unwind and optionally persists the snapshot. Returns once the
-    /// daemon is fully stopped.
-    pub fn run(self) -> std::io::Result<()> {
+    /// daemon is fully stopped. A drain-time snapshot that fails is a
+    /// typed [`ServeError::ExitSnapshot`], never a silent drop — the
+    /// operator must learn the final state did not land.
+    pub fn run(self) -> Result<(), ServeError> {
         if self.handle_signals {
             signal::install();
         }
         let mut workers = Vec::new();
+        let mut last_snapshot = Instant::now();
         while !self.shared.draining() {
             let mut accepted = false;
             for listener in &self.listeners {
@@ -395,6 +478,30 @@ impl Server {
             // Reap finished session threads so the join list stays small
             // on long-lived daemons.
             workers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            // Periodic background snapshot, from the accept loop so no
+            // session thread ever blocks on disk. The staged writer makes
+            // a kill -9 mid-save harmless: the previous generation stays
+            // committed until the new MANIFEST renames into place.
+            if let (Some(every), Some(dir)) = (self.snapshot_every, &self.shared.persist_on_exit) {
+                if last_snapshot.elapsed() >= every {
+                    match self
+                        .shared
+                        .cache
+                        .save_with_format(dir, self.shared.persist_format)
+                    {
+                        Ok(()) => {
+                            self.shared.snapshots_written.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            // A failed periodic save degrades durability,
+                            // not service: log and keep serving (the exit
+                            // snapshot still gets its typed error).
+                            eprintln!("gc serve: periodic snapshot to {dir:?} failed: {e}");
+                        }
+                    }
+                    last_snapshot = Instant::now();
+                }
+            }
             if !accepted {
                 std::thread::sleep(POLL_INTERVAL);
             }
@@ -411,14 +518,19 @@ impl Server {
                 let _ = handle.join();
             }
         }
-        if let Some(dir) = &self.shared.persist_on_exit {
+        let exit_snapshot = self.shared.persist_on_exit.as_ref().map(|dir| {
             self.shared
                 .cache
-                .save_with_format(dir, self.shared.persist_format)?;
-        }
+                .save_with_format(dir, self.shared.persist_format)
+                .map_err(|source| ServeError::ExitSnapshot {
+                    dir: dir.clone(),
+                    source,
+                })
+        });
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
+        exit_snapshot.transpose()?;
         Ok(())
     }
 
@@ -665,6 +777,9 @@ impl Session {
         if let Some(max_hits) = frame.max_hits {
             request = request.max_hits(max_hits as usize);
         }
+        if let Some(ms) = frame.timeout_ms {
+            request = request.timeout_ms(ms);
+        }
         request = request.bypass_cache(frame.bypass);
         let response = self.shared.cache.execute(request);
         self.shared.release();
@@ -674,6 +789,20 @@ impl Session {
             .lock()
             .expect("stats lock")
             .add_record(&response.result.record);
+        // A deadline abort is a typed error, not a RESULT: the partial
+        // (empty) answer must never be mistaken for the query's answer.
+        // The record was still tallied above, so `deadline_aborts` counts
+        // it in STATS.
+        if response.result.record.deadline_exceeded {
+            return Response::Err {
+                code: "deadline".into(),
+                msg: format!(
+                    "query id={} exceeded its {}ms deadline",
+                    frame.id,
+                    frame.timeout_ms.unwrap_or(0)
+                ),
+            };
+        }
         Response::Result(crate::proto::ResultFrame {
             id: frame.id,
             serial: response.result.serial,

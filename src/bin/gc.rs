@@ -22,10 +22,11 @@
 //!   [--max-sessions N] [--max-inflight N] [--drain-timeout SECS]
 //!   [--persist-on-exit DIR] [--restore DIR]` runs the long-lived cache
 //!   daemon speaking the line-delimited wire protocol of `gc_server`;
-//! * `gc ctl (--unix PATH | --tcp ADDR) ping|stats|shutdown` sends one
-//!   control frame to a running daemon;
-//! * `gc query --connect unix:PATH|ADDR --queries FILE` replays a query
-//!   file against a running daemon instead of an in-process cache.
+//! * `gc ctl (--unix PATH | --tcp ADDR) [--timeout SECS] [--retries N]
+//!   ping|stats|shutdown` sends one control frame to a running daemon;
+//! * `gc query --connect unix:PATH|ADDR --queries FILE [--retries N]
+//!   [--retry-seed S] [--timeout-ms MS]` replays a query file against a
+//!   running daemon instead of an in-process cache.
 //!
 //! `gc serve` flags:
 //!
@@ -43,7 +44,14 @@
 //!   (default 10);
 //! * `--persist-on-exit DIR` — save the cache snapshot to DIR after a
 //!   graceful drain (the `gc query --restore` format; `--persist-format
-//!   text|binary` picks the representation, as for `gc query --save`);
+//!   text|binary` picks the representation, as for `gc query --save`).
+//!   Snapshots commit atomically through generation slots plus a
+//!   checksummed `MANIFEST`, so a crash mid-write never clobbers the
+//!   previous good snapshot. A drain-time save failure is a typed error
+//!   (exit 1), never a silent drop;
+//! * `--snapshot-every SECS` — also write a background snapshot to the
+//!   `--persist-on-exit` directory every SECS seconds while serving,
+//!   without blocking queries (requires `--persist-on-exit`);
 //! * the cache-construction flags of `gc query` (`--method`,
 //!   `--eviction`, `--admission`, `--capacity`, `--window`, `--threads`,
 //!   `--shards`, `--verify-budget`, `--verify-threads`, `--fragments`,
@@ -74,11 +82,15 @@
 //!
 //! * `0` — success;
 //! * `1` — runtime failure (I/O errors, malformed datasets, missing
-//!   `--restore` state);
+//!   `--restore` state, protocol errors on a live connection);
 //! * `2` — usage error (unknown subcommand/flag value, missing required
 //!   option, unknown profile/workload/method/policy/suite name);
 //! * `3` — benchmark regression: `gc bench --check` found deterministic
-//!   counters drifting beyond tolerance.
+//!   counters drifting beyond tolerance;
+//! * `4` — daemon unreachable: `gc ctl` / `gc query --connect` could not
+//!   connect (refused, or the socket file is gone), even after any
+//!   `--retries` budget. Distinct from 1 so scripts can tell "daemon
+//!   down" apart from "daemon answered but the request failed".
 //!
 //! `gc query` flags:
 //!
@@ -143,7 +155,9 @@ use graphcache::core::{registry, GraphCache, QueryKind, QueryRequest};
 use graphcache::graph::{io, GraphDataset};
 use graphcache::harness::{MatrixReport, Suite};
 use graphcache::methods::{Method, MethodKind};
-use graphcache::server::{Client, QueryFrame, QueryOutcome, ServeConfig, Server, StatsScope};
+use graphcache::server::{
+    Client, ClientError, QueryFrame, QueryOutcome, RetryPolicy, ServeConfig, Server, StatsScope,
+};
 use graphcache::workload::{
     generate_type_a, generate_type_b, DatasetProfile, TypeAConfig, TypeBConfig,
 };
@@ -154,7 +168,10 @@ use std::time::Duration;
 
 /// CLI failures, by exit code. Usage errors (2) mean the invocation never
 /// made sense; runtime errors (1) mean a valid invocation failed; drift
-/// (3) means `gc bench --check` found a benchmark regression.
+/// (3) means `gc bench --check` found a benchmark regression; unavailable
+/// (4) means the daemon a `--connect`/`ctl` invocation targeted was not
+/// reachable — distinct from 1 so scripts can tell "daemon down, maybe
+/// retry" apart from "daemon answered but the request failed".
 #[derive(Debug)]
 enum CliError {
     /// Bad invocation → exit code 2.
@@ -163,6 +180,9 @@ enum CliError {
     Runtime(String),
     /// `--check` found counters beyond tolerance → exit code 3.
     Drift(String),
+    /// The target daemon was unreachable (connect refused/absent) → exit
+    /// code 4.
+    Unavailable(String),
 }
 
 impl CliError {
@@ -188,7 +208,7 @@ fn print_usage() {
     eprintln!("           [--no-cache] [--maint-stats] [--save DIR] [--restore DIR]");
     eprintln!("           [--persist-format text|binary]");
     eprintln!("  gc query --connect unix:PATH|ADDR --queries FILE [--supergraph]");
-    eprintln!("           [--verify-budget N]");
+    eprintln!("           [--verify-budget N] [--retries N] [--retry-seed S] [--timeout-ms MS]");
     eprintln!(
         "  gc bench [--suite smoke|paper|policies|fragments|restore] [--json FILE] [--timings]"
     );
@@ -196,8 +216,9 @@ fn print_usage() {
     eprintln!("           [--check BASELINE] [--tolerance PCT] [--serve]");
     eprintln!("  gc serve --dataset FILE (--listen ADDR | --unix PATH) [--max-sessions N]");
     eprintln!("           [--max-inflight N] [--drain-timeout SECS] [--persist-on-exit DIR]");
-    eprintln!("           [--restore DIR] [cache flags as for gc query]");
-    eprintln!("  gc ctl (--unix PATH | --tcp ADDR) ping|stats|shutdown");
+    eprintln!("           [--snapshot-every SECS] [--restore DIR] [cache flags as for gc query]");
+    eprintln!("  gc ctl (--unix PATH | --tcp ADDR) [--timeout SECS] [--retries N]");
+    eprintln!("         ping|stats|shutdown");
 }
 
 fn main() -> ExitCode {
@@ -229,6 +250,10 @@ fn main() -> ExitCode {
         Err(CliError::Drift(msg)) => {
             eprintln!("gc: {msg}");
             ExitCode::from(3)
+        }
+        Err(CliError::Unavailable(msg)) => {
+            eprintln!("gc: {msg}");
+            ExitCode::from(4)
         }
     }
 }
@@ -472,28 +497,39 @@ fn cache_from_opts(
     if let Some(dir) = opts.get("restore") {
         // A missing save directory used to surface as a bare
         // "No such file or directory" with no hint which path was wrong.
-        // Either representation qualifies: a binary snapshot.bin or the
-        // text entries.txt.
+        // Any representation qualifies: a generational MANIFEST, a binary
+        // snapshot.bin, or the text entries.txt.
         let root = std::path::Path::new(dir);
-        if !root.join("snapshot.bin").is_file() && !root.join("entries.txt").is_file() {
+        if !root.join("MANIFEST").is_file()
+            && !root.join("snapshot.bin").is_file()
+            && !root.join("entries.txt").is_file()
+        {
             return Err(CliError::Runtime(format!(
                 "cannot restore from {dir:?}: not a saved cache directory \
-                 (no snapshot.bin or entries.txt — was it written by `gc query --save`?)"
+                 (no MANIFEST, snapshot.bin, or entries.txt — was it written by `gc query --save`?)"
             )));
         }
-        cache
+        let report = cache
             .restore(dir)
             .map_err(|e| CliError::Runtime(format!("cannot restore from {dir:?}: {e}")))?;
-        println!("restored {} cached queries from {dir}", cache.cache_len());
+        match report.generation {
+            Some(generation) => println!(
+                "restored {} cached queries from {dir} (generation {generation})",
+                report.entries
+            ),
+            None => println!("restored {} cached queries from {dir}", report.entries),
+        }
     }
     Ok(cache)
 }
 
 /// Opens a protocol session against `unix:PATH`, `tcp:HOST:PORT`, or a
-/// bare `HOST:PORT`.
-fn connect_target(target: &str) -> Result<Client, CliError> {
+/// bare `HOST:PORT`, retrying transient connect failures under `policy`.
+/// A daemon that stays unreachable is [`CliError::Unavailable`] (exit 4),
+/// so scripts can distinguish "daemon down" from in-session failures.
+fn connect_target(target: &str, policy: &RetryPolicy) -> Result<Client, CliError> {
     let result = if let Some(path) = target.strip_prefix("unix:") {
-        Client::connect_unix(path)
+        Client::connect_unix_with_retry(path, policy)
     } else {
         let addr = target.strip_prefix("tcp:").unwrap_or(target);
         if !addr.contains(':') {
@@ -501,9 +537,25 @@ fn connect_target(target: &str) -> Result<Client, CliError> {
                 "connect target {target:?} must be unix:PATH, tcp:HOST:PORT, or HOST:PORT"
             )));
         }
-        Client::connect_tcp(addr)
+        Client::connect_tcp_with_retry(addr, policy)
     };
-    result.map_err(|e| CliError::Runtime(format!("cannot connect to {target}: {e}")))
+    result.map_err(|e| match &e {
+        ClientError::Io(io) if RetryPolicy::transient_connect(io) => {
+            CliError::Unavailable(format!("cannot connect to {target}: {e}"))
+        }
+        _ => CliError::Runtime(format!("cannot connect to {target}: {e}")),
+    })
+}
+
+/// `--retries N [--retry-seed S]` → the bounded deterministic retry
+/// policy shared by connect and `BUSY` handling (default: no retries, the
+/// historical fail-fast behavior).
+fn retry_policy(opts: &HashMap<String, String>) -> Result<RetryPolicy, CliError> {
+    let attempts: u32 = num(opts, "retries", 0u32)?;
+    Ok(match opts.get("retry-seed") {
+        Some(_) => RetryPolicy::seeded(attempts, num(opts, "retry-seed", 0u64)?),
+        None => RetryPolicy::with_attempts(attempts),
+    })
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
@@ -712,8 +764,11 @@ fn cmd_query(args: &[String]) -> CliResult {
 }
 
 /// `gc query --connect`: replay a query file against a running daemon.
-/// A `BUSY` rejection is fail-stop here (runtime error, exit 1) — the
-/// one-shot CLI has no retry loop; interactive clients own their retries.
+/// `--retries N` retries `BUSY` rejections and transient connect failures
+/// under the bounded deterministic backoff (`--retry-seed S` pins the
+/// jitter stream); with the default of no retries a `BUSY` is fail-stop
+/// (runtime error, exit 1). `--timeout-ms MS` attaches a per-query
+/// deadline that the server answers with `ERR code=deadline` on expiry.
 fn query_connect(opts: &HashMap<String, String>, target: &str) -> CliResult {
     let queries = load_dataset(req(opts, "queries")?)?;
     let kind = opts
@@ -724,7 +779,13 @@ fn query_connect(opts: &HashMap<String, String>, target: &str) -> CliResult {
     } else {
         None
     };
-    let mut client = connect_target(target)?;
+    let timeout_ms = if opts.contains_key("timeout-ms") {
+        Some(num(opts, "timeout-ms", 0u64)?)
+    } else {
+        None
+    };
+    let retry = retry_policy(opts)?;
+    let mut client = connect_target(target, &retry)?;
     let t0 = std::time::Instant::now();
     let mut tests = 0u64;
     let mut hits = 0usize;
@@ -736,9 +797,10 @@ fn query_connect(opts: &HashMap<String, String>, target: &str) -> CliResult {
             verify_budget,
             max_hits: None,
             bypass: false,
+            timeout_ms,
         };
         let outcome = client
-            .query(frame)
+            .query_with_retry(frame, &retry)
             .map_err(|e| CliError::Runtime(format!("query {i}: {e}")))?;
         match outcome {
             QueryOutcome::Result(r) => {
@@ -759,8 +821,13 @@ fn query_connect(opts: &HashMap<String, String>, target: &str) -> CliResult {
             }
             QueryOutcome::Busy { inflight, max } => {
                 return Err(CliError::Runtime(format!(
-                    "server busy at query {i} ({inflight}/{max} permits in flight); \
-                     retry when the daemon has capacity"
+                    "server busy at query {i} ({inflight}/{max} permits in flight{}); \
+                     retry when the daemon has capacity",
+                    if retry.attempts > 0 {
+                        format!(", after {} retries", retry.attempts)
+                    } else {
+                        String::new()
+                    }
                 )));
             }
         }
@@ -813,7 +880,17 @@ fn cmd_serve(args: &[String]) -> CliResult {
         persist_on_exit: opts.get("persist-on-exit").map(PathBuf::from),
         persist_format: persist_format(&opts)?,
         handle_signals: true,
+        snapshot_every: if opts.contains_key("snapshot-every") {
+            Some(Duration::from_secs(num(&opts, "snapshot-every", 0u64)?))
+        } else {
+            None
+        },
     };
+    if cfg.snapshot_every.is_some() && cfg.persist_on_exit.is_none() {
+        return Err(CliError::usage(
+            "--snapshot-every needs --persist-on-exit DIR (the snapshot target)",
+        ));
+    }
     let dataset = load_dataset(req(&opts, "dataset")?)?;
     let graphs = dataset.len();
     let cache = cache_from_opts(&opts, &dataset)?;
@@ -856,7 +933,23 @@ fn cmd_ctl(args: &[String]) -> CliResult {
         (None, Some(addr)) => addr.clone(),
         (None, None) => return Err(CliError::usage("gc ctl needs --unix PATH or --tcp ADDR")),
     };
-    let mut client = connect_target(&target)?;
+    // Validate the timeout before dialing: a bad flag is a usage error
+    // even when the daemon is unreachable.
+    let timeout = if opts.contains_key("timeout") {
+        let secs: u64 = num(&opts, "timeout", 0u64)?;
+        if secs == 0 {
+            return Err(CliError::usage("--timeout must be at least 1 second"));
+        }
+        Some(Duration::from_secs(secs))
+    } else {
+        None
+    };
+    let mut client = connect_target(&target, &retry_policy(&opts)?)?;
+    if let Some(timeout) = timeout {
+        client
+            .set_timeout(Some(timeout))
+            .map_err(|e| CliError::Runtime(format!("cannot set timeout: {e}")))?;
+    }
     match command {
         "ping" => {
             client

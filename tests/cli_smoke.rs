@@ -1,7 +1,8 @@
 //! End-to-end CLI smoke test: drives the compiled `gc` binary through the
 //! full generate → workload → query → bench pipeline, validates the
 //! emitted JSON against the harness parser, and pins the exit-code
-//! contract (0 success / 1 runtime / 2 usage / 3 bench drift).
+//! contract (0 success / 1 runtime / 2 usage / 3 bench drift /
+//! 4 daemon unreachable).
 
 use gc_harness::{Json, MatrixReport};
 use std::path::{Path, PathBuf};
@@ -454,7 +455,8 @@ fn exit_codes_are_distinct() {
 
 /// Exit-code contract for the daemon-facing subcommands (`serve`, `ctl`,
 /// `query --connect`, `bench --serve`): bad invocations are usage errors
-/// (2), unreachable daemons are runtime errors (1). The happy path lives
+/// (2), unreachable daemons are the dedicated unavailable code (4) —
+/// distinct from in-session runtime failures (1). The happy path lives
 /// in tests/serve_smoke.rs and scripts/serve-smoke.sh.
 #[test]
 fn serve_and_ctl_exit_codes() {
@@ -535,13 +537,44 @@ fn serve_and_ctl_exit_codes() {
         2,
     );
     assert_exit(&["query", "--connect", &format!("unix:{sock}")], 2);
+    // --timeout must be a positive number of seconds.
+    assert_exit(&["ctl", "--unix", &sock, "--timeout", "0", "ping"], 2);
+    assert_exit(&["ctl", "--unix", &sock, "--timeout", "soon", "ping"], 2);
+    // --snapshot-every without a snapshot target is a usage error.
+    assert_exit(
+        &[
+            "serve",
+            "--dataset",
+            &dataset,
+            "--unix",
+            &sock,
+            "--snapshot-every",
+            "5",
+        ],
+        2,
+    );
 
-    // Runtime errors → 1: nothing is listening at these targets.
-    let out = assert_exit(&["ctl", "--unix", &sock, "ping"], 1);
+    // Unreachable daemon → 4 (distinct from in-session failures at 1), so
+    // scripts can tell "daemon down, maybe retry" from "request failed".
+    let out = assert_exit(&["ctl", "--unix", &sock, "ping"], 4);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("cannot connect"),
         "connect failure names the problem: {stderr}"
+    );
+    // A timeout/retry budget doesn't change the classification.
+    assert_exit(&["ctl", "--unix", &sock, "--timeout", "1", "ping"], 4);
+    assert_exit(
+        &[
+            "query",
+            "--connect",
+            &format!("unix:{sock}"),
+            "--queries",
+            &queries,
+            "--retries",
+            "1",
+        ],
+        4,
     );
     assert_exit(
         &[
@@ -551,7 +584,7 @@ fn serve_and_ctl_exit_codes() {
             "--queries",
             &queries,
         ],
-        1,
+        4,
     );
     // serve with a dataset that doesn't exist fails before binding, so the
     // daemon never starts and the test can't hang on it.

@@ -55,7 +55,7 @@ fn spawn_server(
     cache: GraphCache,
     socket: &Path,
     tweak: impl FnOnce(&mut ServeConfig),
-) -> std::thread::JoinHandle<std::io::Result<()>> {
+) -> std::thread::JoinHandle<Result<(), graphcache::server::ServeError>> {
     let mut cfg = ServeConfig {
         unix: Some(socket.to_path_buf()),
         ..ServeConfig::default()
@@ -108,6 +108,7 @@ fn served_counters_match_in_process_run_batch() {
             verify_budget: None,
             max_hits: None,
             bypass: false,
+            timeout_ms: None,
         };
         match client.query(frame).expect("query") {
             QueryOutcome::Result(r) => {
@@ -198,6 +199,7 @@ fn concurrent_sessions_share_one_cache() {
                         verify_budget: None,
                         max_hits: None,
                         bypass: false,
+                        timeout_ms: None,
                     };
                     match client.query(frame).expect("query") {
                         QueryOutcome::Result(_) => {}
@@ -264,6 +266,7 @@ fn saturated_permit_pool_yields_busy_then_recovers() {
         verify_budget: None,
         max_hits: None,
         bypass: false,
+        timeout_ms: None,
     };
     match worker.query(frame(1)).expect("query") {
         QueryOutcome::Busy { inflight, max } => {
@@ -320,6 +323,7 @@ fn held_permit_is_released_on_disconnect() {
             verify_budget: None,
             max_hits: None,
             bypass: false,
+            timeout_ms: None,
         };
         match worker.query(frame).expect("query") {
             QueryOutcome::Result(_) => {
@@ -361,6 +365,7 @@ fn shutdown_drains_sessions_and_persists() {
             verify_budget: None,
             max_hits: None,
             bypass: false,
+            timeout_ms: None,
         };
         match warm.query(frame).expect("query") {
             QueryOutcome::Result(_) => {}
