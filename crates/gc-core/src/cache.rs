@@ -170,6 +170,27 @@ impl From<String> for AdmissionSpec {
 /// spec string). Name resolution happens at build time:
 /// [`try_build`](Self::try_build) surfaces unknown names as a
 /// [`PolicyError`], while [`build`](Self::build) panics on them.
+///
+/// ```
+/// use gc_core::{CostModel, GraphCache};
+/// use gc_graph::{GraphDataset, LabeledGraph};
+/// use gc_methods::MethodBuilder;
+///
+/// let dataset = GraphDataset::new(vec![LabeledGraph::from_parts(
+///     vec![0, 1],
+///     &[(0, 1)],
+/// )]);
+/// let method = MethodBuilder::ggsx().build(&dataset);
+/// let cache = GraphCache::builder()
+///     .capacity(50)
+///     .window(10)
+///     .eviction("gcr")
+///     .admission("adaptive")
+///     .cost_model(CostModel::Work) // deterministic counters
+///     .try_build(method)
+///     .expect("policy names resolve");
+/// assert_eq!(cache.eviction_name(), "hd"); // "gcr" is the paper's alias for HD
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct GraphCacheBuilder {
     cfg: GcConfig,
@@ -426,6 +447,13 @@ pub struct QueryRequest {
     /// the statistics (an aborted query must not perturb cache state).
     /// `None` = no deadline.
     pub timeout_ms: Option<u64>,
+    /// Restricts the hit-verification sweep to these candidate serials
+    /// (see [`VerifyOptions::allowed`](crate::VerifyOptions::allowed)).
+    /// Normally set only by the `gc route` front-end, which merges
+    /// per-peer [`GraphCache::probe_candidates`] slices into this set.
+    /// Restriction only removes candidates, so answers are unaffected —
+    /// a missing serial just means less pruning. `None` = no filter.
+    pub allow: Option<Vec<QuerySerial>>,
     /// Caller-chosen correlation tag, echoed on the [`QueryResponse`].
     /// Batch submission preserves input order, so the tag is only needed
     /// when responses are routed onward asynchronously.
@@ -443,6 +471,7 @@ impl QueryRequest {
             max_hits: None,
             bypass_cache: false,
             timeout_ms: None,
+            allow: None,
             tag: 0,
         }
     }
@@ -485,6 +514,16 @@ impl QueryRequest {
         self
     }
 
+    /// Restricts the hit-verification sweep to these candidate serials.
+    /// The list is sorted and deduplicated here so the sweep can binary
+    /// search it.
+    pub fn allow_serials(mut self, mut serials: Vec<QuerySerial>) -> Self {
+        serials.sort_unstable();
+        serials.dedup();
+        self.allow = Some(serials);
+        self
+    }
+
     /// Attaches a correlation tag echoed on the response.
     pub fn tag(mut self, tag: u64) -> Self {
         self.tag = tag;
@@ -512,13 +551,14 @@ impl From<&LabeledGraph> for QueryRequest {
 
 /// Per-query override knobs forwarded from a [`QueryRequest`] into the
 /// cached execution path (all `None` on the plain [`GraphCache::run`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct RunOverrides {
     kind: Option<QueryKind>,
     hit_match: Option<MatchConfig>,
     verify_budget: Option<u64>,
     max_hits: Option<usize>,
     deadline: Option<Instant>,
+    allowed: Option<Vec<QuerySerial>>,
 }
 
 /// True once a request's wall-clock deadline has passed.
@@ -1215,6 +1255,25 @@ impl GraphCache {
     ///
     /// Takes `&self`: any number of threads may call `run` on the same
     /// instance concurrently.
+    ///
+    /// ```
+    /// use gc_core::GraphCache;
+    /// use gc_graph::{GraphDataset, LabeledGraph};
+    /// use gc_methods::MethodBuilder;
+    ///
+    /// let dataset = GraphDataset::new(vec![LabeledGraph::from_parts(
+    ///     vec![0, 1, 0],
+    ///     &[(0, 1), (1, 2)],
+    /// )]);
+    /// let method = MethodBuilder::ggsx().build(&dataset);
+    /// let cache = GraphCache::builder().capacity(10).window(4).build(method);
+    ///
+    /// let query = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]);
+    /// let first = cache.run(&query);
+    /// let repeat = cache.run(&query); // exact repeat: served by the cache
+    /// assert_eq!(first.answer, repeat.answer);
+    /// assert!(repeat.record.exact_hit || !repeat.record.any_hit());
+    /// ```
     pub fn run(&self, query: &LabeledGraph) -> QueryResult {
         // The one unavoidable copy on this borrowed-graph entry point: the
         // graph is shared from here on (filter pool, Window, cache entry
@@ -1285,6 +1344,7 @@ impl GraphCache {
                     deadline: request
                         .timeout_ms
                         .map(|ms| Instant::now() + Duration::from_millis(ms)),
+                    allowed: request.allow.clone(),
                 },
             )
         };
@@ -1316,6 +1376,28 @@ impl GraphCache {
             answer: m.answer,
             record,
         }
+    }
+
+    /// Enumerates the `(serial, entry fingerprint)` pairs the
+    /// hit-verification sweep would consider for `query` — a pure read
+    /// with no matcher tests, no serial consumption and no statistics
+    /// side effects (see
+    /// [`processors::candidate_serials`](crate::candidate_serials)).
+    ///
+    /// This is the cache half of the routed-fleet `PROBE` frame: each peer
+    /// enumerates its candidates, keeps the slice of the fingerprint space
+    /// it owns, and the router merges the slices into
+    /// [`QueryRequest::allow_serials`] for the executing peer.
+    pub fn probe_candidates(
+        &self,
+        query: &LabeledGraph,
+        kind: Option<QueryKind>,
+    ) -> Vec<(QuerySerial, u64)> {
+        let kind = kind.unwrap_or(self.cfg.query_kind);
+        let snapshot = self.shared.load_snapshot();
+        let profile = snapshot.profile_of(query);
+        let hit_query = processors::HitQuery::new(query, kind, &profile);
+        processors::candidate_serials(&snapshot, &hit_query)
     }
 
     /// The cached query path with optional per-query overrides. The graph
@@ -1359,6 +1441,7 @@ impl GraphCache {
                 exact_shortcut: true,
                 threads: self.cfg.verify_threads.max(1),
                 deadline: ov.deadline,
+                allowed: ov.allowed,
                 ..processors::VerifyOptions::default()
             },
         );

@@ -96,13 +96,15 @@ pub use cache::{
 pub use entry::{shard_for, CacheEntry, CacheSnapshot, Shard};
 pub use gc_fragments::FragmentConfig;
 pub use gc_methods::QueryKind;
-pub use metrics::{MaintStats, QueryRecord, RunCounters, RunSummary};
+pub use metrics::{MaintStats, QueryRecord, RouteCounters, RunCounters, RunSummary};
 pub use persist::{
     PersistFormat, PersistedCache, PersistedEntry, RecoveredSnapshot, StoredProfiles,
 };
 pub use policies::{GreedyDual, SegmentedLru};
 pub use policy::{EvictionPolicy, KindPolicy, PolicyKind, PolicyRow, PolicyView};
-pub use processors::{find_hits, find_hits_naive, find_hits_opts, HitQuery, HitSet, VerifyOptions};
+pub use processors::{
+    candidate_serials, find_hits, find_hits_naive, find_hits_opts, HitQuery, HitSet, VerifyOptions,
+};
 pub use query_index::{QueryIndex, QueryIndexConfig};
 pub use registry::{PolicyError, PolicyParams, PolicyRegistry};
 pub use staged::{FaultIo, FaultMode, Manifest, RealIo, SnapshotIo};

@@ -110,7 +110,7 @@ impl<'a> HitQuery<'a> {
 
 /// Knobs of the verification sweep. The default reproduces the full
 /// (unbounded, sequential) sweep with the fingerprint fast path active.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct VerifyOptions {
     /// Shared verification work pool for the whole query: every matcher
     /// test (confirmations included) deducts its `nodes_expanded`, and
@@ -137,6 +137,21 @@ pub struct VerifyOptions {
     /// [`deadline_exceeded`](HitSet::deadline_exceeded) set. `None` =
     /// no deadline.
     pub deadline: Option<std::time::Instant>,
+    /// Restricts the candidate sweep to these serials (must be sorted
+    /// ascending; use [`candidate_serials`] to enumerate the full set).
+    /// The exact fingerprint probe is *not* restricted — an exact answer
+    /// supersedes pruning and costs O(1) to confirm. Restriction only ever
+    /// removes candidates, so the result is always a sound subset: fewer
+    /// hits mean less pruning, never a wrong answer. `None` = no filter.
+    ///
+    /// This is the routed fleet's merge point: the `gc route` front-end
+    /// probes every peer for its slice of the candidate space and passes
+    /// the merged serial set here, so a query executed on one peer sweeps
+    /// exactly the candidates the whole fleet would. With every peer live
+    /// the union covers the full set and the filter is a no-op (counter
+    /// parity with a single process); a dead peer's slice is simply absent
+    /// (degraded to miss-only).
+    pub allowed: Option<Vec<QuerySerial>>,
 }
 
 impl Default for VerifyOptions {
@@ -148,6 +163,7 @@ impl Default for VerifyOptions {
             threads: 1,
             parallel_threshold: 32,
             deadline: None,
+            allowed: None,
         }
     }
 }
@@ -318,12 +334,20 @@ pub fn find_hits_opts(
     // distinct-label count is computed once here instead of per candidate
     // (`distinct_label_count` sorts the label vector on every call).
     let q_distinct = hq.query.distinct_label_count() as u64;
+    // Candidate restriction (routed mode): serials outside the allow set
+    // never enter the queue. A sorted list + binary search keeps the gather
+    // a pure column scan.
+    let allow = opts.allowed.as_deref();
+    let permitted = |serial: QuerySerial| match allow {
+        None => true,
+        Some(list) => list.binary_search(&serial).is_ok(),
+    };
     for shard in snapshot.shards() {
         let cands = shard
             .index()
             .candidates_from_profile(hq.profile, qn as u32, qm as u32);
         for &slot in &cands.sub {
-            if shard.kind_at(slot) != hq.kind {
+            if shard.kind_at(slot) != hq.kind || !permitted(shard.index().serial(slot)) {
                 continue;
             }
             let (cn, cm) = shard.index().size(slot);
@@ -369,7 +393,7 @@ pub fn find_hits_opts(
             }
         }
         for &slot in &cands.super_ {
-            if shard.kind_at(slot) != hq.kind {
+            if shard.kind_at(slot) != hq.kind || !permitted(shard.index().serial(slot)) {
                 continue;
             }
             let (cn, cm) = shard.index().size(slot);
@@ -404,6 +428,49 @@ pub fn find_hits_opts(
         verify_sequential(&queue, hq, matcher, cfg, pool, opts, &mut hits);
     }
     finalize(hits)
+}
+
+/// Enumerates the serials [`find_hits_opts`]'s candidate sweep would
+/// consider for this query — the same packed-column prefilters (kind
+/// match; same-size slots require fingerprint equality; the super list's
+/// same-size slots are skipped) with no matcher tests, no budget
+/// accounting and no statistics side effects. Each serial is paired with
+/// the candidate entry's iso fingerprint so a routed peer can keep only
+/// the slice of the fingerprint space it owns.
+///
+/// The result is sorted ascending and deduplicated, so slice-filtered
+/// lists from N peers holding identical replicas merge back into exactly
+/// this set — the property the router's [`VerifyOptions::allowed`] merge
+/// relies on for single-process counter parity.
+pub fn candidate_serials(snapshot: &CacheSnapshot, hq: &HitQuery<'_>) -> Vec<(QuerySerial, u64)> {
+    let qn = hq.query.node_count() as u32;
+    let qm = hq.query.edge_count() as u32;
+    let mut out: Vec<(QuerySerial, u64)> = Vec::new();
+    for shard in snapshot.shards() {
+        let cands = shard.index().candidates_from_profile(hq.profile, qn, qm);
+        for &slot in &cands.sub {
+            if shard.kind_at(slot) != hq.kind {
+                continue;
+            }
+            let same_size = shard.index().size(slot) == (qn, qm);
+            if same_size && shard.fingerprint_at(slot) != hq.fingerprint {
+                continue; // iso-invariant mismatch proves a non-hit
+            }
+            out.push((shard.index().serial(slot), shard.fingerprint_at(slot)));
+        }
+        for &slot in &cands.super_ {
+            if shard.kind_at(slot) != hq.kind {
+                continue;
+            }
+            if shard.index().size(slot) == (qn, qm) {
+                continue; // same-size: only ever surfaces through the sub list
+            }
+            out.push((shard.index().serial(slot), shard.fingerprint_at(slot)));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Counts a verified hit into the set. An iso candidate hits both
@@ -756,6 +823,120 @@ mod tests {
         assert!(hits.exact.is_none());
         assert!(hits.tests >= 2);
         assert!(!hits.truncated);
+    }
+
+    #[test]
+    fn allowed_full_candidate_set_is_a_no_op() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0, 1]), // 100: sub candidate
+            path_graph(&[0, 1]),       // 200: super candidate
+            path_graph(&[7, 7, 7]),    // 300: unrelated
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        let profile = snap.profile_of(&g);
+        let hq = HitQuery::new(&g, QueryKind::Subgraph, &profile);
+        let pairs = candidate_serials(&snap, &hq);
+        let full: Vec<QuerySerial> = pairs.iter().map(|&(s, _)| s).collect();
+
+        // Slicing the pairs by any fingerprint partition and merging the
+        // slices reassembles the full set — the router's merge invariant.
+        let mut merged: Vec<QuerySerial> = pairs
+            .iter()
+            .filter(|&&(_, fp)| fp % 2 == 0)
+            .chain(pairs.iter().filter(|&&(_, fp)| fp % 2 == 1))
+            .map(|&(s, _)| s)
+            .collect();
+        merged.sort_unstable();
+        assert_eq!(merged, full);
+
+        let free = run_opts(&snap, &g, &VerifyOptions::default());
+        let gated = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                allowed: Some(full),
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(gated.sub, free.sub);
+        assert_eq!(gated.super_, free.super_);
+        assert_eq!(gated.exact, free.exact);
+        assert_eq!(gated.tests, free.tests);
+        assert_eq!(gated.work, free.work);
+    }
+
+    #[test]
+    fn allowed_restriction_is_a_sound_subset() {
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 0, 1]), // 100: sub candidate
+            path_graph(&[0, 1]),       // 200: super candidate
+        ]);
+        let g = path_graph(&[0, 1, 0]);
+        // Only serial 100 allowed: the super hit vanishes (degraded slice),
+        // the sub hit survives, nothing panics.
+        let hits = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                allowed: Some(vec![100]),
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(hits.sub, vec![100]);
+        assert!(hits.super_.is_empty());
+        // The empty set sweeps nothing at all.
+        let none = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                allowed: Some(Vec::new()),
+                ..VerifyOptions::default()
+            },
+        );
+        assert!(none.sub.is_empty() && none.super_.is_empty());
+        assert_eq!(none.tests, 0);
+    }
+
+    #[test]
+    fn exact_probe_ignores_the_allow_filter() {
+        // An exact answer supersedes pruning, so the O(1) fingerprint probe
+        // stays unrestricted even under an empty allow set.
+        let snap = snapshot(vec![path_graph(&[0, 1, 0])]);
+        let g = path_graph(&[0, 1, 0]);
+        let hits = run_opts(
+            &snap,
+            &g,
+            &VerifyOptions {
+                exact_shortcut: true,
+                allowed: Some(Vec::new()),
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(hits.exact, Some(100));
+        assert!(hits.exact_via_fingerprint);
+    }
+
+    #[test]
+    fn candidate_serials_mirror_the_sweep_prefilters() {
+        // Same size but different fingerprint: excluded (the sweep proves
+        // the non-hit from the packed columns alone). Cross-kind: excluded.
+        let snap = snapshot(vec![
+            path_graph(&[0, 1, 2]),    // 100: same size, different fingerprint
+            path_graph(&[0, 2, 1, 0]), // 200: sub candidate by size
+        ]);
+        let g = path_graph(&[0, 2, 1]);
+        let profile = snap.profile_of(&g);
+        let hq = HitQuery::new(&g, QueryKind::Subgraph, &profile);
+        let serials: Vec<QuerySerial> = candidate_serials(&snap, &hq)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert!(!serials.contains(&100), "fingerprint-mismatched same-size");
+        let cross = HitQuery::new(&g, QueryKind::Supergraph, &profile);
+        assert!(
+            candidate_serials(&snap, &cross).is_empty(),
+            "cross-kind entries are not candidates"
+        );
     }
 
     #[test]

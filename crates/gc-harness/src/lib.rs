@@ -33,5 +33,5 @@ pub mod scenario;
 
 pub use json::Json;
 pub use report::{Drift, MatrixReport, ScenarioReport, SCHEMA_VERSION};
-pub use runner::{run_scenario, run_suite, run_suite_with};
+pub use runner::{build_cache, run_scenario, run_suite, run_suite_with};
 pub use scenario::{Scenario, Suite, WorkloadSpec};

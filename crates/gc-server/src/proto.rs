@@ -10,10 +10,14 @@
 //! ```text
 //! client → server                      server → client
 //! ---------------                      ---------------
-//! PING [token=T]                       HELLO proto=2 session=N max_inflight=N
-//! QUERY id=N graph=G [kind=sub|super]  PONG [token=T]
-//!       [budget=N] [max_hits=N]        RESULT id=N serial=N answers=N ids=L …
-//!       [bypass=1]                     BUSY id=N inflight=N max=N
+//! PING [token=T]                       HELLO proto=4 session=N max_inflight=N
+//! VERSION proto=N                            [peer=I/N]
+//! QUERY id=N graph=G [kind=sub|super]  VERSION proto=N
+//!       [budget=N] [max_hits=N]        PONG [token=T]
+//!       [bypass=1] [timeout=N]         RESULT id=N serial=N answers=N ids=L …
+//!       [allow=L]                      BUSY id=N inflight=N max=N
+//! PROBE id=N graph=G [kind=sub|super]  CANDS id=N cands=L
+//! ROUTE id=N graph=G [… QUERY tokens]  ROUTED id=N serial=N
 //! STATS [scope=mine|settle]            STATS k=v …
 //! HOLD                                 HELD
 //! RELEASE                              RELEASED
@@ -65,8 +69,15 @@ use std::io::Read;
 /// accept a `timeout=` token (per-query deadline in milliseconds, expiry
 /// answered with `ERR code=deadline`), `RESULT` frames carry the
 /// `deadline` field, and global `STATS` replies add `deadline_aborts`,
-/// `snapshots_written` and `recovered_generation`.
-pub const PROTO_VERSION: u64 = 3;
+/// `snapshots_written` and `recovered_generation`; 4 — the routed-peer
+/// fleet: `HELLO` advertises a `peer=I/N` identity on routed peers,
+/// `VERSION proto=N` announces the client's protocol level (a routed peer
+/// answers `QUERY`/`PROBE`/`ROUTE` from un-announced or pre-4 sessions
+/// with `ERR code=version`), `PROBE`/`CANDS` enumerate slice-filtered
+/// candidate serials, `ROUTE`/`ROUTED` apply a query to a replica for
+/// deterministic lockstep, and `QUERY` accepts an `allow=` serial list
+/// restricting the hit-verification sweep.
+pub const PROTO_VERSION: u64 = 4;
 
 /// Hard cap on one frame's byte length (newline excluded). A frame beyond
 /// the cap is a [`ProtoError::TooLarge`]; since the remainder of the
@@ -174,6 +185,9 @@ pub struct QueryFrame {
     /// Per-query deadline in milliseconds; the server answers expiry with
     /// `ERR code=deadline`.
     pub timeout_ms: Option<u64>,
+    /// Restricts the hit-verification sweep to these candidate serials
+    /// (the router's merged `CANDS` slices). `None` = no restriction.
+    pub allow: Option<Vec<u64>>,
 }
 
 /// A client → server frame.
@@ -181,8 +195,31 @@ pub struct QueryFrame {
 pub enum Request {
     /// Liveness probe; the optional token is echoed back.
     Ping(Option<String>),
+    /// Announce the client's protocol level (proto 4+). Routed peers
+    /// require an announcement of at least 4 before serving
+    /// `QUERY`/`PROBE`/`ROUTE`; everywhere else it is informational.
+    Version {
+        /// The highest protocol version the client speaks.
+        proto: u64,
+    },
     /// Execute a query.
     Query(QueryFrame),
+    /// Enumerate the candidate serials the hit sweep would consider for
+    /// this graph — a pure read. A routed peer answers only the slice of
+    /// the fingerprint space it owns.
+    Probe {
+        /// Client-chosen correlation id, echoed on `CANDS`.
+        id: u64,
+        /// The query graph.
+        graph: LabeledGraph,
+        /// Per-query direction override.
+        kind: Option<QueryKind>,
+    },
+    /// Apply a query to this replica for deterministic lockstep: execute
+    /// it exactly like `QUERY` (same admission, maintenance and serial
+    /// consumption) but answer with the compact `ROUTED` frame instead of
+    /// a full `RESULT`.
+    Route(QueryFrame),
     /// Read counters.
     Stats(StatsScope),
     /// Take one admission permit out of the pool (operator quiesce) until
@@ -223,6 +260,16 @@ pub enum Response {
         session: u64,
         /// The admission-permit pool size (size of the in-flight window).
         max_inflight: u64,
+        /// `(index, total)` when this daemon serves as routed peer
+        /// `index` of a `total`-peer fleet; `None` for a standalone
+        /// daemon (and on every pre-4 peer).
+        peer: Option<(u64, u64)>,
+    },
+    /// Reply to `VERSION`: echoes the version the server will speak with
+    /// this session (the minimum of both sides' levels).
+    Version {
+        /// The negotiated protocol version.
+        proto: u64,
     },
     /// Reply to `PING`.
     Pong(Option<String>),
@@ -237,6 +284,22 @@ pub enum Response {
         inflight: u64,
         /// Pool size.
         max: u64,
+    },
+    /// Reply to `PROBE`: the slice-filtered candidate serials.
+    Cands {
+        /// Echo of the request's correlation id.
+        id: u64,
+        /// Candidate serials this peer owns, sorted ascending (`-` on the
+        /// wire when empty).
+        cands: Vec<u64>,
+    },
+    /// Reply to `ROUTE`: the replica applied the query.
+    Routed {
+        /// Echo of the request's correlation id.
+        id: u64,
+        /// The serial this replica assigned — must match the owner's
+        /// serial when the fleet is in lockstep.
+        serial: u64,
     },
     /// Counter snapshot; keys follow the deterministic-counter naming.
     Stats(Vec<(String, u64)>),
@@ -253,7 +316,9 @@ pub enum Response {
     /// `too-large` or `io`.
     Err {
         /// Stable error-code slug ([`ProtoError::code`] plus server codes
-        /// like `max-sessions`, `not-holding`, `already-holding`).
+        /// like `max-sessions`, `not-holding`, `already-holding`,
+        /// `deadline`, and `version` for a routed peer refusing a session
+        /// that has not announced proto ≥ 4).
         code: String,
         /// Human-readable detail.
         msg: String,
@@ -461,38 +526,130 @@ fn parse_id_list(raw: &str) -> Result<Vec<u32>, ProtoError> {
         .collect()
 }
 
+/// Serial lists (`allow=`, `cands=`) carry 64-bit query serials; the same
+/// `-` convention marks an empty list.
+fn encode_serial_list(serials: &[u64]) -> String {
+    if serials.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::new();
+    for (i, s) in serials.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{s}");
+    }
+    out
+}
+
+fn parse_serial_list(raw: &str) -> Result<Vec<u64>, ProtoError> {
+    if raw == "-" {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|_| ProtoError::malformed(format!("invalid serial {t:?} in list")))
+        })
+        .collect()
+}
+
+fn kind_name(kind: QueryKind) -> &'static str {
+    match kind {
+        QueryKind::Subgraph => "sub",
+        QueryKind::Supergraph => "super",
+    }
+}
+
+fn parse_kind(args: &[&str]) -> Result<Option<QueryKind>, ProtoError> {
+    match find_value(args, "kind") {
+        None => Ok(None),
+        Some("sub") => Ok(Some(QueryKind::Subgraph)),
+        Some("super") => Ok(Some(QueryKind::Supergraph)),
+        Some(other) => Err(ProtoError::malformed(format!(
+            "invalid kind= value {other:?} (sub|super)"
+        ))),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Request codec
 // ---------------------------------------------------------------------------
+
+/// The shared token tail of `QUERY` and `ROUTE` frames.
+fn encode_query_tokens(q: &QueryFrame) -> String {
+    let mut out = format!("id={} graph={}", q.id, encode_graph(&q.graph));
+    if let Some(kind) = q.kind {
+        let _ = write!(out, " kind={}", kind_name(kind));
+    }
+    if let Some(b) = q.verify_budget {
+        let _ = write!(out, " budget={b}");
+    }
+    if let Some(m) = q.max_hits {
+        let _ = write!(out, " max_hits={m}");
+    }
+    if q.bypass {
+        out.push_str(" bypass=1");
+    }
+    if let Some(t) = q.timeout_ms {
+        let _ = write!(out, " timeout={t}");
+    }
+    if let Some(allow) = &q.allow {
+        let _ = write!(out, " allow={}", encode_serial_list(allow));
+    }
+    out
+}
+
+fn parse_query_frame(args: &[&str], frame: &str) -> Result<QueryFrame, ProtoError> {
+    let id = parse_u64(require(args, "id", frame)?, "id")?;
+    let graph = parse_graph(require(args, "graph", frame)?)?;
+    let kind = parse_kind(args)?;
+    let verify_budget = find_value(args, "budget")
+        .map(|v| parse_u64(v, "budget"))
+        .transpose()?;
+    let max_hits = find_value(args, "max_hits")
+        .map(|v| parse_u64(v, "max_hits"))
+        .transpose()?;
+    let bypass = match find_value(args, "bypass") {
+        None => false,
+        Some("1") => true,
+        Some("0") => false,
+        Some(other) => {
+            return Err(ProtoError::malformed(format!(
+                "invalid bypass= value {other:?} (0|1)"
+            )))
+        }
+    };
+    let timeout_ms = find_value(args, "timeout")
+        .map(|v| parse_u64(v, "timeout"))
+        .transpose()?;
+    let allow = find_value(args, "allow")
+        .map(parse_serial_list)
+        .transpose()?;
+    Ok(QueryFrame {
+        id,
+        graph,
+        kind,
+        verify_budget,
+        max_hits,
+        bypass,
+        timeout_ms,
+        allow,
+    })
+}
 
 /// Serializes a request to its one-line frame (no trailing newline).
 pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Ping(None) => "PING".into(),
         Request::Ping(Some(token)) => format!("PING token={token}"),
-        Request::Query(q) => {
-            let mut out = format!("QUERY id={} graph={}", q.id, encode_graph(&q.graph));
-            if let Some(kind) = q.kind {
-                let _ = write!(
-                    out,
-                    " kind={}",
-                    match kind {
-                        QueryKind::Subgraph => "sub",
-                        QueryKind::Supergraph => "super",
-                    }
-                );
-            }
-            if let Some(b) = q.verify_budget {
-                let _ = write!(out, " budget={b}");
-            }
-            if let Some(m) = q.max_hits {
-                let _ = write!(out, " max_hits={m}");
-            }
-            if q.bypass {
-                out.push_str(" bypass=1");
-            }
-            if let Some(t) = q.timeout_ms {
-                let _ = write!(out, " timeout={t}");
+        Request::Version { proto } => format!("VERSION proto={proto}"),
+        Request::Query(q) => format!("QUERY {}", encode_query_tokens(q)),
+        Request::Route(q) => format!("ROUTE {}", encode_query_tokens(q)),
+        Request::Probe { id, graph, kind } => {
+            let mut out = format!("PROBE id={id} graph={}", encode_graph(graph));
+            if let Some(kind) = kind {
+                let _ = write!(out, " kind={}", kind_name(*kind));
             }
             out
         }
@@ -517,48 +674,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "PING" => Ok(Request::Ping(
             find_value(args, "token").map(|t| t.to_string()),
         )),
-        "QUERY" => {
-            let id = parse_u64(require(args, "id", "QUERY")?, "id")?;
-            let graph = parse_graph(require(args, "graph", "QUERY")?)?;
-            let kind = match find_value(args, "kind") {
-                None => None,
-                Some("sub") => Some(QueryKind::Subgraph),
-                Some("super") => Some(QueryKind::Supergraph),
-                Some(other) => {
-                    return Err(ProtoError::malformed(format!(
-                        "invalid kind= value {other:?} (sub|super)"
-                    )))
-                }
-            };
-            let verify_budget = find_value(args, "budget")
-                .map(|v| parse_u64(v, "budget"))
-                .transpose()?;
-            let max_hits = find_value(args, "max_hits")
-                .map(|v| parse_u64(v, "max_hits"))
-                .transpose()?;
-            let bypass = match find_value(args, "bypass") {
-                None => false,
-                Some("1") => true,
-                Some("0") => false,
-                Some(other) => {
-                    return Err(ProtoError::malformed(format!(
-                        "invalid bypass= value {other:?} (0|1)"
-                    )))
-                }
-            };
-            let timeout_ms = find_value(args, "timeout")
-                .map(|v| parse_u64(v, "timeout"))
-                .transpose()?;
-            Ok(Request::Query(QueryFrame {
-                id,
-                graph,
-                kind,
-                verify_budget,
-                max_hits,
-                bypass,
-                timeout_ms,
-            }))
-        }
+        "VERSION" => Ok(Request::Version {
+            proto: parse_u64(require(args, "proto", "VERSION")?, "proto")?,
+        }),
+        "QUERY" => Ok(Request::Query(parse_query_frame(args, "QUERY")?)),
+        "ROUTE" => Ok(Request::Route(parse_query_frame(args, "ROUTE")?)),
+        "PROBE" => Ok(Request::Probe {
+            id: parse_u64(require(args, "id", "PROBE")?, "id")?,
+            graph: parse_graph(require(args, "graph", "PROBE")?)?,
+            kind: parse_kind(args)?,
+        }),
         "STATS" => match find_value(args, "scope") {
             None => Ok(Request::Stats(StatsScope::Global)),
             Some("mine") => Ok(Request::Stats(StatsScope::Mine)),
@@ -588,7 +713,20 @@ pub fn encode_response(resp: &Response) -> String {
             proto,
             session,
             max_inflight,
-        } => format!("HELLO proto={proto} session={session} max_inflight={max_inflight}"),
+            peer,
+        } => {
+            let mut out =
+                format!("HELLO proto={proto} session={session} max_inflight={max_inflight}");
+            if let Some((index, total)) = peer {
+                let _ = write!(out, " peer={index}/{total}");
+            }
+            out
+        }
+        Response::Version { proto } => format!("VERSION proto={proto}"),
+        Response::Cands { id, cands } => {
+            format!("CANDS id={id} cands={}", encode_serial_list(cands))
+        }
+        Response::Routed { id, serial } => format!("ROUTED id={id} serial={serial}"),
         Response::Pong(None) => "PONG".into(),
         Response::Pong(Some(token)) => format!("PONG token={token}"),
         Response::Result(r) => {
@@ -632,6 +770,26 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             proto: parse_u64(require(args, "proto", "HELLO")?, "proto")?,
             session: parse_u64(require(args, "session", "HELLO")?, "session")?,
             max_inflight: parse_u64(require(args, "max_inflight", "HELLO")?, "max_inflight")?,
+            peer: match find_value(args, "peer") {
+                None => None,
+                Some(raw) => {
+                    let (index, total) = raw.split_once('/').ok_or_else(|| {
+                        ProtoError::malformed(format!("invalid peer= value {raw:?} (want I/N)"))
+                    })?;
+                    Some((parse_u64(index, "peer")?, parse_u64(total, "peer")?))
+                }
+            },
+        }),
+        "VERSION" => Ok(Response::Version {
+            proto: parse_u64(require(args, "proto", "VERSION")?, "proto")?,
+        }),
+        "CANDS" => Ok(Response::Cands {
+            id: parse_u64(require(args, "id", "CANDS")?, "id")?,
+            cands: parse_serial_list(require(args, "cands", "CANDS")?)?,
+        }),
+        "ROUTED" => Ok(Response::Routed {
+            id: parse_u64(require(args, "id", "ROUTED")?, "id")?,
+            serial: parse_u64(require(args, "serial", "ROUTED")?, "serial")?,
         }),
         "PONG" => Ok(Response::Pong(
             find_value(args, "token").map(|t| t.to_string()),
@@ -840,6 +998,7 @@ mod tests {
         let requests = vec![
             Request::Ping(None),
             Request::Ping(Some("abc123".into())),
+            Request::Version { proto: 4 },
             Request::Query(QueryFrame {
                 id: 42,
                 graph: sample_graph(),
@@ -848,6 +1007,7 @@ mod tests {
                 max_hits: Some(3),
                 bypass: true,
                 timeout_ms: Some(250),
+                allow: Some(vec![100, 200, u64::MAX]),
             }),
             Request::Query(QueryFrame {
                 id: 0,
@@ -857,6 +1017,37 @@ mod tests {
                 max_hits: None,
                 bypass: false,
                 timeout_ms: None,
+                allow: None,
+            }),
+            Request::Query(QueryFrame {
+                id: 1,
+                graph: LabeledGraph::from_parts(vec![1], &[]),
+                kind: None,
+                verify_budget: None,
+                max_hits: None,
+                bypass: false,
+                timeout_ms: None,
+                allow: Some(Vec::new()), // empty allow list ≠ no allow list
+            }),
+            Request::Probe {
+                id: 7,
+                graph: sample_graph(),
+                kind: Some(QueryKind::Subgraph),
+            },
+            Request::Probe {
+                id: 8,
+                graph: LabeledGraph::from_parts(vec![2], &[]),
+                kind: None,
+            },
+            Request::Route(QueryFrame {
+                id: 11,
+                graph: sample_graph(),
+                kind: None,
+                verify_budget: Some(9),
+                max_hits: None,
+                bypass: false,
+                timeout_ms: None,
+                allow: Some(vec![300]),
             }),
             Request::Stats(StatsScope::Global),
             Request::Stats(StatsScope::Mine),
@@ -888,7 +1079,24 @@ mod tests {
                 proto: PROTO_VERSION,
                 session: 7,
                 max_inflight: 4,
+                peer: None,
             },
+            Response::Hello {
+                proto: PROTO_VERSION,
+                session: 8,
+                max_inflight: 1,
+                peer: Some((2, 3)),
+            },
+            Response::Version { proto: 4 },
+            Response::Cands {
+                id: 5,
+                cands: vec![100, 300, u64::MAX],
+            },
+            Response::Cands {
+                id: 6,
+                cands: Vec::new(),
+            },
+            Response::Routed { id: 7, serial: 99 },
             Response::Pong(None),
             Response::Pong(Some("tok".into())),
             Response::Result(ResultFrame {
@@ -1080,6 +1288,7 @@ mod tests {
                 max_hits: Some(2),
                 bypass: false,
                 timeout_ms: Some(100),
+                allow: Some(vec![100, 200]),
             }));
             let cut = cut.min(full.len());
             if full.is_char_boundary(cut) {
@@ -1094,7 +1303,10 @@ mod tests {
             labels in proptest::collection::vec(0u32..5, 1..8),
             edge_seed in proptest::collection::vec((0u32..8, 0u32..8), 0..10),
             budget in proptest::arbitrary::any::<bool>(),
+            allow_some in proptest::arbitrary::any::<bool>(),
+            allow_vals in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 0..6),
         ) {
+            let allow = allow_some.then_some(allow_vals);
             let n = labels.len() as u32;
             let edges: Vec<(u32, u32)> = edge_seed
                 .into_iter()
@@ -1109,6 +1321,7 @@ mod tests {
                 max_hits: None,
                 bypass: false,
                 timeout_ms: budget.then_some(42),
+                allow,
             });
             let back = parse_request(&encode_request(&frame)).unwrap();
             prop_assert_eq!(back, frame);

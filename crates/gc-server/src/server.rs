@@ -37,6 +37,7 @@ use crate::proto::{
     encode_response, parse_request, FrameEvent, FrameReader, ProtoError, QueryFrame, Request,
     Response, StatsScope, PROTO_VERSION,
 };
+use crate::router::{PeerIdentity, Ring};
 use gc_core::{GraphCache, QueryRequest, RunCounters};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -48,7 +49,7 @@ use std::time::{Duration, Instant};
 
 /// How long sessions sleep between polls of their read timeout — the
 /// latency bound on noticing a drain request mid-idle.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Why the daemon stopped abnormally. Typed so callers can distinguish a
 /// transport failure from a drain-time snapshot that did not land — the
@@ -100,11 +101,11 @@ impl From<std::io::Error> for ServeError {
 /// the one function needed: `signal(2)`, which std's runtime already
 /// links. The handler only stores to an atomic — async-signal-safe.
 #[allow(unsafe_code)]
-mod signal {
+pub(crate) mod signal {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     /// Set by the handler on SIGTERM/SIGINT; polled by the accept loop.
-    pub(super) static TERMINATE: AtomicBool = AtomicBool::new(false);
+    pub(crate) static TERMINATE: AtomicBool = AtomicBool::new(false);
 
     type Handler = extern "C" fn(i32);
 
@@ -120,7 +121,7 @@ mod signal {
     const SIGTERM: i32 = 15;
 
     /// Routes SIGTERM and SIGINT to the drain flag.
-    pub(super) fn install() {
+    pub(crate) fn install() {
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
@@ -160,6 +161,12 @@ pub struct ServeConfig {
     /// Install SIGTERM/SIGINT handlers that trigger graceful drain (the
     /// CLI daemon sets this; in-process test servers leave it off).
     pub handle_signals: bool,
+    /// Serve as routed peer `index` of a `total`-peer fleet: `HELLO`
+    /// advertises the identity, `PROBE` replies are filtered to the
+    /// consistent-hash slice of the fingerprint space this peer owns, and
+    /// `QUERY`/`PROBE`/`ROUTE` require the session to announce
+    /// `VERSION proto>=4` first (`None` = standalone daemon, no gate).
+    pub peer: Option<PeerIdentity>,
 }
 
 impl Default for ServeConfig {
@@ -174,6 +181,7 @@ impl Default for ServeConfig {
             snapshot_every: None,
             persist_format: gc_core::PersistFormat::default(),
             handle_signals: false,
+            peer: None,
         }
     }
 }
@@ -242,6 +250,10 @@ struct Shared {
     persist_format: gc_core::PersistFormat,
     /// Snapshot generations committed while serving (periodic saves).
     snapshots_written: AtomicU64,
+    /// Routed-peer identity, when serving as part of a fleet.
+    peer: Option<PeerIdentity>,
+    /// The fleet's consistent-hash ring (present iff `peer` is).
+    ring: Option<Ring>,
 }
 
 impl Shared {
@@ -358,6 +370,28 @@ impl Listener {
 /// steps so callers (tests, the bench driver) can connect clients the
 /// moment [`Server::bind`] returns — connections queue in the listen
 /// backlog until [`Server::run`] starts accepting.
+///
+/// ```
+/// use gc_core::GraphCache;
+/// use gc_graph::{GraphDataset, LabeledGraph};
+/// use gc_methods::MethodBuilder;
+/// use gc_server::{ServeConfig, Server};
+///
+/// let dataset = GraphDataset::new(vec![LabeledGraph::from_parts(vec![0, 1], &[(0, 1)])]);
+/// let cache = GraphCache::builder().build(MethodBuilder::ggsx().build(&dataset));
+///
+/// let sock = std::env::temp_dir().join(format!("gc-serve-doc-{}.sock", std::process::id()));
+/// let cfg = ServeConfig { unix: Some(sock.clone()), ..ServeConfig::default() };
+/// let server = Server::bind(cache, cfg)?;
+/// let handle = server.shutdown_handle();
+///
+/// // `run()` blocks until drain; a real deployment parks the main thread
+/// // here and drains on SIGTERM (`handle_signals: true`).
+/// handle.shutdown();
+/// server.run().expect("clean drain");
+/// assert!(!sock.exists(), "socket unlinked on exit");
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub struct Server {
     shared: Arc<Shared>,
     listeners: Vec<Listener>,
@@ -434,6 +468,8 @@ impl Server {
                 persist_on_exit: cfg.persist_on_exit.clone(),
                 persist_format: cfg.persist_format,
                 snapshots_written: AtomicU64::new(0),
+                peer: cfg.peer,
+                ring: cfg.peer.map(|p| Ring::new(p.total)),
             }),
             listeners,
             drain_timeout: cfg.drain_timeout,
@@ -581,6 +617,10 @@ struct Session {
     counters: RunCounters,
     /// This session currently holds one quiesce permit (`HOLD`).
     holding: bool,
+    /// Highest protocol version the client announced via `VERSION`
+    /// (`None` until it does). Routed peers refuse query traffic from
+    /// sessions that have not announced proto >= 4.
+    announced: Option<u64>,
 }
 
 impl Session {
@@ -590,6 +630,7 @@ impl Session {
             id,
             counters: RunCounters::default(),
             holding: false,
+            announced: None,
         }
     }
 
@@ -605,6 +646,7 @@ impl Session {
             proto: PROTO_VERSION,
             session: self.id,
             max_inflight: self.shared.max_inflight as u64,
+            peer: self.shared.peer.map(|p| (p.index, p.total)),
         };
         if send(&mut conn, &hello).is_err() {
             return;
@@ -612,12 +654,7 @@ impl Session {
         let mut reader = FrameReader::new();
         loop {
             if self.shared.draining() {
-                let _ = send(
-                    &mut conn,
-                    &Response::Bye {
-                        reason: "draining".into(),
-                    },
-                );
+                self.drain_close(&mut conn, &mut reader);
                 break;
             }
             let line = match reader.poll_frame(&mut conn) {
@@ -677,11 +714,106 @@ impl Session {
         }
     }
 
+    /// Drain-time goodbye: answer frames the client already has in flight
+    /// before saying BYE, so `gc ctl stats` racing a drain still gets its
+    /// STATS reply. The sweep is bounded (about two poll intervals of
+    /// quiet) and stops early on Quit/Shutdown, which send their own BYE.
+    fn drain_close(&mut self, conn: &mut Conn, reader: &mut FrameReader) {
+        let deadline = Instant::now() + POLL_INTERVAL * 2;
+        while Instant::now() < deadline {
+            match reader.poll_frame(conn) {
+                Ok(FrameEvent::Frame(line)) => match parse_request(&line) {
+                    Ok(req) => {
+                        let said_bye = matches!(req, Request::Quit | Request::Shutdown);
+                        if self.answer(conn, req).is_err() || said_bye {
+                            return;
+                        }
+                    }
+                    Err(err) => {
+                        self.shared.proto_errors.fetch_add(1, Ordering::SeqCst);
+                        let reply = Response::Err {
+                            code: err.code().into(),
+                            msg: err.to_string(),
+                        };
+                        if send(conn, &reply).is_err() {
+                            return;
+                        }
+                    }
+                },
+                Ok(FrameEvent::Idle) => continue,
+                Ok(FrameEvent::Closed) | Err(_) => return,
+            }
+        }
+        let _ = send(
+            conn,
+            &Response::Bye {
+                reason: "draining".into(),
+            },
+        );
+    }
+
+    /// Routed peers refuse query traffic from sessions that have not
+    /// announced a compatible protocol: a proto-3 client would silently
+    /// ignore `allow=` restrictions and desynchronise the fleet.
+    fn version_refusal(&self, what: &str) -> Option<Response> {
+        self.shared.peer?;
+        match self.announced {
+            Some(proto) if proto >= 4 => None,
+            Some(proto) => Some(Response::Err {
+                code: "version".into(),
+                msg: format!(
+                    "routed peer requires proto>=4 for {what}; session announced proto {proto}"
+                ),
+            }),
+            None => Some(Response::Err {
+                code: "version".into(),
+                msg: format!("routed peer requires `VERSION proto=4` before {what}"),
+            }),
+        }
+    }
+
     fn answer(&mut self, conn: &mut Conn, req: Request) -> std::io::Result<()> {
         match req {
             Request::Ping(token) => send(conn, &Response::Pong(token)),
+            Request::Version { proto } => {
+                self.announced = Some(proto);
+                send(
+                    conn,
+                    &Response::Version {
+                        proto: proto.min(PROTO_VERSION),
+                    },
+                )
+            }
             Request::Query(frame) => {
-                let reply = self.run_query(frame);
+                if let Some(refusal) = self.version_refusal("QUERY") {
+                    return send(conn, &refusal);
+                }
+                let reply = self.run_query(frame, false);
+                send(conn, &reply)
+            }
+            Request::Probe { id, graph, kind } => {
+                if let Some(refusal) = self.version_refusal("PROBE") {
+                    return send(conn, &refusal);
+                }
+                let pairs = self.shared.cache.probe_candidates(&graph, kind);
+                let cands: Vec<u64> = match (self.shared.peer, &self.shared.ring) {
+                    // A fleet peer reports only the candidates whose
+                    // entry fingerprints fall in its ring slice; the
+                    // router unions the slices back together.
+                    (Some(peer), Some(ring)) => pairs
+                        .into_iter()
+                        .filter(|&(_, fp)| ring.owner(fp) == peer.index)
+                        .map(|(serial, _)| serial)
+                        .collect(),
+                    _ => pairs.into_iter().map(|(serial, _)| serial).collect(),
+                };
+                send(conn, &Response::Cands { id, cands })
+            }
+            Request::Route(frame) => {
+                if let Some(refusal) = self.version_refusal("ROUTE") {
+                    return send(conn, &refusal);
+                }
+                let reply = self.run_query(frame, true);
                 send(conn, &reply)
             }
             Request::Stats(StatsScope::Mine) => {
@@ -757,8 +889,12 @@ impl Session {
         }
     }
 
-    /// Admission + execution of one `QUERY` frame.
-    fn run_query(&mut self, frame: QueryFrame) -> Response {
+    /// Admission + execution of one `QUERY` or `ROUTE` frame. A routed
+    /// apply (`routed = true`) executes identically — every replica must
+    /// advance its serial counter and cache state in lockstep — but
+    /// answers with the compact `ROUTED id= serial=` acknowledgement
+    /// instead of a full RESULT.
+    fn run_query(&mut self, frame: QueryFrame, routed: bool) -> Response {
         if let Err(inflight) = self.shared.try_acquire() {
             self.shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
             return Response::Busy {
@@ -779,6 +915,9 @@ impl Session {
         }
         if let Some(ms) = frame.timeout_ms {
             request = request.timeout_ms(ms);
+        }
+        if let Some(allow) = frame.allow {
+            request = request.allow_serials(allow);
         }
         request = request.bypass_cache(frame.bypass);
         let response = self.shared.cache.execute(request);
@@ -801,6 +940,12 @@ impl Session {
                     frame.id,
                     frame.timeout_ms.unwrap_or(0)
                 ),
+            };
+        }
+        if routed {
+            return Response::Routed {
+                id: frame.id,
+                serial: response.result.serial,
             };
         }
         Response::Result(crate::proto::ResultFrame {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fail on broken intra-repo markdown links. Checks every [text](target)
+# and [ref]: target link in README.md and docs/*.md; external (http/…)
+# and pure-anchor (#…) targets are skipped, anchor fragments on file
+# targets are stripped before the existence check. No dependencies
+# beyond bash + grep + sed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILES=(README.md docs/*.md)
+fail=0
+
+for file in "${FILES[@]}"; do
+    dir=$(dirname "$file")
+    targets=$(
+        { grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//'
+          grep -oE '^\[[^]]+\]:[[:space:]]+[^[:space:]]+' "$file" \
+              | sed -E 's/^\[[^]]+\]:[[:space:]]+//'
+        } | sort -u
+    ) || true
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "check-docs-links: BROKEN: $file -> $target" >&2
+            fail=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-docs-links: FAIL" >&2
+    exit 1
+fi
+echo "check-docs-links: OK (${#FILES[@]} files)"

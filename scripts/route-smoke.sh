@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the routed fleet using only the release CLI:
+# boot three `gc serve --peer-id I/3` peers and a `gc route` front-end,
+# warm the fleet through the router, kill -9 one peer, and assert the
+# fleet degrades (queries still answered, peer_misses counted) instead
+# of failing. Fully deterministic: fixed dataset/workload seeds and a
+# seeded router retry policy, so any pass/fail is reproducible.
+#
+#   cargo build --release --bin gc
+#   scripts/route-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/gc
+[ -x "$BIN" ] || { echo "route-smoke: $BIN not found — run: cargo build --release --bin gc" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+ROUTER_SOCK="$WORK/gc.sock"
+PEER_PIDS=()
+ROUTER_PID=
+cleanup() {
+    [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2>/dev/null || true
+    for pid in ${PEER_PIDS[@]+"${PEER_PIDS[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+    echo "route-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+wait_for_socket() {
+    local sock=$1 pid=$2 what=$3
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        kill -0 "$pid" 2>/dev/null || die "$what exited before binding $sock"
+        sleep 0.05
+    done
+    die "$what never bound $sock"
+}
+
+echo "== generate dataset + workload"
+"$BIN" generate --profile aids --scale 0.05 --seed 11 --out "$WORK/d.txt"
+"$BIN" workload --dataset "$WORK/d.txt" --kind zz --count 30 --seed 13 --out "$WORK/q.txt"
+
+echo "== start 3 peers"
+PEER_SOCKS=()
+for i in 0 1 2; do
+    sock="$WORK/peer-$i.sock"
+    "$BIN" serve --dataset "$WORK/d.txt" --unix "$sock" \
+        --capacity 50 --window 10 --fragments on --peer-id "$i/3" &
+    PEER_PIDS+=($!)
+    PEER_SOCKS+=("$sock")
+done
+for i in 0 1 2; do
+    wait_for_socket "${PEER_SOCKS[$i]}" "${PEER_PIDS[$i]}" "peer $i"
+done
+
+echo "== start router"
+"$BIN" route --unix "$ROUTER_SOCK" \
+    --peers "${PEER_SOCKS[0]},${PEER_SOCKS[1]},${PEER_SOCKS[2]}" \
+    --retries 5 --retry-seed 7 &
+ROUTER_PID=$!
+wait_for_socket "$ROUTER_SOCK" "$ROUTER_PID" "router"
+
+echo "== warm the fleet through the router"
+"$BIN" ctl --unix "$ROUTER_SOCK" ping | grep -q pong || die "router ping did not pong"
+"$BIN" query --connect "unix:$ROUTER_SOCK" --queries "$WORK/q.txt" > "$WORK/warm.out"
+grep -q "^30 queries served" "$WORK/warm.out" || die "warm replay did not report 30 queries"
+
+echo "== kill -9 peer 1"
+kill -9 "${PEER_PIDS[1]}"
+wait "${PEER_PIDS[1]}" 2>/dev/null || true
+PEER_PIDS=("${PEER_PIDS[0]}" "${PEER_PIDS[2]}")
+
+echo "== degraded replay still succeeds"
+# Exact repeats: live-owner queries take the fast path, dead-owner
+# queries fall back to degraded (miss-only) execution — but every one
+# must still be answered.
+"$BIN" query --connect "unix:$ROUTER_SOCK" --queries "$WORK/q.txt" > "$WORK/degraded.out"
+grep -q "^30 queries served" "$WORK/degraded.out" || die "degraded replay did not report 30 queries"
+
+echo "== routing counters visible in ctl stats"
+"$BIN" ctl --unix "$ROUTER_SOCK" stats > "$WORK/stats.out"
+for key in queries routed_exact fanout_probes peer_misses peers_live peers_total; do
+    grep -q "^$key " "$WORK/stats.out" || die "router STATS missing counter '$key'"
+done
+live=$(awk '$1 == "peers_live" { print $2 }' "$WORK/stats.out")
+[ "$live" -eq 2 ] || die "router reports $live live peers after the kill, expected 2"
+total=$(awk '$1 == "peers_total" { print $2 }' "$WORK/stats.out")
+[ "$total" -eq 3 ] || die "router reports peers_total=$total, expected 3"
+misses=$(awk '$1 == "peer_misses" { print $2 }' "$WORK/stats.out")
+[ "$misses" -ge 1 ] || die "killing a peer produced no peer_misses"
+exact=$(awk '$1 == "routed_exact" { print $2 }' "$WORK/stats.out")
+[ "$exact" -ge 1 ] || die "repeat replay produced no routed_exact fast-path hits"
+
+echo "== SIGTERM drain (router first, then peers)"
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || die "router exited non-zero on SIGTERM"
+ROUTER_PID=
+[ ! -e "$ROUTER_SOCK" ] || die "router left its socket behind: $ROUTER_SOCK"
+for pid in "${PEER_PIDS[@]}"; do
+    kill -TERM "$pid"
+    wait "$pid" || die "peer $pid exited non-zero on SIGTERM"
+done
+PEER_PIDS=()
+
+echo "route-smoke: OK"

@@ -114,6 +114,7 @@ fn kill_nine_mid_snapshot_cadence_recovers_committed_generation() {
                 max_hits: None,
                 bypass: false,
                 timeout_ms: Some(60_000),
+                allow: None,
             };
             match client.query(frame).expect("query") {
                 QueryOutcome::Result(_) => sent += 1,
@@ -182,6 +183,7 @@ fn kill_nine_mid_snapshot_cadence_recovers_committed_generation() {
         max_hits: None,
         bypass: false,
         timeout_ms: Some(60_000),
+        allow: None,
     };
     match client.query(frame).expect("query after restore") {
         QueryOutcome::Result(_) => {}

@@ -109,6 +109,7 @@ fn served_counters_match_in_process_run_batch() {
             max_hits: None,
             bypass: false,
             timeout_ms: None,
+            allow: None,
         };
         match client.query(frame).expect("query") {
             QueryOutcome::Result(r) => {
@@ -200,6 +201,7 @@ fn concurrent_sessions_share_one_cache() {
                         max_hits: None,
                         bypass: false,
                         timeout_ms: None,
+                        allow: None,
                     };
                     match client.query(frame).expect("query") {
                         QueryOutcome::Result(_) => {}
@@ -267,6 +269,7 @@ fn saturated_permit_pool_yields_busy_then_recovers() {
         max_hits: None,
         bypass: false,
         timeout_ms: None,
+        allow: None,
     };
     match worker.query(frame(1)).expect("query") {
         QueryOutcome::Busy { inflight, max } => {
@@ -324,6 +327,7 @@ fn held_permit_is_released_on_disconnect() {
             max_hits: None,
             bypass: false,
             timeout_ms: None,
+            allow: None,
         };
         match worker.query(frame).expect("query") {
             QueryOutcome::Result(_) => {
@@ -366,6 +370,7 @@ fn shutdown_drains_sessions_and_persists() {
             max_hits: None,
             bypass: false,
             timeout_ms: None,
+            allow: None,
         };
         match warm.query(frame).expect("query") {
             QueryOutcome::Result(_) => {}
@@ -405,6 +410,53 @@ fn shutdown_drains_sessions_and_persists() {
     // New connections are refused after drain: the socket file is gone.
     assert!(!socket.exists(), "socket unlinked on exit");
     let _ = std::fs::remove_dir_all(&persist);
+}
+
+/// The drain/ctl race, pinned: a `STATS` frame already in flight when the
+/// daemon starts draining must be *answered* before the session's
+/// `BYE reason=draining` — `gc ctl stats` against a draining daemon gets
+/// its counters, not a bare goodbye.
+#[test]
+fn drain_answers_in_flight_frames_before_bye() {
+    let data = dataset();
+    let socket = socket_path("drain-race");
+    let cfg = ServeConfig {
+        unix: Some(socket.clone()),
+        ..Default::default()
+    };
+    let server = Server::bind(make_cache(&data), cfg).expect("bind");
+    let handle = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // A raw session, so the reply order on the wire is observable.
+    connect(&socket).quit().expect("probe session");
+    let stream = UnixStream::connect(&socket).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("HELLO "), "greeting first: {line:?}");
+
+    // Flip the drain flag first, then race the STATS in. The session
+    // notices drain within one poll interval and its goodbye sweep must
+    // still answer the frame that was already (or about to be) buffered.
+    handle.shutdown();
+    writer.write_all(b"STATS\n").expect("write");
+
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.starts_with("STATS "),
+        "drain swallowed the in-flight STATS, sent {line:?} instead"
+    );
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.is_empty() || line.starts_with("BYE reason=draining"),
+        "after the answer comes the goodbye, got {line:?}"
+    );
+    daemon.join().expect("join").expect("clean exit");
+    let _ = std::fs::remove_file(&socket);
 }
 
 /// Session caps: connection attempts beyond `max_sessions` are refused
